@@ -1,0 +1,83 @@
+// Command cws-bench regenerates the tables and figures of the paper's
+// evaluation (Section 9) on the synthetic datasets.
+//
+// Usage:
+//
+//	cws-bench -list
+//	cws-bench -run fig3 [-scale 1.0] [-runs 25] [-ks 10,100,1000] [-seed 1]
+//	cws-bench -run all
+//
+// Each experiment prints plain-text tables with the same rows/series the
+// paper plots; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"coordsample/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment ID to run, or 'all'")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	runs := flag.Int("runs", 25, "sampling repetitions per measured point")
+	ks := flag.String("ks", "", "comma-separated k sweep (default per experiment)")
+	seed := flag.Uint64("seed", 0xC0FFEE, "hash seed")
+	flag.Parse()
+
+	if *list || *run == "" {
+		listExperiments()
+		if *run == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nuse -run <id> to execute an experiment")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	if *ks != "" {
+		for _, part := range strings.Split(*ks, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || k < 1 {
+				fmt.Fprintf(os.Stderr, "cws-bench: invalid k value %q\n", part)
+				os.Exit(2)
+			}
+			opts.Ks = append(opts.Ks, k)
+		}
+	}
+
+	if *run == "all" {
+		for _, e := range experiments.Registry() {
+			execute(e, opts)
+		}
+		return
+	}
+	e, ok := experiments.Find(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cws-bench: unknown experiment %q (use -list)\n", *run)
+		os.Exit(2)
+	}
+	execute(e, opts)
+}
+
+func listExperiments() {
+	fmt.Println("available experiments:")
+	for _, e := range experiments.Registry() {
+		fmt.Printf("  %-18s %-28s %s\n", e.ID, e.Paper, e.Desc)
+	}
+}
+
+func execute(e experiments.Experiment, opts experiments.Options) {
+	fmt.Printf("=== %s (%s) ===\n%s\n\n", e.ID, e.Paper, e.Desc)
+	start := time.Now()
+	res := e.Run(opts)
+	res.Write(os.Stdout)
+	fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,214 @@
+// Package coordsample implements coordinated weighted sampling for
+// estimating aggregates over multiple weight assignments, after Cohen,
+// Kaplan, and Sen, "Coordinated Weighted Sampling: Estimation of
+// Multiple-Assignment Aggregates" (VLDB 2009).
+//
+// # Data model
+//
+// Data is a set of keys, each carrying one nonnegative weight per
+// *assignment* — a time period, a location, or a numeric attribute. Over
+// such data one asks subpopulation sum queries Σ_{i: d(i)} f(i), where f is
+// a single-assignment weight or a multiple-assignment function such as
+// max_R, min_R, or the L1 difference, and the predicate d may be chosen
+// *after* the summary was built.
+//
+// # Two pipelines
+//
+// Dispersed weights (assignments observed at different times/places): run
+// one AssignmentSketcher per assignment — they never communicate; samples
+// are coordinated purely through the shared hash seed — then
+// CombineDispersed and query the summary:
+//
+//	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 1024}
+//	s0 := coordsample.NewAssignmentSketcher(cfg, 0) // e.g. at site A
+//	s1 := coordsample.NewAssignmentSketcher(cfg, 1) // e.g. at site B
+//	// ... s0.Offer(key, w) over period-1 data, s1.Offer over period-2 data ...
+//	sum := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s0.Sketch(), s1.Sketch()})
+//	change := sum.RangeLSet(nil).Estimate(func(key string) bool { return interesting(key) })
+//
+// Colocated weights (full weight vector available per key): feed a
+// ColocatedSummarizer and use the inclusive estimators, which exploit every
+// key in the combined summary and support vector predicates:
+//
+//	cs := coordsample.NewColocatedSummarizer(cfg, 3)
+//	// ... cs.Offer(key, []float64{bytes, packets, flows}) ...
+//	summary := cs.Summary()
+//	bytes := summary.Inclusive(coordsample.SingleOf(0)).Estimate(nil)
+//
+// Estimators are unbiased (Horvitz–Thompson on partitioned sample spaces);
+// coordination makes multiple-assignment estimates orders of magnitude
+// tighter than independent samples while keeping a valid weighted sample per
+// assignment. See DESIGN.md for the full system inventory and EXPERIMENTS.md
+// for the reproduced evaluation.
+package coordsample
+
+import (
+	"coordsample/internal/core"
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// Core configuration and pipeline types (see the package documentation).
+type (
+	// Config selects the rank family, coordination mode, hash seed, and
+	// per-assignment sample size k.
+	Config = core.Config
+	// AssignmentSketcher sketches one assignment of dispersed data.
+	AssignmentSketcher = core.AssignmentSketcher
+	// ColocatedSummarizer summarizes colocated (key, vector) records.
+	ColocatedSummarizer = core.ColocatedSummarizer
+	// PoissonSketcher sketches one assignment with a Poisson-τ sample.
+	PoissonSketcher = core.PoissonSketcher
+	// PoissonSketch is a Poisson-τ sketch of one weight assignment.
+	PoissonSketch = sketch.Poisson
+	// Dispersed answers queries over combined per-assignment sketches.
+	Dispersed = estimate.Dispersed
+	// Colocated answers queries with the inclusive estimators.
+	Colocated = estimate.Colocated
+	// AWSummary maps sampled keys to unbiased adjusted f-weights.
+	AWSummary = estimate.AWSummary
+	// AggFunc identifies the aggregate f (single, max, min, L1, ℓ-th largest).
+	AggFunc = estimate.AggFunc
+	// TopLFunc is a custom top-ℓ dependent aggregate for dispersed queries.
+	TopLFunc = estimate.TopLFunc
+	// BottomK is a bottom-k (order) sketch of one weight assignment.
+	BottomK = sketch.BottomK
+	// Pred selects a subpopulation by key.
+	Pred = dataset.Pred
+	// VecPred selects a subpopulation by key and full weight vector
+	// (colocated summaries only).
+	VecPred = estimate.VecPred
+	// Dataset is an in-memory multi-assignment weighted set.
+	Dataset = dataset.Dataset
+	// DatasetBuilder accumulates (assignment, key, weight) observations.
+	DatasetBuilder = dataset.Builder
+	// Family is a monotone rank-distribution family.
+	Family = rank.Family
+	// Coordination is the joint distribution of a key's rank vector.
+	Coordination = rank.Coordination
+)
+
+// Rank families (Section 3 of the paper).
+const (
+	// IPPS ranks make bottom-k sketches priority samples and Poisson
+	// sketches IPPS samples; the recommended default.
+	IPPS = rank.IPPS
+	// EXP ranks make bottom-k sketches weighted samples without
+	// replacement.
+	EXP = rank.EXP
+)
+
+// Coordination modes (Section 4 of the paper).
+const (
+	// SharedSeed is the consistent coordination that minimizes summary size
+	// (Theorem 4.2) and works for dispersed data; the recommended default.
+	SharedSeed = rank.SharedSeed
+	// Independent draws independent per-assignment ranks (the baseline).
+	Independent = rank.Independent
+	// IndependentDifferences is the EXP-only consistent construction whose
+	// k-mins collision probability equals weighted Jaccard similarity
+	// (Theorem 4.1); colocated data only.
+	IndependentDifferences = rank.IndependentDifferences
+)
+
+// NewAssignmentSketcher creates a dispersed-model sketcher for assignment b.
+// Sketchers sharing cfg produce coordinated samples with no communication.
+func NewAssignmentSketcher(cfg Config, b int) *AssignmentSketcher {
+	return core.NewAssignmentSketcher(cfg, b)
+}
+
+// CombineDispersed merges per-assignment sketches (in assignment order) into
+// a queryable dispersed summary.
+func CombineDispersed(cfg Config, sketches []*BottomK) *Dispersed {
+	return core.CombineDispersed(cfg, sketches)
+}
+
+// NewColocatedSummarizer creates a colocated-model summarizer over
+// numAssignments weight assignments.
+func NewColocatedSummarizer(cfg Config, numAssignments int) *ColocatedSummarizer {
+	return core.NewColocatedSummarizer(cfg, numAssignments)
+}
+
+// NewDatasetBuilder creates an in-memory dataset builder with the given
+// assignment names; Add accumulates raw observations into per-key weights.
+func NewDatasetBuilder(assignments ...string) *DatasetBuilder {
+	return dataset.NewBuilder(assignments...)
+}
+
+// SummarizeDispersed runs the dispersed pipeline over an in-memory dataset.
+func SummarizeDispersed(cfg Config, ds *Dataset) *Dispersed {
+	return core.SummarizeDispersed(cfg, ds)
+}
+
+// SummarizeColocated runs the colocated pipeline over an in-memory dataset.
+func SummarizeColocated(cfg Config, ds *Dataset) *Colocated {
+	return core.SummarizeColocated(cfg, ds)
+}
+
+// SummarizeColocatedFixed runs the colocated pipeline under a fixed budget
+// of |W|·k distinct keys, growing the embedded sample size ℓ ≥ k adaptively
+// (Section 4). Returns the summary and the chosen ℓ.
+func SummarizeColocatedFixed(cfg Config, ds *Dataset) (*Colocated, int) {
+	return core.SummarizeColocatedFixed(cfg, ds)
+}
+
+// KMinsJaccard estimates the weighted Jaccard similarity of assignments b1
+// and b2 with a k-mins sketch under independent-differences ranks
+// (Theorem 4.1); cfg.K is the number of coordinates.
+func KMinsJaccard(cfg Config, ds *Dataset, b1, b2 int) float64 {
+	return core.KMinsJaccard(cfg, ds, b1, b2)
+}
+
+// MergeSketches combines bottom-k sketches of *disjoint* shards of one
+// assignment into the exact bottom-k sketch of the union — the distributed
+// pattern: each site sketches its shard, a combiner merges. All sketches
+// must share k and must have been built with the same Config.
+func MergeSketches(sketches ...*BottomK) *BottomK {
+	return sketch.Merge(sketches...)
+}
+
+// NewPoissonSketcher creates a dispersed-model Poisson sketcher for
+// assignment b with threshold τ; use PoissonTau to target an expected size.
+func NewPoissonSketcher(cfg Config, b int, tau float64) *PoissonSketcher {
+	return core.NewPoissonSketcher(cfg, b, tau)
+}
+
+// PoissonTau returns the threshold τ whose Poisson sketch of the given
+// weights has expected size k.
+func PoissonTau(family Family, weights []float64, k float64) float64 {
+	return core.PoissonTau(family, weights, k)
+}
+
+// CombineDispersedPoisson merges per-assignment Poisson sketches into a
+// queryable dispersed summary.
+func CombineDispersedPoisson(cfg Config, sketches []*PoissonSketch) *Dispersed {
+	return core.CombineDispersedPoisson(cfg, sketches)
+}
+
+// SummarizeDispersedPoisson runs the dispersed Poisson pipeline over an
+// in-memory dataset with expected per-assignment sample size cfg.K.
+func SummarizeDispersedPoisson(cfg Config, ds *Dataset) *Dispersed {
+	return core.SummarizeDispersedPoisson(cfg, ds)
+}
+
+// SummarizeColocatedPoisson runs the colocated pipeline with embedded
+// Poisson samples of expected size cfg.K per assignment.
+func SummarizeColocatedPoisson(cfg Config, ds *Dataset) *Colocated {
+	return core.SummarizeColocatedPoisson(cfg, ds)
+}
+
+// Aggregate-function constructors.
+var (
+	// SingleOf selects f(i) = w^(b)(i).
+	SingleOf = estimate.SingleOf
+	// MaxOf selects f(i) = w^(maxR)(i) (max-dominance); empty R means all.
+	MaxOf = estimate.MaxOf
+	// MinOf selects f(i) = w^(minR)(i) (min-dominance); empty R means all.
+	MinOf = estimate.MinOf
+	// RangeOf selects f(i) = w^(L1 R)(i), the L1 difference contribution.
+	RangeOf = estimate.RangeOf
+	// LthLargestOf selects f(i) = w^(ℓth-largest R)(i).
+	LthLargestOf = estimate.LthLargestOf
+)

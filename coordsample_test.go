@@ -1,0 +1,165 @@
+package coordsample_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coordsample"
+)
+
+// TestPublicAPIDispersedRoundTrip exercises the documented dispersed
+// workflow end to end through the public surface only.
+func TestPublicAPIDispersedRoundTrip(t *testing.T) {
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 200}
+
+	// Two "sites" sketch their periods independently.
+	rng := rand.New(rand.NewSource(9))
+	s0 := coordsample.NewAssignmentSketcher(cfg, 0)
+	s1 := coordsample.NewAssignmentSketcher(cfg, 1)
+	type kw struct {
+		w0, w1 float64
+	}
+	truthByKey := make(map[string]kw)
+	var sumMin, sumMax, sumL1 float64
+	for i := 0; i < 1200; i++ {
+		key := "host-" + itoa(i)
+		base := math.Exp(rng.NormFloat64() * 1.5)
+		var w0, w1 float64
+		if rng.Float64() < 0.8 {
+			w0 = base * (0.5 + rng.Float64())
+			s0.Offer(key, w0)
+		}
+		if rng.Float64() < 0.8 {
+			w1 = base * (0.5 + rng.Float64())
+			s1.Offer(key, w1)
+		}
+		truthByKey[key] = kw{w0, w1}
+		sumMin += math.Min(w0, w1)
+		sumMax += math.Max(w0, w1)
+		sumL1 += math.Abs(w0 - w1)
+	}
+
+	sum := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s0.Sketch(), s1.Sketch()})
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"max", sum.Max(nil).Estimate(nil), sumMax},
+		{"min", sum.MinLSet(nil).Estimate(nil), sumMin},
+		{"L1", sum.RangeLSet(nil).Estimate(nil), sumL1},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.25*c.want {
+			t.Fatalf("%s estimate %v too far from truth %v", c.name, c.got, c.want)
+		}
+	}
+
+	// Subpopulation chosen a posteriori.
+	pred := func(key string) bool { return strings.HasSuffix(key, "7") }
+	var want float64
+	for key, v := range truthByKey {
+		if pred(key) {
+			want += math.Abs(v.w0 - v.w1)
+		}
+	}
+	got := sum.RangeLSet(nil).Estimate(pred)
+	if math.Abs(got-want) > 0.6*want+1 {
+		t.Fatalf("subpopulation L1 %v too far from %v", got, want)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// TestPublicAPIColocatedRoundTrip exercises the colocated workflow,
+// including vector predicates and the fixed-budget variant.
+func TestPublicAPIColocatedRoundTrip(t *testing.T) {
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 3, K: 150}
+	b := coordsample.NewDatasetBuilder("bytes", "packets", "flows")
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 1000; i++ {
+		key := "flow-" + itoa(i)
+		pk := math.Ceil(math.Exp(rng.NormFloat64() * 2))
+		b.Add(0, key, pk*(40+rng.Float64()*1400))
+		b.Add(1, key, pk)
+		b.Add(2, key, 1+float64(rng.Intn(3)))
+	}
+	ds := b.Build()
+
+	summary := coordsample.SummarizeColocated(cfg, ds)
+	truth := ds.SumSingle(0, nil)
+	got := summary.Inclusive(coordsample.SingleOf(0)).Estimate(nil)
+	if math.Abs(got-truth) > 0.25*truth {
+		t.Fatalf("bytes estimate %v too far from %v", got, truth)
+	}
+
+	// Vector predicate: heavy-hitter flows by packet count.
+	vp := func(_ string, vec []float64) bool { return vec[1] >= 8 }
+	gotHH := summary.EstimateWhere(coordsample.SingleOf(0), vp)
+	var wantHH float64
+	for i := 0; i < ds.NumKeys(); i++ {
+		if ds.Weight(1, i) >= 8 {
+			wantHH += ds.Weight(0, i)
+		}
+	}
+	if math.Abs(gotHH-wantHH) > 0.35*wantHH {
+		t.Fatalf("heavy-hitter bytes %v too far from %v", gotHH, wantHH)
+	}
+
+	// Fixed-budget summaries keep the contract.
+	fixed, ell := coordsample.SummarizeColocatedFixed(cfg, ds)
+	if ell < cfg.K {
+		t.Fatalf("ℓ = %d below k", ell)
+	}
+	if fixed.DistinctKeys() > cfg.K*ds.NumAssignments() {
+		t.Fatalf("fixed summary exceeded budget: %d", fixed.DistinctKeys())
+	}
+}
+
+func TestPublicAPIKMinsJaccard(t *testing.T) {
+	b := coordsample.NewDatasetBuilder("jan", "feb")
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 400; i++ {
+		key := "movie-" + itoa(i)
+		w := math.Exp(rng.NormFloat64())
+		b.Add(0, key, w)
+		b.Add(1, key, w*(0.5+rng.Float64()))
+	}
+	ds := b.Build()
+	want := ds.WeightedJaccard([]int{0, 1}, nil)
+	cfg := coordsample.Config{Family: coordsample.EXP, Mode: coordsample.IndependentDifferences, Seed: 5, K: 2000}
+	got := coordsample.KMinsJaccard(cfg, ds, 0, 1)
+	if math.Abs(got-want) > 0.06 {
+		t.Fatalf("Jaccard %v, want ≈ %v", got, want)
+	}
+}
+
+func TestPublicAggFuncConstructors(t *testing.T) {
+	vec := []float64{1, 5, 3}
+	if coordsample.MaxOf().Eval(vec) != 5 || coordsample.MinOf().Eval(vec) != 1 {
+		t.Fatal("MaxOf/MinOf")
+	}
+	if coordsample.RangeOf().Eval(vec) != 4 {
+		t.Fatal("RangeOf")
+	}
+	if coordsample.SingleOf(2).Eval(vec) != 3 {
+		t.Fatal("SingleOf")
+	}
+	if coordsample.LthLargestOf(2).Eval(vec) != 3 {
+		t.Fatal("LthLargestOf")
+	}
+}

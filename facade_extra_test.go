@@ -1,0 +1,139 @@
+package coordsample_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coordsample"
+)
+
+func buildFacadeDataset(t *testing.T, n int, seed int64) *coordsample.Dataset {
+	t.Helper()
+	b := coordsample.NewDatasetBuilder("p1", "p2")
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		key := "k-" + itoa(i)
+		base := math.Exp(rng.NormFloat64())
+		if rng.Float64() < 0.85 {
+			b.Add(0, key, base*(0.5+rng.Float64()))
+		}
+		if rng.Float64() < 0.85 {
+			b.Add(1, key, base*(0.5+rng.Float64()))
+		}
+	}
+	return b.Build()
+}
+
+func TestPublicAPIPoissonPipelines(t *testing.T) {
+	ds := buildFacadeDataset(t, 800, 31)
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 7, K: 150}
+
+	// Dataset-level Poisson pipeline.
+	d := coordsample.SummarizeDispersedPoisson(cfg, ds)
+	truth := ds.SumMax(nil, nil)
+	if got := d.Max(nil).Estimate(nil); math.Abs(got-truth) > 0.3*truth {
+		t.Fatalf("Poisson dispersed max %v too far from %v", got, truth)
+	}
+
+	// Manual sketcher + combine path.
+	tau := coordsample.PoissonTau(coordsample.IPPS, ds.Column(0), float64(cfg.K))
+	ps := coordsample.NewPoissonSketcher(cfg, 0, tau)
+	for i := 0; i < ds.NumKeys(); i++ {
+		if w := ds.Weight(0, i); w > 0 {
+			ps.Offer(ds.Key(i), w)
+		}
+	}
+	single := coordsample.CombineDispersedPoisson(cfg, []*coordsample.PoissonSketch{ps.Sketch()})
+	truth0 := ds.SumSingle(0, nil)
+	if got := single.Single(0).Estimate(nil); math.Abs(got-truth0) > 0.3*truth0 {
+		t.Fatalf("Poisson single %v too far from %v", got, truth0)
+	}
+
+	// Colocated Poisson pipeline.
+	c := coordsample.SummarizeColocatedPoisson(cfg, ds)
+	if got := c.Inclusive(coordsample.MinOf()).Estimate(nil); math.Abs(got-ds.SumMin(nil, nil)) > 0.4*ds.SumMin(nil, nil) {
+		t.Fatalf("Poisson colocated min %v too far from %v", got, ds.SumMin(nil, nil))
+	}
+}
+
+func TestPublicAPIMergeSketches(t *testing.T) {
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 11, K: 64}
+	// Three shards of one assignment, sketched separately.
+	shards := make([]*coordsample.AssignmentSketcher, 3)
+	for j := range shards {
+		shards[j] = coordsample.NewAssignmentSketcher(cfg, 0)
+	}
+	whole := coordsample.NewAssignmentSketcher(cfg, 0)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		key := "shard-key-" + itoa(i)
+		w := math.Exp(rng.NormFloat64())
+		shards[i%3].Offer(key, w)
+		whole.Offer(key, w)
+	}
+	merged := coordsample.MergeSketches(shards[0].Sketch(), shards[1].Sketch(), shards[2].Sketch())
+	direct := whole.Sketch()
+	if merged.Size() != direct.Size() || merged.Threshold() != direct.Threshold() {
+		t.Fatalf("merged sketch differs: size %d/%d threshold %v/%v",
+			merged.Size(), direct.Size(), merged.Threshold(), direct.Threshold())
+	}
+	for i, e := range merged.Entries() {
+		if direct.Entries()[i] != e {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestPublicAPIStdErrAndTopKeys(t *testing.T) {
+	ds := buildFacadeDataset(t, 1000, 41)
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 19, K: 200}
+	sum := coordsample.SummarizeDispersed(cfg, ds)
+	aw := sum.Max(nil)
+	est, se := aw.EstimateWithStdErr(nil)
+	truth := ds.SumMax(nil, nil)
+	if se <= 0 {
+		t.Fatal("standard error should be positive for a partial sample")
+	}
+	if math.Abs(est-truth) > 6*se {
+		t.Fatalf("estimate %v ± %v too far from truth %v", est, se, truth)
+	}
+	top := aw.TopKeys(5)
+	if len(top) != 5 {
+		t.Fatalf("TopKeys returned %d", len(top))
+	}
+	// Top representatives must be among the heavier true keys: their true
+	// max weight should each exceed the dataset median.
+	for _, key := range top {
+		i, ok := ds.KeyIndex(key)
+		if !ok {
+			t.Fatalf("top key %s not in dataset", key)
+		}
+		if math.Max(ds.Weight(0, i), ds.Weight(1, i)) <= 0 {
+			t.Fatalf("top key %s has zero weight", key)
+		}
+	}
+}
+
+func TestPublicAPIIndependentL1Unbiased(t *testing.T) {
+	// The signed L1 estimator for independent sketches (an extension enabled
+	// by known seeds) must be unbiased even though per-key entries can be
+	// negative.
+	ds := buildFacadeDataset(t, 60, 47)
+	truth := ds.SumRange(nil, nil)
+	const trials = 3000
+	var sum, sumSq float64
+	for trial := 0; trial < trials; trial++ {
+		cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.Independent,
+			Seed: uint64(trial) + 1, K: 25}
+		v := coordsample.SummarizeDispersed(cfg, ds).RangeLSet(nil).Estimate(nil)
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(trials)
+	mean := sum / n
+	se := math.Sqrt((sumSq/n - mean*mean) / n)
+	if math.Abs(mean-truth) > 4.5*se+1e-9 {
+		t.Fatalf("independent L1 mean %v, truth %v, se %v", mean, truth, se)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// PoissonSketcher builds the Poisson-τ sketch of one weight assignment from
+// its aggregated (key, weight) stream — the Poisson counterpart of
+// AssignmentSketcher. Coordination across assignments again comes entirely
+// from the shared hash seed in cfg; τ may differ per assignment.
+type PoissonSketcher struct {
+	assigner   rank.Assigner
+	assignment int
+	builder    *sketch.PoissonBuilder
+}
+
+// NewPoissonSketcher creates a Poisson sketcher for assignment b with
+// threshold τ (use PoissonTau to target an expected sample size).
+func NewPoissonSketcher(cfg Config, assignment int, tau float64) *PoissonSketcher {
+	cfg.validate()
+	if cfg.Mode == rank.IndependentDifferences {
+		panic("core: independent-differences coordination requires colocated weights")
+	}
+	return &PoissonSketcher{
+		assigner:   cfg.Assigner(),
+		assignment: assignment,
+		builder:    sketch.NewPoissonBuilder(tau),
+	}
+}
+
+// Offer presents one aggregated key with its weight in this assignment.
+func (s *PoissonSketcher) Offer(key string, weight float64) {
+	s.builder.Offer(key, s.assigner.Rank(key, s.assignment, weight), weight)
+}
+
+// Sketch snapshots the current Poisson sketch.
+func (s *PoissonSketcher) Sketch() *sketch.Poisson { return s.builder.Sketch() }
+
+// CombineDispersedPoisson merges per-assignment Poisson sketches built with
+// cfg into a dispersed summary supporting the same estimator suite as
+// bottom-k summaries (the Poisson expressions substitute τ^(b) for
+// r^(b)_k(I∖{i})).
+func CombineDispersedPoisson(cfg Config, sketches []*sketch.Poisson) *estimate.Dispersed {
+	cfg.validate()
+	return estimate.NewDispersedPoisson(cfg.Assigner(), sketches)
+}
+
+// SummarizeDispersedPoisson runs the dispersed Poisson pipeline over an
+// in-memory dataset, solving each assignment's τ^(b) for expected sample
+// size cfg.K.
+func SummarizeDispersedPoisson(cfg Config, ds *dataset.Dataset) *estimate.Dispersed {
+	cfg.validate()
+	sketches := make([]*sketch.Poisson, ds.NumAssignments())
+	for b := range sketches {
+		tau := sketch.SolveTau(cfg.Family, ds.Column(b), float64(cfg.K))
+		sk := NewPoissonSketcher(cfg, b, tau)
+		col := ds.Column(b)
+		for i := 0; i < ds.NumKeys(); i++ {
+			if col[i] > 0 {
+				sk.Offer(ds.Key(i), col[i])
+			}
+		}
+		sketches[b] = sk.Sketch()
+	}
+	return CombineDispersedPoisson(cfg, sketches)
+}
+
+// SummarizeColocatedPoisson runs the colocated pipeline with embedded
+// Poisson samples of expected size cfg.K per assignment: the inclusive
+// estimators of Section 6 apply with τ^(b) as the conditioning thresholds.
+func SummarizeColocatedPoisson(cfg Config, ds *dataset.Dataset) *estimate.Colocated {
+	cfg.validate()
+	w := ds.NumAssignments()
+	if w < 1 {
+		panic("core: need at least one assignment")
+	}
+	taus := make([]float64, w)
+	for b := 0; b < w; b++ {
+		taus[b] = sketch.SolveTau(cfg.Family, ds.Column(b), float64(cfg.K))
+	}
+	assigner := cfg.Assigner()
+	builders := make([]*sketch.PoissonBuilder, w)
+	for b := range builders {
+		builders[b] = sketch.NewPoissonBuilder(taus[b])
+	}
+	ranks := make([]float64, w)
+	vec := make([]float64, w)
+	vectors := make(map[string][]float64)
+	for i := 0; i < ds.NumKeys(); i++ {
+		key := ds.Key(i)
+		ds.WeightVectorInto(vec, i)
+		assigner.RankVectorInto(ranks, key, vec)
+		sampled := false
+		for b := range builders {
+			builders[b].Offer(key, ranks[b], vec[b])
+			if vec[b] > 0 && ranks[b] < taus[b] {
+				sampled = true
+			}
+		}
+		if sampled {
+			vectors[key] = append([]float64(nil), vec...)
+		}
+	}
+	sketches := make([]*sketch.Poisson, w)
+	for b := range builders {
+		sketches[b] = builders[b].Sketch()
+	}
+	return estimate.NewColocatedPoisson(assigner, sketches, func(key string) []float64 {
+		v, ok := vectors[key]
+		if !ok {
+			panic(fmt.Sprintf("core: missing weight vector for sampled key %q", key))
+		}
+		return v
+	})
+}

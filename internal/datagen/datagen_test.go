@@ -1,0 +1,313 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"coordsample/internal/dataset"
+)
+
+func smallIP1() []Flow { return IPTrace(DefaultIPConfig1().Scale(0.1)) }
+func smallIP2() []Flow { return IPTrace(DefaultIPConfig2().Scale(0.1)) }
+
+func TestIPTraceDeterministic(t *testing.T) {
+	a := IPTrace(DefaultIPConfig1().Scale(0.02))
+	b := IPTrace(DefaultIPConfig1().Scale(0.02))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic flow count")
+	}
+	for i := range a {
+		if a[i].key4() != b[i].key4() || a[i].Bytes[0] != b[i].Bytes[0] {
+			t.Fatalf("flow %d differs between runs", i)
+		}
+	}
+}
+
+func TestIPTraceBasicShape(t *testing.T) {
+	flows := smallIP1()
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	seen := make(map[string]bool)
+	for _, f := range flows {
+		if seen[f.key4()] {
+			t.Fatalf("duplicate 4-tuple %s", f.key4())
+		}
+		seen[f.key4()] = true
+		if len(f.Packets) != 2 || len(f.Bytes) != 2 {
+			t.Fatal("period count wrong")
+		}
+		for p := range f.Packets {
+			if f.Packets[p] < 0 || f.Bytes[p] < 0 {
+				t.Fatal("negative weights")
+			}
+			if f.Packets[p] > 0 {
+				per := f.Bytes[p] / f.Packets[p]
+				if per < 39 || per > 1501 {
+					t.Fatalf("bytes per packet %v outside [40,1500]", per)
+				}
+			}
+			if f.Packets[p] == 0 && f.Bytes[p] != 0 {
+				t.Fatal("bytes without packets")
+			}
+		}
+	}
+}
+
+func TestIPTraceChurn(t *testing.T) {
+	// Dispersed IP evaluation relies on keys appearing and disappearing
+	// between periods: both one-sided supports must be nonempty and the
+	// Jaccard of supports should be well below 1.
+	flows := smallIP1()
+	var onlyP1, onlyP2, both int
+	for _, f := range flows {
+		a1, a2 := f.Packets[0] > 0, f.Packets[1] > 0
+		switch {
+		case a1 && a2:
+			both++
+		case a1:
+			onlyP1++
+		case a2:
+			onlyP2++
+		}
+	}
+	if onlyP1 == 0 || onlyP2 == 0 || both == 0 {
+		t.Fatalf("no churn: only1=%d only2=%d both=%d", onlyP1, onlyP2, both)
+	}
+	jac := float64(both) / float64(both+onlyP1+onlyP2)
+	if jac > 0.9 || jac < 0.05 {
+		t.Fatalf("support Jaccard %v outside plausible churn range", jac)
+	}
+}
+
+func TestIPTraceSkew(t *testing.T) {
+	// Byte weights must be heavy-tailed: top 1% of destIPs should carry a
+	// disproportionate share (>10%) of total bytes.
+	ds := DispersedIP(smallIP1(), KeyDstIP, WeightBytes)
+	col := append([]float64(nil), ds.Column(0)...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(col)))
+	total := 0.0
+	for _, w := range col {
+		total += w
+	}
+	top := 0.0
+	n := len(col) / 100
+	if n < 1 {
+		n = 1
+	}
+	for _, w := range col[:n] {
+		top += w
+	}
+	if share := top / total; share < 0.10 {
+		t.Fatalf("top-1%% share %v too small — weights not skewed", share)
+	}
+}
+
+func TestDispersedIPAggregation(t *testing.T) {
+	flows := smallIP1()
+	ds := DispersedIP(flows, KeyDstIP, WeightBytes)
+	// Totals must match direct summation over flows.
+	want := [2]float64{}
+	for _, f := range flows {
+		for p := 0; p < 2; p++ {
+			want[p] += f.Bytes[p]
+		}
+	}
+	for p := 0; p < 2; p++ {
+		if got := ds.Total(p); math.Abs(got-want[p]) > 1e-6 {
+			t.Fatalf("period %d total %v, want %v", p, got, want[p])
+		}
+	}
+	// Flow-count weights: total = number of active flows.
+	fc := DispersedIP(flows, Key4Tuple, WeightFlows)
+	active := 0
+	for _, f := range flows {
+		if f.Packets[0] > 0 {
+			active++
+		}
+	}
+	if got := fc.Total(0); got != float64(active) {
+		t.Fatalf("flow-count total %v, want %d", got, active)
+	}
+}
+
+func TestColocatedIPUniformNotAccumulated(t *testing.T) {
+	flows := smallIP1()
+	ds := ColocatedIP(flows, KeyDstIP, 0, []IPWeight{WeightBytes, WeightPackets, WeightFlows, WeightUniform})
+	b, ok := ds.KeyIndex(flows[0].DstIP)
+	if !ok {
+		t.Fatal("missing key")
+	}
+	// Uniform weight must be exactly 1 regardless of flow multiplicity.
+	if got := ds.Weight(3, b); got != 1 {
+		t.Fatalf("uniform weight = %v", got)
+	}
+	// Flows weight counts distinct 4-tuples, ≥ 1.
+	if got := ds.Weight(2, b); got < 1 {
+		t.Fatalf("flows weight = %v", got)
+	}
+	// Bytes ≥ packets × 40.
+	for i := 0; i < ds.NumKeys(); i++ {
+		if ds.Weight(0, i) < ds.Weight(1, i)*39 {
+			t.Fatalf("key %d: bytes %v < packets %v × 40", i, ds.Weight(0, i), ds.Weight(1, i))
+		}
+	}
+}
+
+func TestIPTrace2FourPeriods(t *testing.T) {
+	flows := smallIP2()
+	if len(flows[0].Packets) != 4 {
+		t.Fatalf("IP dataset2 should have 4 hourly periods, got %d", len(flows[0].Packets))
+	}
+	ds := DispersedIP(flows, Key4Tuple, WeightBytes)
+	if ds.NumAssignments() != 4 {
+		t.Fatal("assignment count")
+	}
+	for p := 0; p < 4; p++ {
+		if ds.Total(p) <= 0 {
+			t.Fatalf("hour %d has no traffic", p)
+		}
+	}
+}
+
+func TestRatingsShape(t *testing.T) {
+	ds := Ratings(DefaultRatingsConfig().Scale(0.1))
+	if ds.NumAssignments() != 12 {
+		t.Fatal("month count")
+	}
+	// The seasonal dip: December total well below the January total.
+	if ds.Total(11) > 0.8*ds.Total(0) {
+		t.Fatalf("no late-year dip: dec=%v jan=%v", ds.Total(11), ds.Total(0))
+	}
+	// Adjacent months must be much more similar than distant ones.
+	j12 := ds.WeightedJaccard([]int{0, 1}, nil)
+	j112 := ds.WeightedJaccard([]int{0, 11}, nil)
+	if j12 <= j112 {
+		t.Fatalf("adjacent-month Jaccard %v not above distant %v", j12, j112)
+	}
+	if j12 < 0.5 {
+		t.Fatalf("adjacent months should be strongly correlated, Jaccard = %v", j12)
+	}
+}
+
+func TestRatingsZipfSkew(t *testing.T) {
+	ds := Ratings(DefaultRatingsConfig().Scale(0.1))
+	col := append([]float64(nil), ds.Column(0)...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(col)))
+	total := 0.0
+	for _, w := range col {
+		total += w
+	}
+	top := 0.0
+	for _, w := range col[:len(col)/20] {
+		top += w
+	}
+	if share := top / total; share < 0.3 {
+		t.Fatalf("top-5%% of movies carry %v of ratings; want Zipf-like skew", share)
+	}
+}
+
+func TestStocksShape(t *testing.T) {
+	table := Stocks(DefaultStocksConfig().Scale(0.1))
+	for _, row := range table {
+		for d, attrs := range row.Attrs {
+			o, hi, lo, c, adj, v := attrs[0], attrs[1], attrs[2], attrs[3], attrs[4], attrs[5]
+			if !(lo <= o+1e-9 && o <= hi+1e-9 && lo <= c+1e-9 && c <= hi+1e-9) {
+				t.Fatalf("%s day %d: OHLC inconsistent: %v", row.Ticker, d, attrs)
+			}
+			if o <= 0 || hi <= 0 || lo <= 0 || c <= 0 || adj <= 0 {
+				t.Fatalf("%s day %d: nonpositive price", row.Ticker, d)
+			}
+			if v < 0 {
+				t.Fatalf("%s day %d: negative volume", row.Ticker, d)
+			}
+		}
+	}
+}
+
+func TestStocksPositiveVolumeFraction(t *testing.T) {
+	// The paper: "At least 93% of stocks had positive volume each day".
+	table := Stocks(DefaultStocksConfig())
+	days := len(table[0].Attrs)
+	for d := 0; d < days; d++ {
+		pos := 0
+		for _, row := range table {
+			if row.Attrs[d][Volume] > 0 {
+				pos++
+			}
+		}
+		if frac := float64(pos) / float64(len(table)); frac < 0.90 {
+			t.Fatalf("day %d: positive-volume fraction %v < 0.90", d, frac)
+		}
+	}
+}
+
+func TestStocksCrossDayCorrelation(t *testing.T) {
+	// Price attributes must be far more correlated across days than volume:
+	// measured by weighted Jaccard of day 1 vs day 23.
+	table := Stocks(DefaultStocksConfig().Scale(0.25))
+	high := DispersedStocks(table, High)
+	volume := DispersedStocks(table, Volume)
+	R := []int{0, high.NumAssignments() - 1}
+	jHigh := high.WeightedJaccard(R, nil)
+	jVol := volume.WeightedJaccard(R, nil)
+	if jHigh < 0.75 {
+		t.Fatalf("high-price cross-day Jaccard %v; want very high correlation", jHigh)
+	}
+	if jVol >= jHigh {
+		t.Fatalf("volume Jaccard %v should be below price Jaccard %v", jVol, jHigh)
+	}
+}
+
+func TestColocatedStocksAttributes(t *testing.T) {
+	table := Stocks(DefaultStocksConfig().Scale(0.1))
+	ds := ColocatedStocks(table, 0)
+	if ds.NumAssignments() != 6 {
+		t.Fatal("attribute count")
+	}
+	names := ds.AssignmentNames()
+	want := []string{"open", "high", "low", "close", "adj_close", "volume"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("attribute %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+	if ds.NumKeys() != len(table) {
+		t.Fatal("ticker count")
+	}
+}
+
+func TestTickerSymbols(t *testing.T) {
+	if tickerSymbol(0) != "A" || tickerSymbol(25) != "Z" || tickerSymbol(26) != "AA" {
+		t.Fatalf("ticker symbols wrong: %s %s %s", tickerSymbol(0), tickerSymbol(25), tickerSymbol(26))
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 5000; i++ {
+		s := tickerSymbol(i)
+		if seen[s] {
+			t.Fatalf("duplicate ticker %s at %d", s, i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestConfigValidationPanics(t *testing.T) {
+	assertPanics(t, func() { IPTrace(IPConfig{}) })
+	assertPanics(t, func() { Ratings(RatingsConfig{}) })
+	assertPanics(t, func() { Stocks(StocksConfig{}) })
+	assertPanics(t, func() { DispersedIP(nil, KeyDstIP, WeightBytes) })
+	assertPanics(t, func() { DispersedStocks(nil, High) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+var _ = dataset.MaxR // keep the import meaningful if helpers change

@@ -1,0 +1,130 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coordsample/internal/dataset"
+)
+
+// RatingsConfig parameterizes the Netflix-style ratings generator: keys are
+// movies, assignments are months, and the weight of a movie in a month is
+// its number of ratings.
+type RatingsConfig struct {
+	// Movies is the catalog size (the paper's set has 17,700).
+	Movies int
+	// Months is the number of monthly assignments (the paper uses 12).
+	Months int
+	// MeanRatings is the target mean ratings per movie per month before
+	// skew; totals follow the popularity distribution.
+	MeanRatings float64
+	// Drift controls the month-over-month popularity autocorrelation
+	// (0 = frozen popularity, larger = faster drift).
+	Drift float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultRatingsConfig mirrors the Netflix 2005 slice at laptop scale,
+// including the paper's late-year dip in total ratings (Table 3 shows
+// November–December totals at roughly half the yearly average).
+func DefaultRatingsConfig() RatingsConfig {
+	return RatingsConfig{Movies: 4000, Months: 12, MeanRatings: 250, Drift: 0.35, Seed: 200512}
+}
+
+// Scale returns a copy with Movies multiplied by f (minimum 1).
+func (c RatingsConfig) Scale(f float64) RatingsConfig {
+	c.Movies = scaleInt(c.Movies, f)
+	return c
+}
+
+// monthFactor reproduces the seasonal shape of Table 3: steady through the
+// year with a marked dip in months 11 and 12.
+func monthFactor(m int) float64 {
+	switch m {
+	case 10:
+		return 0.75
+	case 11:
+		return 0.5
+	default:
+		return 0.95 + 0.05*math.Sin(float64(m))
+	}
+}
+
+// Ratings generates the monthly ratings dataset: movie popularity is
+// Zipf-like with an AR(1) log-drift per movie across months, so consecutive
+// months are strongly correlated (high weighted Jaccard) while distant
+// months diverge — the structure Figures 3 and 6 exercise as |R| grows.
+func Ratings(cfg RatingsConfig) *dataset.Dataset {
+	if cfg.Movies < 1 || cfg.Months < 1 {
+		panic(fmt.Sprintf("datagen: invalid ratings config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := make([]string, cfg.Months)
+	for m := range names {
+		names[m] = fmt.Sprintf("month%02d", m+1)
+	}
+	keys := make([]string, cfg.Movies)
+	cols := make([][]float64, cfg.Months)
+	for m := range cols {
+		cols[m] = make([]float64, cfg.Movies)
+	}
+	// Zipf popularity over ranks; shuffle ranks to decorrelate from IDs.
+	perm := rng.Perm(cfg.Movies)
+	for i := 0; i < cfg.Movies; i++ {
+		keys[i] = fmt.Sprintf("movie-%05d", i)
+		pop := cfg.MeanRatings * float64(cfg.Movies) * zipfWeight(perm[i]+1, 1.05, cfg.Movies)
+		logDrift := 0.0
+		// Release-date effect: some movies only appear mid-year.
+		debut := 0
+		if rng.Float64() < 0.15 {
+			debut = rng.Intn(cfg.Months)
+		}
+		for m := 0; m < cfg.Months; m++ {
+			logDrift = (1-cfg.Drift)*logDrift + cfg.Drift*rng.NormFloat64()
+			if m < debut {
+				continue
+			}
+			lam := pop * monthFactor(m) * math.Exp(logDrift)
+			n := poisson(rng, lam)
+			cols[m][i] = float64(n)
+		}
+	}
+	return dataset.FromColumns(names, keys, cols)
+}
+
+// zipfWeight returns the normalized Zipf(s) weight of rank r out of n.
+func zipfWeight(r int, s float64, n int) float64 {
+	// Normalization via the truncated zeta sum; n is small enough to sum.
+	z := 0.0
+	for i := 1; i <= n; i++ {
+		z += math.Pow(float64(i), -s)
+	}
+	return math.Pow(float64(r), -s) / z
+}
+
+// poisson draws a Poisson variate; for large λ it uses the normal
+// approximation (adequate for count weights).
+func poisson(rng *rand.Rand, lam float64) int {
+	if lam <= 0 {
+		return 0
+	}
+	if lam > 50 {
+		n := int(math.Round(lam + math.Sqrt(lam)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lam)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

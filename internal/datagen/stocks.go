@@ -1,0 +1,206 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coordsample/internal/dataset"
+)
+
+// StocksConfig parameterizes the stock-quotes generator: keys are ticker
+// symbols; each trading day has six numeric attributes (open, high, low,
+// close, adjusted close, volume).
+type StocksConfig struct {
+	// Tickers is the number of symbols (the paper's set has ~8,900).
+	Tickers int
+	// Days is the number of trading days (the paper uses October 2008: 23).
+	Days int
+	// DailyVol is the daily log-return volatility. October 2008 was a crash
+	// month; the paper's daily "high" totals decline ~20% over the month.
+	DailyVol float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultStocksConfig mirrors the October 2008 set at laptop scale.
+func DefaultStocksConfig() StocksConfig {
+	return StocksConfig{Tickers: 2000, Days: 23, DailyVol: 0.045, Seed: 200810}
+}
+
+// Scale returns a copy with Tickers multiplied by f (minimum 1).
+func (c StocksConfig) Scale(f float64) StocksConfig {
+	c.Tickers = scaleInt(c.Tickers, f)
+	return c
+}
+
+// StockAttr enumerates the six daily attributes.
+type StockAttr int
+
+const (
+	Open StockAttr = iota
+	High
+	Low
+	Close
+	AdjClose
+	Volume
+)
+
+// String names the attribute as in Table 4.
+func (a StockAttr) String() string {
+	switch a {
+	case Open:
+		return "open"
+	case High:
+		return "high"
+	case Low:
+		return "low"
+	case Close:
+		return "close"
+	case AdjClose:
+		return "adj_close"
+	case Volume:
+		return "volume"
+	default:
+		return fmt.Sprintf("StockAttr(%d)", int(a))
+	}
+}
+
+// AllStockAttrs lists the six attributes in Table 4 order.
+func AllStockAttrs() []StockAttr {
+	return []StockAttr{Open, High, Low, Close, AdjClose, Volume}
+}
+
+// StockDay holds one ticker's attributes for every day.
+type StockDay struct {
+	Ticker string
+	Attrs  [][]float64 // [day][attribute]
+}
+
+// Stocks generates the ticker table. Prices follow a geometric random walk
+// with a common bear-market drift (October 2008), so the same attribute on
+// consecutive days — and different price attributes on the same day — are
+// extremely correlated, exactly the regime where coordinated sketches share
+// almost all keys. Volume is log-normal and much noisier, and a small
+// fraction of ticker-days have zero volume (the paper reports ≥93%
+// positive), while virtually all price attributes stay positive.
+func Stocks(cfg StocksConfig) []StockDay {
+	if cfg.Tickers < 1 || cfg.Days < 1 {
+		panic(fmt.Sprintf("datagen: invalid stocks config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]StockDay, cfg.Tickers)
+
+	// Common market factor: October 2008 lost ~20% with high volatility.
+	market := make([]float64, cfg.Days)
+	level := 0.0
+	for d := range market {
+		level += -0.01 + 0.02*rng.NormFloat64()
+		market[d] = level
+	}
+
+	for t := 0; t < cfg.Tickers; t++ {
+		ticker := tickerSymbol(t)
+		// Price levels are log-normal across tickers (penny stocks to
+		// four-digit prices).
+		base := math.Exp(2.5 + 1.3*rng.NormFloat64())
+		beta := 0.5 + rng.Float64()*1.5
+		volScale := math.Exp(11 + 1.8*rng.NormFloat64()) // shares/day
+		zeroVolProp := 0.0
+		if rng.Float64() < 0.12 {
+			zeroVolProp = 0.2 + 0.5*rng.Float64() // thinly traded names
+		}
+
+		attrs := make([][]float64, cfg.Days)
+		logP := math.Log(base)
+		prevClose := base
+		for d := 0; d < cfg.Days; d++ {
+			logP += beta*(market[d]-prior(market, d)) + cfg.DailyVol*rng.NormFloat64()
+			c := math.Exp(logP)
+			o := prevClose * (1 + 0.01*rng.NormFloat64())
+			hi := math.Max(o, c) * (1 + math.Abs(0.012*rng.NormFloat64()))
+			lo := math.Min(o, c) * (1 - math.Abs(0.012*rng.NormFloat64()))
+			adj := c * (1 - 0.0001*rng.Float64()) // dividends/splits ≈ none in-month
+			v := volScale * math.Exp(0.8*rng.NormFloat64()) * (1 + 2*math.Abs(market[d]-prior(market, d)))
+			if rng.Float64() < zeroVolProp {
+				v = 0
+			}
+			attrs[d] = []float64{o, hi, lo, c, adj, math.Round(v)}
+			prevClose = c
+		}
+		out[t] = StockDay{Ticker: ticker, Attrs: attrs}
+	}
+	return out
+}
+
+func prior(m []float64, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return m[d-1]
+}
+
+func tickerSymbol(i int) string {
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	s := make([]byte, 0, 5)
+	for {
+		s = append(s, letters[i%26])
+		i /= 26
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	// Reverse for natural reading order.
+	for l, r := 0, len(s)-1; l < r; l, r = l+1, r-1 {
+		s[l], s[r] = s[r], s[l]
+	}
+	return string(s)
+}
+
+// ColocatedStocks builds the colocated dataset for one trading day: six
+// attribute assignments keyed by ticker.
+func ColocatedStocks(table []StockDay, day int) *dataset.Dataset {
+	attrs := AllStockAttrs()
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.String()
+	}
+	keys := make([]string, len(table))
+	cols := make([][]float64, len(attrs))
+	for i := range cols {
+		cols[i] = make([]float64, len(table))
+	}
+	for t, row := range table {
+		keys[t] = row.Ticker
+		for i := range attrs {
+			cols[i][t] = row.Attrs[day][i]
+		}
+	}
+	return dataset.FromColumns(names, keys, cols)
+}
+
+// DispersedStocks builds the dispersed dataset for one attribute across all
+// trading days: one assignment per day, keyed by ticker.
+func DispersedStocks(table []StockDay, attr StockAttr) *dataset.Dataset {
+	if len(table) == 0 {
+		panic("datagen: empty stock table")
+	}
+	days := len(table[0].Attrs)
+	names := make([]string, days)
+	for d := range names {
+		names[d] = fmt.Sprintf("day%02d", d+1)
+	}
+	keys := make([]string, len(table))
+	cols := make([][]float64, days)
+	for d := range cols {
+		cols[d] = make([]float64, len(table))
+	}
+	for t, row := range table {
+		keys[t] = row.Ticker
+		for d := 0; d < days; d++ {
+			cols[d][t] = row.Attrs[d][attr]
+		}
+	}
+	return dataset.FromColumns(names, keys, cols)
+}

@@ -1,0 +1,264 @@
+// Package estimate implements the paper's estimators (Sections 5–7): the
+// Horvitz–Thompson and Rank-Conditioning single-assignment estimators, the
+// inclusive estimators for colocated summaries (Section 6), and the s-set and
+// l-set estimators for dispersed summaries (Section 7), for all coordination
+// modes and both rank families.
+//
+// Every estimator produces an adjusted-weights summary (AW-summary): a map
+// from sampled keys to nonnegative adjusted f-weights a^(f)(i) with
+// E[a^(f)(i)] = f(i) (keys outside the summary implicitly have a = 0). A
+// subpopulation aggregate Σ_{i: d(i)} f(i) is then estimated by summing the
+// adjusted weights of sampled keys that satisfy the predicate d — which may
+// be chosen after the summary was built.
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coordsample/internal/dataset"
+)
+
+// AWSummary holds adjusted f-weights for the sampled keys, together with
+// per-key variance estimates when the producing estimator supplied inclusion
+// probabilities. The zero value is an empty summary.
+type AWSummary struct {
+	weights map[string]float64
+	vars    map[string]float64
+}
+
+// NewAWSummary creates an empty summary with capacity hint n.
+func NewAWSummary(n int) AWSummary {
+	return AWSummary{
+		weights: make(map[string]float64, n),
+		vars:    make(map[string]float64, n),
+	}
+}
+
+// Set assigns adjusted weight a to key. Nonpositive values are dropped (they
+// are equivalent to the implicit zero).
+func (s AWSummary) Set(key string, a float64) {
+	if a > 0 {
+		s.weights[key] = a
+	}
+}
+
+// SetWithProb assigns adjusted weight a to key along with the inclusion
+// probability p that produced it (a = f/p). It records the per-key variance
+// estimator a²(1−p), whose conditional expectation is exactly
+// VAR[a(i) | r^(−i)] = f(i)²(1/p − 1): summed over a subpopulation it
+// estimates the query variance under the zero-covariance property
+// (Conjecture 8.1, proved for the single-assignment RC estimators).
+func (s AWSummary) SetWithProb(key string, a, p float64) {
+	if a <= 0 {
+		return
+	}
+	s.weights[key] = a
+	if p > 0 && p < 1 {
+		s.vars[key] = a * a * (1 - p)
+	}
+}
+
+// VarianceOf returns the per-key variance estimate recorded for key (zero
+// when the key is absent, was included with certainty, or the producing
+// estimator did not track probabilities).
+func (s AWSummary) VarianceOf(key string) float64 { return s.vars[key] }
+
+// AdjustedWeight returns a^(f)(key), zero when the key is not in the summary.
+func (s AWSummary) AdjustedWeight(key string) float64 { return s.weights[key] }
+
+// Len returns the number of keys with positive adjusted weight.
+func (s AWSummary) Len() int { return len(s.weights) }
+
+// Keys returns the summarized keys in sorted order.
+func (s AWSummary) Keys() []string {
+	keys := make([]string, 0, len(s.weights))
+	for k := range s.weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Estimate returns the unbiased estimate of Σ_{i: d(i)} f(i): the sum of
+// adjusted weights over sampled keys selected by pred (nil selects all).
+func (s AWSummary) Estimate(pred dataset.Pred) float64 {
+	total := 0.0
+	for key, a := range s.weights {
+		if pred == nil || pred(key) {
+			total += a
+		}
+	}
+	return total
+}
+
+// EstimateWithStdErr returns the unbiased estimate of Σ_{i: d(i)} f(i)
+// together with an estimated standard error, computed from the per-key
+// variance estimators a(i)²(1−p_i). The variance estimator is unbiased per
+// key; summing across keys is exact under zero covariances (Conjecture 8.1)
+// and empirically accurate for all the estimators in this package. For L1
+// summaries produced by Sub the reported error is conservative (an upper
+// bound: Lemma 8.6 shows the max/min cross-term only reduces variance).
+func (s AWSummary) EstimateWithStdErr(pred dataset.Pred) (estimate, stderr float64) {
+	var total, variance float64
+	for key, a := range s.weights {
+		if pred == nil || pred(key) {
+			total += a
+			variance += s.vars[key]
+		}
+	}
+	return total, math.Sqrt(variance)
+}
+
+// EstimateScaled returns the unbiased estimate of Σ_{i: d(i)} h(i) for a
+// secondary numeric function h with h(i) > 0 ⇒ f(i) > 0, via the standard
+// ratio trick Σ a(i)·h(i)/f(i) (Section 3). scale(key) must return
+// h(key)/f(key) computed from the auxiliary attributes stored with the key.
+func (s AWSummary) EstimateScaled(pred dataset.Pred, scale func(key string) float64) float64 {
+	total := 0.0
+	for key, a := range s.weights {
+		if pred == nil || pred(key) {
+			total += a * scale(key)
+		}
+	}
+	return total
+}
+
+// Sub returns the per-key difference summary a − b. It implements Eq. (17):
+// a^(L1 R)(i) = a^(maxR)(i) − a^(minR)(i). For consistent rank assignments
+// Lemma 7.5 guarantees the differences are nonnegative; for independent
+// ranks individual entries may be negative, and are kept so that the sum
+// estimator remains unbiased. Per-key variance estimates are combined as
+// the sum of the operands' — a conservative upper bound, since by the
+// Lemma 8.6 decomposition the max/min cross-term only subtracts.
+func Sub(a, b AWSummary) AWSummary {
+	out := NewAWSummary(a.Len())
+	for key, av := range a.weights {
+		if d := av - b.weights[key]; d != 0 {
+			out.weights[key] = d
+			if v := a.vars[key] + b.vars[key]; v > 0 {
+				out.vars[key] = v
+			}
+		}
+	}
+	return out
+}
+
+// TopKeys returns up to n sampled keys in decreasing order of adjusted
+// weight — the "representative keys" use case the paper contrasts with
+// non-sample sketches (Section 2): heavy contributors to the aggregate,
+// with their unbiased weight estimates.
+func (s AWSummary) TopKeys(n int) []string {
+	keys := make([]string, 0, len(s.weights))
+	for k := range s.weights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		wi, wj := s.weights[keys[i]], s.weights[keys[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}
+
+// Kind enumerates the built-in aggregate functions over a key's weight
+// vector.
+type Kind int
+
+const (
+	// Single is f(i) = w^(b)(i), a single-assignment weighted sum.
+	Single Kind = iota
+	// Max is f(i) = w^(maxR)(i); sums are max-dominance norms.
+	Max
+	// Min is f(i) = w^(minR)(i); sums are min-dominance norms.
+	Min
+	// Range is f(i) = w^(L1 R)(i) = w^(maxR)(i) − w^(minR)(i).
+	Range
+	// LthLargest is f(i) = w^(ℓth-largest R)(i); quantiles over assignments.
+	LthLargest
+)
+
+// String names the aggregate kind.
+func (k Kind) String() string {
+	switch k {
+	case Single:
+		return "single"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	case Range:
+		return "L1"
+	case LthLargest:
+		return "lth-largest"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AggFunc identifies an aggregate f over weight vectors. R lists the relevant
+// assignments (nil means all); B is the assignment for Single; L is the rank
+// for LthLargest (1-based from the top).
+type AggFunc struct {
+	Kind Kind
+	B    int
+	R    []int
+	L    int
+}
+
+// SingleOf, MaxOf, MinOf, RangeOf, and LthLargestOf are convenience
+// constructors.
+func SingleOf(b int) AggFunc   { return AggFunc{Kind: Single, B: b} }
+func MaxOf(R ...int) AggFunc   { return AggFunc{Kind: Max, R: normR(R)} }
+func MinOf(R ...int) AggFunc   { return AggFunc{Kind: Min, R: normR(R)} }
+func RangeOf(R ...int) AggFunc { return AggFunc{Kind: Range, R: normR(R)} }
+func LthLargestOf(l int, R ...int) AggFunc {
+	return AggFunc{Kind: LthLargest, L: l, R: normR(R)}
+}
+
+func normR(R []int) []int {
+	if len(R) == 0 {
+		return nil
+	}
+	return R
+}
+
+// Eval computes f on a full weight vector (colocated evaluation).
+func (f AggFunc) Eval(vec []float64) float64 {
+	switch f.Kind {
+	case Single:
+		return vec[f.B]
+	case Max:
+		return dataset.MaxR(vec, f.R)
+	case Min:
+		return dataset.MinR(vec, f.R)
+	case Range:
+		return dataset.RangeR(vec, f.R)
+	case LthLargest:
+		return dataset.LthLargestR(vec, f.R, f.L)
+	default:
+		panic("estimate: unknown aggregate kind")
+	}
+}
+
+// Relevant returns the relevant assignment list of f, expanding nil R to all
+// of 0..numAssignments−1 (or {B} for Single).
+func (f AggFunc) Relevant(numAssignments int) []int {
+	if f.Kind == Single {
+		return []int{f.B}
+	}
+	if f.R != nil {
+		return f.R
+	}
+	R := make([]int, numAssignments)
+	for b := range R {
+		R[b] = b
+	}
+	return R
+}

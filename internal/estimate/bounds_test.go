@@ -1,0 +1,241 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coordsample/internal/dataset"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// TestMixedSketchSizes verifies the paper's remark that the derivations
+// extend to bottom-k^(b) sketches with different sizes per assignment: a
+// dispersed summary with k = {8, 20, 14} stays unbiased.
+func TestMixedSketchSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	keys, cols := testData(60, rng)
+	ksizes := []int{8, 20, 14}
+	truthMin := truthOf(keys, cols, func(v []float64) float64 { return dataset.MinR(v, nil) })
+	truthMax := truthOf(keys, cols, func(v []float64) float64 { return dataset.MaxR(v, nil) })
+
+	build := func(seed uint64) *Dispersed {
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: seed}
+		sketches := make([]*sketch.BottomK, len(cols))
+		for b := range cols {
+			bld := sketch.NewBottomKBuilder(ksizes[b])
+			for i, key := range keys {
+				bld.Offer(key, a.Rank(key, b, cols[b][i]), cols[b][i])
+			}
+			sketches[b] = bld.Sketch()
+		}
+		return NewDispersed(a, sketches)
+	}
+	runMonteCarlo(t, "mixed-k/min-l", 2500, truthMin, func(seed uint64) float64 {
+		return build(seed).MinLSet(nil).Estimate(nil)
+	})
+	runMonteCarlo(t, "mixed-k/max", 2500, truthMax, func(seed uint64) float64 {
+		return build(seed).Max(nil).Estimate(nil)
+	})
+}
+
+// TestLemma74ProbabilityRatio checks p^max/p^min ≤ w^max/w^min for both
+// families across random weights and thresholds — the inequality behind the
+// nonnegativity of the L1 estimator.
+func TestLemma74ProbabilityRatio(t *testing.T) {
+	f := func(wMaxRaw, wMinRaw, tauRaw uint32) bool {
+		wMin := 0.001 + float64(wMinRaw%100000)/100
+		wMax := wMin + float64(wMaxRaw%100000)/100
+		tau := 1e-6 + float64(tauRaw%1000000)/1e4
+		for _, fam := range []rank.Family{rank.IPPS, rank.EXP} {
+			pMax := fam.CDF(wMax, tau)
+			pMin := fam.CDF(wMin, tau)
+			if pMin == 0 {
+				continue
+			}
+			if pMax/pMin > wMax/wMin*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma84MaxDominatesDirectSketch: the dispersed max estimator's
+// per-key variance is at most that of an RC estimator applied to a direct
+// bottom-k sketch of (I, w^maxR) built from the r^(minR) ranks (Lemma 8.4).
+// Verified per realized run by comparing inclusion probabilities.
+func TestLemma84MaxDominatesDirectSketch(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	keys, cols := testData(80, rng)
+	numAsg := len(cols)
+	for trial := 0; trial < 25; trial++ {
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(trial) + 1}
+		k := 5 + trial%10
+		d := buildDispersed(a, k, keys, cols)
+
+		// Direct bottom-k sketch of (I, w^maxR) under r^(minR) (Lemma 4.1).
+		direct := sketch.NewBottomKBuilder(k)
+		vec := make([]float64, numAsg)
+		for i, key := range keys {
+			for b := range cols {
+				vec[b] = cols[b][i]
+			}
+			ranks := a.RankVector(key, vec)
+			direct.Offer(key, rank.MinRank(ranks, nil), dataset.MaxR(vec, nil))
+		}
+		ds := direct.Sketch()
+
+		for i, key := range keys {
+			for b := range cols {
+				vec[b] = cols[b][i]
+			}
+			wMax := dataset.MaxR(vec, nil)
+			if wMax == 0 {
+				continue
+			}
+			// Dispersed-summary inclusion probability for the max estimator.
+			rMinK := math.Inf(1)
+			for b := 0; b < numAsg; b++ {
+				if tau := d.Sketch(b).RankExcluding(key); tau < rMinK {
+					rMinK = tau
+				}
+			}
+			pSummary := rank.IPPS.CDF(wMax, rMinK)
+			pDirect := rank.IPPS.CDF(wMax, ds.RankExcluding(key))
+			if pSummary < pDirect-1e-12 {
+				t.Fatalf("trial %d key %s: summary p %v below direct-sketch p %v",
+					trial, key, pSummary, pDirect)
+			}
+		}
+	}
+}
+
+// TestSigmaVBoundSingleAssignment checks the analytic bound
+// ΣV[a^(b)] ≤ w(I)²/(k−2) for the RC bottom-k estimator, using the exact
+// conditional variance per run.
+func TestSigmaVBoundSingleAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	n := 200
+	keys := make([]string, n)
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range keys {
+		keys[i] = "k" + itoa(i)
+		weights[i] = math.Exp(rng.NormFloat64() * 2)
+		total += weights[i]
+	}
+	for _, k := range []int{5, 15, 40} {
+		bound := total * total / float64(k-2)
+		for trial := 0; trial < 10; trial++ {
+			a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(trial)*13 + 1}
+			bld := sketch.NewBottomKBuilder(k)
+			for i, key := range keys {
+				bld.Offer(key, a.Rank(key, 0, weights[i]), weights[i])
+			}
+			s := bld.Sketch()
+			sv := 0.0
+			for i, key := range keys {
+				p := rank.IPPS.CDF(weights[i], s.RankExcluding(key))
+				if p > 0 && p < 1 {
+					sv += weights[i] * weights[i] * (1/p - 1)
+				}
+			}
+			// The bound holds in expectation over rank assignments; per-run
+			// realizations concentrate well below it for IPPS ranks, and a
+			// 2× slack keeps the test robust.
+			if sv > 2*bound {
+				t.Fatalf("k=%d trial %d: conditional ΣV %v breaches 2×bound %v", k, trial, sv, bound)
+			}
+		}
+	}
+}
+
+// TestLemma83ColocatedVarianceIdentities: per key, VAR[a^min] =
+// min_b VAR[a^(b)], VAR[a^max] = max_b VAR[a^(b)], and
+// VAR[a^L1] ≤ VAR[a^max] for the inclusive estimators, which share one
+// inclusion probability per key.
+func TestLemma83ColocatedVarianceIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	keys, cols := testData(60, rng)
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 77}
+	c := buildColocated(a, 12, keys, cols)
+	for _, key := range c.Keys() {
+		vec, _ := c.Vector(key)
+		p := c.InclusionProbability(key)
+		if p <= 0 || p >= 1 {
+			continue
+		}
+		varOf := func(f float64) float64 { return f * f * (1/p - 1) }
+		wMin, wMax := dataset.MinR(vec, nil), dataset.MaxR(vec, nil)
+		minSingle, maxSingle := math.Inf(1), 0.0
+		for b := range vec {
+			v := varOf(vec[b])
+			if v < minSingle {
+				minSingle = v
+			}
+			if v > maxSingle {
+				maxSingle = v
+			}
+		}
+		if got := varOf(wMin); math.Abs(got-minSingle) > 1e-9*maxSingle {
+			t.Fatalf("key %s: VAR[min] %v != min_b VAR[b] %v", key, got, minSingle)
+		}
+		if got := varOf(wMax); math.Abs(got-maxSingle) > 1e-9*maxSingle {
+			t.Fatalf("key %s: VAR[max] %v != max_b VAR[b] %v", key, got, maxSingle)
+		}
+		if varOf(wMax-wMin) > varOf(wMax)+1e-12 {
+			t.Fatalf("key %s: VAR[L1] above VAR[max]", key)
+		}
+	}
+}
+
+// TestQuickStreamEquivalence drives the bottom-k stream builder with
+// quick-generated inputs against the sort-based oracle.
+func TestQuickStreamEquivalence(t *testing.T) {
+	f := func(raw []uint32, kRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		b := sketch.NewBottomKBuilder(k)
+		type item struct {
+			key  string
+			rank float64
+		}
+		var items []item
+		for i, r := range raw {
+			it := item{key: "q" + itoa(i), rank: float64(r%100000) / 100000}
+			items = append(items, it)
+			b.Offer(it.key, it.rank, 1)
+		}
+		s := b.Sketch()
+		// Oracle: sort by (rank, key).
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				if items[j].rank < items[i].rank ||
+					(items[j].rank == items[i].rank && items[j].key < items[i].key) {
+					items[i], items[j] = items[j], items[i]
+				}
+			}
+		}
+		want := len(items)
+		if want > k {
+			want = k
+		}
+		if s.Size() != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			if s.Entries()[i].Key != items[i].key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,447 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// AssignmentSketch is the per-assignment view the multiple-assignment
+// estimators need: key membership with rank and weight, the list of sampled
+// entries, and the rank-conditioning threshold. Both bottom-k sketches
+// (threshold r_k(I∖{i}), Section 7) and Poisson sketches (threshold τ,
+// independent of the key) satisfy it, so one estimator implementation
+// covers both sample formats.
+type AssignmentSketch interface {
+	// Lookup returns the sampled entry for key, if present.
+	Lookup(key string) (sketch.Entry, bool)
+	// Entries returns the sampled entries in ascending rank order.
+	Entries() []sketch.Entry
+	// RankExcluding returns the conditioning threshold for key: the value
+	// that key's rank is compared against for inclusion, constant on the
+	// rank-conditioning subspace Ω(key, r^(−key)).
+	RankExcluding(key string) float64
+}
+
+// Dispersed is a summary of dispersed-weights data (Section 7): one sketch
+// per weight assignment, where assignment b's sketch was built independently
+// of all other assignments using the shared rank Assigner. The weight
+// w^(b)(i) is known only when i is in the sketch of b.
+type Dispersed struct {
+	assigner rank.Assigner
+	sketches []AssignmentSketch
+}
+
+// NewDispersed combines per-assignment bottom-k sketches built with assigner
+// into a dispersed summary. sketches[b] must have been built from the ranks
+// assigner.Rank(key, b, w^(b)(key)). The sketches may have different sizes
+// k^(b) (the paper notes the derivations extend to bottom-k^(b) sketches).
+func NewDispersed(assigner rank.Assigner, sketches []*sketch.BottomK) *Dispersed {
+	views := make([]AssignmentSketch, len(sketches))
+	for b, s := range sketches {
+		views[b] = s
+	}
+	return NewDispersedFromSketches(assigner, views)
+}
+
+// NewDispersedPoisson combines per-assignment Poisson sketches into a
+// dispersed summary; thresholds τ^(b) may differ per assignment.
+func NewDispersedPoisson(assigner rank.Assigner, sketches []*sketch.Poisson) *Dispersed {
+	views := make([]AssignmentSketch, len(sketches))
+	for b, s := range sketches {
+		views[b] = s
+	}
+	return NewDispersedFromSketches(assigner, views)
+}
+
+// NewDispersedFromSketches combines arbitrary per-assignment sketch views.
+func NewDispersedFromSketches(assigner rank.Assigner, sketches []AssignmentSketch) *Dispersed {
+	if len(sketches) == 0 {
+		panic("estimate: dispersed summary needs at least one sketch")
+	}
+	return &Dispersed{assigner: assigner, sketches: sketches}
+}
+
+// NumAssignments returns |W|.
+func (d *Dispersed) NumAssignments() int { return len(d.sketches) }
+
+// Assigner returns the rank assigner the sketches were built with.
+func (d *Dispersed) Assigner() rank.Assigner { return d.assigner }
+
+// Sketch returns the embedded bottom-k sketch of assignment b.
+func (d *Dispersed) Sketch(b int) AssignmentSketch { return d.sketches[b] }
+
+// DistinctKeys returns the number of distinct keys across the sketches of
+// the assignments in R (nil means all) — the summary's storage footprint.
+func (d *Dispersed) DistinctKeys(R []int) int {
+	return len(d.unionKeys(R))
+}
+
+// unionKeys returns the sorted distinct keys in the sketches of R.
+func (d *Dispersed) unionKeys(R []int) []string {
+	if R == nil {
+		R = d.allR()
+	}
+	set := make(map[string]bool)
+	for _, b := range R {
+		for _, e := range d.sketches[b].Entries() {
+			set[e.Key] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (d *Dispersed) allR() []int {
+	R := make([]int, len(d.sketches))
+	for b := range R {
+		R[b] = b
+	}
+	return R
+}
+
+// Single returns the plain single-assignment adjusted weights for
+// assignment b, using only the embedded sketch of b: the RC estimator for
+// bottom-k sketches, the HT estimator for Poisson sketches (the threshold is
+// r_{k+1}(I) resp. τ in both cases).
+func (d *Dispersed) Single(b int) AWSummary {
+	s := d.sketches[b]
+	out := NewAWSummary(len(s.Entries()))
+	for _, e := range s.Entries() {
+		p := d.assigner.Family.CDF(e.Weight, s.RankExcluding(e.Key))
+		if p > 0 {
+			out.SetWithProb(e.Key, e.Weight/p, p)
+		}
+	}
+	return out
+}
+
+// TopLFunc evaluates a top-ℓ dependent aggregate f(w^(top-ℓ R), b^(top-ℓ R))
+// (Definition 7.1): weights holds the identified ℓ largest weights of the key
+// in descending order, assignments the corresponding assignment indexes. The
+// returned value must be nonnegative and must be zero whenever the ℓ-th
+// largest weight is zero.
+type TopLFunc func(weights []float64, assignments []int) float64
+
+// topLMax, topLMin pick the extreme of the identified top-ℓ weights.
+func topLMax(w []float64, _ []int) float64 { return w[0] }
+func topLMin(w []float64, _ []int) float64 { return w[len(w)-1] }
+
+// Max returns the adjusted weights for f = w^(maxR) (nil R means all
+// assignments). For consistent ranks this is the s-set = l-set estimator of
+// Eq. (11); for independent ranks it is the known-seeds l-set estimator with
+// ℓ = 1 — an extension enabled by hash-derived (hence always known) seeds.
+func (d *Dispersed) Max(R []int) AWSummary {
+	if d.assigner.Mode.Consistent() {
+		return d.SSetTopL(R, 1, topLMax)
+	}
+	return d.LSetTopL(R, 1, topLMax)
+}
+
+// MinSSet returns the s-set estimator for f = w^(minR) (Eq. 12). Defined for
+// both consistent and independent ranks (min-dependence needs no top-ℓ
+// identification).
+func (d *Dispersed) MinSSet(R []int) AWSummary {
+	if R == nil {
+		R = d.allR()
+	}
+	return d.SSetTopL(R, len(R), topLMin)
+}
+
+// MinLSet returns the l-set estimator for f = w^(minR) (Eq. 15 for
+// shared-seed, Eq. 16 for independent ranks). It dominates MinSSet
+// (Lemma 5.1): its selection is strictly more inclusive.
+func (d *Dispersed) MinLSet(R []int) AWSummary {
+	if R == nil {
+		R = d.allR()
+	}
+	return d.LSetTopL(R, len(R), topLMin)
+}
+
+// RangeSSet returns a^(L1 R) = a^(maxR) − a^(minR) (Eq. 17) with the s-set
+// min estimator. Nonnegative for consistent ranks (Lemma 7.5).
+func (d *Dispersed) RangeSSet(R []int) AWSummary {
+	return Sub(d.Max(R), d.MinSSet(R))
+}
+
+// RangeLSet returns a^(L1 R) = a^(maxR) − a^(minR) (Eq. 17) with the l-set
+// min estimator.
+func (d *Dispersed) RangeLSet(R []int) AWSummary {
+	return Sub(d.Max(R), d.MinLSet(R))
+}
+
+// LthLargest returns the estimator for f = w^(ℓth-largest R) using the l-set
+// selection (the tightest template estimator for this f).
+func (d *Dispersed) LthLargest(R []int, l int) AWSummary {
+	return d.LSetTopL(R, l, func(w []float64, _ []int) float64 { return w[len(w)-1] })
+}
+
+// SSetTopL applies the s-set template estimator (Section 7.1) for a top-ℓ
+// dependent aggregate. The selection admits key i when at least ℓ
+// assignments have rank below r^(minR)_k(I∖{i}); consistency of ranks then
+// guarantees those are the ℓ largest weights (Lemma 7.2). For independent
+// ranks only ℓ = |R| (min-dependence) is valid, since top-ℓ identification
+// needs consistency.
+func (d *Dispersed) SSetTopL(R []int, l int, f TopLFunc) AWSummary {
+	R = d.checkR(R)
+	if l < 1 || l > len(R) {
+		panic(fmt.Sprintf("estimate: ℓ=%d out of range for |R|=%d", l, len(R)))
+	}
+	if !d.assigner.Mode.Consistent() && l != len(R) {
+		panic("estimate: s-set top-ℓ estimation with independent ranks requires ℓ=|R| (min-dependence)")
+	}
+	family := d.assigner.Family
+	out := NewAWSummary(0)
+	for _, key := range d.unionKeys(R) {
+		// r^(minR)_k(I∖{i}): constant on the conditioning subspace.
+		rMinK := math.Inf(1)
+		for _, b := range R {
+			if t := d.sketches[b].RankExcluding(key); t < rMinK {
+				rMinK = t
+			}
+		}
+		// R'(i) = {b ∈ R : r^(b)(i) < r^(minR)_k(I∖{i})}. Unsketched
+		// assignments have rank ≥ r^(b)_k(I∖{i}) ≥ rMinK is false in
+		// general; the correct direction is rank > r^(b)_k(I) ≥ rMinK only
+		// when rMinK ≤ r^(b)_k(I), which holds by definition of the min —
+		// so membership in R' implies membership in the sketch, and weights
+		// of R' are always known.
+		type wb struct {
+			w float64
+			b int
+		}
+		var prime []wb
+		for _, b := range R {
+			if e, ok := d.sketches[b].Lookup(key); ok && e.Rank < rMinK {
+				prime = append(prime, wb{e.Weight, b})
+			}
+		}
+		if len(prime) < l {
+			continue
+		}
+		sort.Slice(prime, func(i, j int) bool {
+			if prime[i].w != prime[j].w {
+				return prime[i].w > prime[j].w
+			}
+			return prime[i].b < prime[j].b
+		})
+		topW := make([]float64, l)
+		topB := make([]int, l)
+		for j := 0; j < l; j++ {
+			topW[j] = prime[j].w
+			topB[j] = prime[j].b
+		}
+		var p float64
+		if d.assigner.Mode.Consistent() {
+			// p = F_{w^(ℓth-largest R)(i)}(r^(minR)_k(I∖{i})).
+			p = family.CDF(topW[l-1], rMinK)
+		} else {
+			// Min-dependence, independent ranks: the per-assignment events
+			// r^(b)(i) < rMinK are independent.
+			p = 1.0
+			for _, e := range prime {
+				p *= family.CDF(e.w, rMinK)
+			}
+		}
+		if p <= 0 {
+			continue
+		}
+		if v := f(topW, topB); v > 0 {
+			out.SetWithProb(key, v/clampP(p), clampP(p))
+		}
+	}
+	return out
+}
+
+// LSetTopL applies the l-set template estimator (Section 7.2) for a top-ℓ
+// dependent aggregate. The selection admits key i when it appears in at
+// least ℓ sketches and the per-assignment seeds certify that every
+// assignment outside the identified top-ℓ has weight below the ℓ-th largest.
+// Closed-form inclusion probabilities exist for shared-seed (Eq. 13) and
+// independent (Eq. 14) ranks.
+func (d *Dispersed) LSetTopL(R []int, l int, f TopLFunc) AWSummary {
+	R = d.checkR(R)
+	if l < 1 || l > len(R) {
+		panic(fmt.Sprintf("estimate: ℓ=%d out of range for |R|=%d", l, len(R)))
+	}
+	mode := d.assigner.Mode
+	if mode != rank.SharedSeed && mode != rank.Independent {
+		panic("estimate: l-set estimation requires shared-seed or independent ranks")
+	}
+	family := d.assigner.Family
+	out := NewAWSummary(0)
+	for _, key := range d.unionKeys(R) {
+		type wb struct {
+			w float64
+			b int
+		}
+		var prime []wb
+		for _, b := range R {
+			if e, ok := d.sketches[b].Lookup(key); ok {
+				prime = append(prime, wb{e.Weight, b})
+			}
+		}
+		if len(prime) < l {
+			continue
+		}
+		sort.Slice(prime, func(i, j int) bool {
+			if prime[i].w != prime[j].w {
+				return prime[i].w > prime[j].w
+			}
+			return prime[i].b < prime[j].b
+		})
+		topW := make([]float64, l)
+		topB := make([]int, l)
+		inTop := make(map[int]bool, l)
+		for j := 0; j < l; j++ {
+			topW[j] = prime[j].w
+			topB[j] = prime[j].b
+			inTop[prime[j].b] = true
+		}
+		wl := topW[l-1]
+
+		// Seed upper-bound checks for assignments outside the top-ℓ (only
+		// needed when ℓ < |R|): u^(b)(i) < F_{wℓ}(r^(b)_k(I∖{i})) certifies
+		// w^(b)(i) < wℓ for unsketched assignments.
+		selected := true
+		for _, b := range R {
+			if inTop[b] {
+				continue
+			}
+			tau := d.sketches[b].RankExcluding(key)
+			if !(d.assigner.Seed01(key, b) < family.CDF(wl, tau)) {
+				selected = false
+				break
+			}
+		}
+		if !selected {
+			continue
+		}
+
+		var p float64
+		if mode == rank.SharedSeed {
+			p = 1.0
+			for j := 0; j < l; j++ {
+				if q := family.CDF(topW[j], d.sketches[topB[j]].RankExcluding(key)); q < p {
+					p = q
+				}
+			}
+			for _, b := range R {
+				if inTop[b] {
+					continue
+				}
+				if q := family.CDF(wl, d.sketches[b].RankExcluding(key)); q < p {
+					p = q
+				}
+			}
+		} else {
+			p = 1.0
+			for j := 0; j < l; j++ {
+				p *= family.CDF(topW[j], d.sketches[topB[j]].RankExcluding(key))
+			}
+			for _, b := range R {
+				if inTop[b] {
+					continue
+				}
+				p *= family.CDF(wl, d.sketches[b].RankExcluding(key))
+			}
+		}
+		if p <= 0 {
+			continue
+		}
+		if v := f(topW, topB); v > 0 {
+			out.SetWithProb(key, v/clampP(p), clampP(p))
+		}
+	}
+	return out
+}
+
+// JaccardSSet estimates the weighted Jaccard similarity of the assignments R
+// over the selected subpopulation as the ratio of the min and max estimates.
+func (d *Dispersed) JaccardSSet(R []int, pred func(string) bool) float64 {
+	mx := d.Max(R).Estimate(pred)
+	if mx == 0 {
+		return 1
+	}
+	return d.MinSSet(R).Estimate(pred) / mx
+}
+
+func (d *Dispersed) checkR(R []int) []int {
+	if R == nil {
+		return d.allR()
+	}
+	if len(R) == 0 {
+		panic("estimate: empty assignment subset R")
+	}
+	seen := make(map[int]bool, len(R))
+	for _, b := range R {
+		if b < 0 || b >= len(d.sketches) {
+			panic(fmt.Sprintf("estimate: assignment %d out of range", b))
+		}
+		if seen[b] {
+			panic(fmt.Sprintf("estimate: duplicate assignment %d in R", b))
+		}
+		seen[b] = true
+	}
+	return R
+}
+
+// UniformMin is the prior-work baseline of Section 9.2: coordinated
+// *unweighted* sketches, where every positive weight was replaced by 1 for
+// sampling and the true weight is carried as an attribute. sketches[b] must
+// hold ranks drawn with unit weight and Entry.Weight set to the true
+// w^(b)(i). The min estimator applies the ratio trick: selection is the
+// s-set min-dependence selection, p = F_1(r^(minR)_k(I∖{i})), and
+// a(i) = w^(minR)(i)/p. There is no unbiased max (or L1) analogue under
+// general weights, which is precisely the gap the paper's weighted
+// coordination closes.
+func UniformMin(family rank.Family, sketches []*sketch.BottomK, R []int) AWSummary {
+	if R == nil {
+		R = make([]int, len(sketches))
+		for b := range R {
+			R[b] = b
+		}
+	}
+	set := make(map[string]bool)
+	for _, b := range R {
+		for _, e := range sketches[b].Entries() {
+			set[e.Key] = true
+		}
+	}
+	out := NewAWSummary(0)
+	for key := range set {
+		rMinK := math.Inf(1)
+		for _, b := range R {
+			if t := sketches[b].RankExcluding(key); t < rMinK {
+				rMinK = t
+			}
+		}
+		minW := math.Inf(1)
+		ok := true
+		for _, b := range R {
+			e, in := sketches[b].Lookup(key)
+			if !in || !(e.Rank < rMinK) {
+				ok = false
+				break
+			}
+			if e.Weight < minW {
+				minW = e.Weight
+			}
+		}
+		if !ok {
+			continue
+		}
+		p := family.CDF(1, rMinK)
+		if p > 0 && minW > 0 {
+			out.SetWithProb(key, minW/clampP(p), clampP(p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package estimate
+
+import (
+	"coordsample/internal/hashing"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// BottomKRC computes the Rank-Conditioning adjusted weights for a bottom-k
+// sketch of a single weight assignment (Section 3): each sampled key gets
+// a(i) = w(i)/F_{w(i)}(r_{k+1}(I)). With IPPS ranks this is the priority
+// sampling estimator; its sum of per-key variances is at most that of a HT
+// estimator on a Poisson sketch of expected size k+1.
+func BottomKRC(s *sketch.BottomK, family rank.Family) AWSummary {
+	out := NewAWSummary(s.Size())
+	tau := s.Threshold()
+	for _, e := range s.Entries() {
+		p := family.CDF(e.Weight, tau)
+		if p > 0 {
+			out.SetWithProb(e.Key, e.Weight/p, p)
+		}
+	}
+	return out
+}
+
+// PoissonHT computes the Horvitz–Thompson adjusted weights for a Poisson-τ
+// sketch (Section 3): a(i) = w(i)/F_{w(i)}(τ). With IPPS ranks these
+// minimize ΣVAR[a(i)] among all AW-summaries of the same expected size.
+func PoissonHT(s *sketch.Poisson, family rank.Family) AWSummary {
+	out := NewAWSummary(s.Size())
+	tau := s.Tau()
+	for _, e := range s.Entries() {
+		p := family.CDF(e.Weight, tau)
+		if p > 0 {
+			out.SetWithProb(e.Key, e.Weight/p, p)
+		}
+	}
+	return out
+}
+
+// clampP guards an inclusion probability against floating-point drift.
+func clampP(p float64) float64 { return hashing.Clamp01(p) }

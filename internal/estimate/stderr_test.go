@@ -1,0 +1,163 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coordsample/internal/rank"
+)
+
+// TestVarianceEstimatorUnbiased: the per-key variance estimator a²(1−p)
+// recorded by SetWithProb must average to the true variance of the query
+// estimate across runs.
+func TestVarianceEstimatorUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	keys, cols := testData(80, rng)
+	truth := truthOf(keys, cols, func(v []float64) float64 { return v[0] })
+	const k = 15
+	const runs = 3000
+
+	var sumEst, sumEstSq, sumVarHat float64
+	for run := 0; run < runs; run++ {
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(run) + 1}
+		d := buildDispersed(a, k, keys, cols)
+		est, se := d.Single(0).EstimateWithStdErr(nil)
+		sumEst += est
+		sumEstSq += est * est
+		sumVarHat += se * se
+	}
+	n := float64(runs)
+	empVar := sumEstSq/n - (sumEst/n)*(sumEst/n)
+	meanVarHat := sumVarHat / n
+	if math.Abs(meanVarHat-empVar) > 0.2*empVar {
+		t.Fatalf("mean variance estimate %v vs empirical variance %v (truth %v)", meanVarHat, empVar, truth)
+	}
+}
+
+// TestStdErrCoverage: the ±2·SE interval should cover the truth in roughly
+// 95% of runs for the max estimator; assert a conservative ≥ 80%.
+func TestStdErrCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	keys, cols := testData(100, rng)
+	vec := make([]float64, len(cols))
+	truth := 0.0
+	for i := range keys {
+		for b := range cols {
+			vec[b] = cols[b][i]
+		}
+		m := vec[0]
+		for _, w := range vec[1:] {
+			if w > m {
+				m = w
+			}
+		}
+		truth += m
+	}
+	const runs = 400
+	covered := 0
+	for run := 0; run < runs; run++ {
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(run) + 1}
+		d := buildDispersed(a, 20, keys, cols)
+		est, se := d.Max(nil).EstimateWithStdErr(nil)
+		if math.Abs(est-truth) <= 2*se {
+			covered++
+		}
+	}
+	if frac := float64(covered) / runs; frac < 0.80 {
+		t.Fatalf("2σ coverage %v below 0.80", frac)
+	}
+}
+
+// TestStdErrConservativeForL1: the Sub-propagated variance is an upper
+// bound, so L1 coverage should be at least as high as for max.
+func TestStdErrConservativeForL1(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	keys, cols := testData(100, rng)
+	vec := make([]float64, len(cols))
+	truth := 0.0
+	for i := range keys {
+		for b := range cols {
+			vec[b] = cols[b][i]
+		}
+		mx, mn := vec[0], vec[0]
+		for _, w := range vec[1:] {
+			if w > mx {
+				mx = w
+			}
+			if w < mn {
+				mn = w
+			}
+		}
+		truth += mx - mn
+	}
+	const runs = 400
+	covered := 0
+	var sumVarHat, sumEst, sumEstSq float64
+	for run := 0; run < runs; run++ {
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(run) + 1}
+		d := buildDispersed(a, 20, keys, cols)
+		est, se := d.RangeLSet(nil).EstimateWithStdErr(nil)
+		if math.Abs(est-truth) <= 2*se {
+			covered++
+		}
+		sumEst += est
+		sumEstSq += est * est
+		sumVarHat += se * se
+	}
+	if frac := float64(covered) / runs; frac < 0.85 {
+		t.Fatalf("conservative 2σ coverage %v below 0.85", frac)
+	}
+	// Conservativeness: mean variance estimate at or above empirical.
+	n := float64(runs)
+	empVar := sumEstSq/n - (sumEst/n)*(sumEst/n)
+	if sumVarHat/n < 0.8*empVar {
+		t.Fatalf("L1 variance estimate %v not conservative vs empirical %v", sumVarHat/n, empVar)
+	}
+}
+
+func TestVarianceZeroWhenCertain(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	keys, cols := testData(20, rng)
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 5}
+	d := buildDispersed(a, 50, keys, cols) // k ≥ |I| ⇒ p = 1 everywhere
+	if _, se := d.Max(nil).EstimateWithStdErr(nil); se != 0 {
+		t.Fatalf("full-coverage standard error = %v, want 0", se)
+	}
+}
+
+func TestVarianceOfAccessor(t *testing.T) {
+	s := NewAWSummary(2)
+	s.SetWithProb("a", 10, 0.5)
+	s.SetWithProb("b", 3, 1.0) // certain: no variance entry
+	s.Set("c", 2)              // no probability tracked
+	if got := s.VarianceOf("a"); got != 100*0.5 {
+		t.Fatalf("VarianceOf(a) = %v, want 50", got)
+	}
+	if s.VarianceOf("b") != 0 || s.VarianceOf("c") != 0 || s.VarianceOf("zz") != 0 {
+		t.Fatal("unexpected variance entries")
+	}
+	est, se := s.EstimateWithStdErr(nil)
+	if est != 15 || math.Abs(se-math.Sqrt(50)) > 1e-12 {
+		t.Fatalf("EstimateWithStdErr = %v, %v", est, se)
+	}
+}
+
+func TestTopKeys(t *testing.T) {
+	s := NewAWSummary(4)
+	s.Set("low", 1)
+	s.Set("high", 100)
+	s.Set("mid", 10)
+	s.Set("tie", 10)
+	top := s.TopKeys(3)
+	if len(top) != 3 || top[0] != "high" {
+		t.Fatalf("TopKeys = %v", top)
+	}
+	// Deterministic tiebreak by key name.
+	if top[1] != "mid" || top[2] != "tie" {
+		t.Fatalf("TopKeys tiebreak = %v", top)
+	}
+	if got := s.TopKeys(10); len(got) != 4 {
+		t.Fatalf("TopKeys over-length = %v", got)
+	}
+}

@@ -1,0 +1,191 @@
+package evalstats
+
+import (
+	"math"
+
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// Conditional-variance measurement of ΣV.
+//
+// Every estimator in the paper is unbiased conditioned on the rank
+// assignment of the other keys: on the subspace Ω(i, r^(−i)) the adjusted
+// weight is f(i)/p_i times an inclusion indicator, so its conditional
+// variance is f(i)²(1/p_i − 1) with p_i computable from the realized
+// conditioning thresholds (Eq. 18). By the law of total variance (the
+// conditional mean is constant), averaging Σ_i f(i)²(1/p_i − 1) over
+// independent rank assignments is an unbiased — and far lower-noise —
+// estimate of ΣV[a] than averaging realized squared errors. It is the only
+// practical way to measure the independent-sketch estimators, whose
+// inclusion probabilities shrink exponentially in |R| (Section 7.2): their
+// rare astronomic errors are never realized in a bounded number of runs,
+// so empirical squared error is censored from below, while the conditional
+// form accounts for them exactly. This is how the orders-of-magnitude
+// ratios of Figure 3 become measurable.
+
+// DispersedCondVar holds one realized conditional ΣV for each dispersed
+// estimator built on coordinated (shared-seed) sketches.
+type DispersedCondVar struct {
+	Max, MinL, MinS, L1L, L1S float64
+	Singles                   []float64
+}
+
+// CondVarDispersed computes the conditional ΣV of the coordinated dispersed
+// estimator suite from one realized summary. ds must be the dataset the
+// summary was built from (all assignments relevant). Requires shared-seed
+// coordination (the L1 decomposition relies on nested selections).
+func CondVarDispersed(ds *dataset.Dataset, d *estimate.Dispersed) DispersedCondVar {
+	if d.Assigner().Mode != rank.SharedSeed {
+		panic("evalstats: CondVarDispersed requires shared-seed coordination")
+	}
+	family := d.Assigner().Family
+	w := ds.NumAssignments()
+	out := DispersedCondVar{Singles: make([]float64, w)}
+	vec := make([]float64, w)
+	taus := make([]float64, w)
+	for i := 0; i < ds.NumKeys(); i++ {
+		key := ds.Key(i)
+		ds.WeightVectorInto(vec, i)
+		rMinK := math.Inf(1)
+		for b := 0; b < w; b++ {
+			taus[b] = d.Sketch(b).RankExcluding(key)
+			if taus[b] < rMinK {
+				rMinK = taus[b]
+			}
+		}
+		wMax := dataset.MaxR(vec, nil)
+		wMin := dataset.MinR(vec, nil)
+
+		// Single-assignment RC estimators: p = F_{w_b}(τ_b).
+		for b := 0; b < w; b++ {
+			if vec[b] > 0 {
+				out.Singles[b] += varTerm(vec[b], family.CDF(vec[b], taus[b]))
+			}
+		}
+		if wMax <= 0 {
+			continue
+		}
+		pMax := family.CDF(wMax, rMinK)
+		out.Max += varTerm(wMax, pMax)
+
+		var pMinL, pMinS float64
+		if wMin > 0 {
+			pMinL = 1.0
+			for b := 0; b < w; b++ {
+				if q := family.CDF(vec[b], taus[b]); q < pMinL {
+					pMinL = q
+				}
+			}
+			pMinS = family.CDF(wMin, rMinK)
+			out.MinL += varTerm(wMin, pMinL)
+			out.MinS += varTerm(wMin, pMinS)
+		}
+		// L1 conditional variance (proof of Lemma 8.6, valid for the nested
+		// shared-seed selections): VAR = wMax²(1/pMax−1) + wMin²(1/pMin−1)
+		// − 2·wMax·wMin·(1/pMax−1).
+		out.L1L += l1Var(wMax, wMin, pMax, pMinL)
+		out.L1S += l1Var(wMax, wMin, pMax, pMinS)
+	}
+	return out
+}
+
+func varTerm(f, p float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	if p >= 1 {
+		return 0
+	}
+	return f * f * (1/p - 1)
+}
+
+func l1Var(wMax, wMin, pMax, pMin float64) float64 {
+	if wMax <= 0 {
+		return 0
+	}
+	v := varTerm(wMax, pMax)
+	if wMin > 0 {
+		v += varTerm(wMin, pMin)
+		if pMax > 0 && pMax < 1 {
+			v -= 2 * wMax * wMin * (1/pMax - 1)
+		}
+	}
+	return v
+}
+
+// CondVarIndependentMin computes the conditional ΣV of the min l-set
+// estimator over independent sketches: p_i = Π_b F_{w^b(i)}(τ_b(i)). This
+// is the quantity that grows by orders of magnitude with |R| (Figure 3);
+// +Inf is returned when a key's probability underflows float64 entirely.
+func CondVarIndependentMin(ds *dataset.Dataset, d *estimate.Dispersed) float64 {
+	family := d.Assigner().Family
+	w := ds.NumAssignments()
+	total := 0.0
+	vec := make([]float64, w)
+	for i := 0; i < ds.NumKeys(); i++ {
+		key := ds.Key(i)
+		ds.WeightVectorInto(vec, i)
+		wMin := dataset.MinR(vec, nil)
+		if wMin <= 0 {
+			continue
+		}
+		p := 1.0
+		for b := 0; b < w; b++ {
+			p *= family.CDF(vec[b], d.Sketch(b).RankExcluding(key))
+		}
+		total += varTerm(wMin, p)
+	}
+	return total
+}
+
+// CondVarColocated computes the conditional ΣV of the inclusive and plain
+// estimators of f(i) = w^(b)(i) on a colocated summary.
+func CondVarColocated(ds *dataset.Dataset, c *estimate.Colocated, b int) (inclusive, plain float64) {
+	family := c.Assigner().Family
+	w := ds.NumAssignments()
+	vec := make([]float64, w)
+	for i := 0; i < ds.NumKeys(); i++ {
+		key := ds.Key(i)
+		ds.WeightVectorInto(vec, i)
+		f := vec[b]
+		if f <= 0 {
+			continue
+		}
+		inclusive += varTerm(f, c.InclusionProbabilityFor(key, vec))
+		plain += varTerm(f, family.CDF(f, c.Sketch(b).RankExcluding(key)))
+	}
+	return inclusive, plain
+}
+
+// CondVarUniformMin computes the conditional ΣV of the Section 9.2
+// unit-weight baseline min estimator: selection requires presence in all
+// sketches with rank below r^(minR)_k(I∖{i}); under unit sampling weights
+// and shared seeds, p_i = F_1(r^(minR)_k(I∖{i})) for keys positive
+// everywhere.
+func CondVarUniformMin(ds *dataset.Dataset, family rank.Family, sketches []*sketch.BottomK) float64 {
+	w := ds.NumAssignments()
+	total := 0.0
+	vec := make([]float64, w)
+	for i := 0; i < ds.NumKeys(); i++ {
+		key := ds.Key(i)
+		ds.WeightVectorInto(vec, i)
+		wMin := dataset.MinR(vec, nil)
+		if wMin <= 0 {
+			continue
+		}
+		rMinK := math.Inf(1)
+		for b := 0; b < w; b++ {
+			if t := sketches[b].RankExcluding(key); t < rMinK {
+				rMinK = t
+			}
+		}
+		total += varTerm(wMin, family.CDF(1, rMinK))
+	}
+	return total
+}

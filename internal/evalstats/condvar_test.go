@@ -1,0 +1,173 @@
+package evalstats
+
+import (
+	"math"
+	"testing"
+
+	"coordsample/internal/core"
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+)
+
+// TestCondVarMatchesEmpirical is the keystone consistency check: the
+// conditional-variance measurement and the empirical squared-error
+// measurement estimate the same quantity ΣV[a], so on a workload where both
+// converge they must agree. This cross-validates the inclusion-probability
+// formulas against realized sampling behaviour.
+func TestCondVarMatchesEmpirical(t *testing.T) {
+	ds := synthData(120, 2, 41)
+	const k = 25
+	const runs = 1500
+
+	// Empirical ΣV of the coordinated estimators.
+	truthMax := TruthOf(ds, estimate.MaxOf())
+	truthMin := TruthOf(ds, estimate.MinOf())
+	truthL1 := TruthOf(ds, estimate.RangeOf())
+	var empMax, empMin, empL1, cvMax, cvMin, cvL1 float64
+	for run := 0; run < runs; run++ {
+		cfg := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(run) + 1, K: k}
+		d := core.SummarizeDispersed(cfg, ds)
+		maxAW := d.Max(nil)
+		minAW := d.MinLSet(nil)
+		empMax += truthMax.SquaredError(maxAW)
+		empMin += truthMin.SquaredError(minAW)
+		empL1 += truthL1.SquaredError(estimate.Sub(maxAW, minAW))
+		cv := CondVarDispersed(ds, d)
+		cvMax += cv.Max
+		cvMin += cv.MinL
+		cvL1 += cv.L1L
+	}
+	n := float64(runs)
+	check := func(name string, emp, cv float64) {
+		t.Helper()
+		// The empirical side is noisy; 12% agreement at 1500 runs is ample
+		// to catch a wrong probability formula (those are off by factors).
+		if math.Abs(emp-cv) > 0.12*cv {
+			t.Fatalf("%s: empirical ΣV %v vs conditional %v", name, emp/n, cv/n)
+		}
+	}
+	check("max", empMax, cvMax)
+	check("min-l", empMin, cvMin)
+	check("L1-l", empL1, cvL1)
+}
+
+func check(t *testing.T, name string, emp, cv float64) {
+	t.Helper()
+	if math.Abs(emp-cv) > 0.15*cv {
+		t.Fatalf("%s: empirical ΣV %v vs conditional %v", name, emp, cv)
+	}
+}
+
+func TestCondVarIndependentMinMatchesEmpirical(t *testing.T) {
+	// With |R| = 2 and a healthy k, the independent min estimator's errors
+	// are realizable, so the two measurements must agree there too.
+	ds := synthData(100, 2, 43)
+	const k = 30
+	const runs = 2500
+	truthMin := TruthOf(ds, estimate.MinOf())
+	var emp, cv float64
+	for run := 0; run < runs; run++ {
+		cfg := core.Config{Family: rank.IPPS, Mode: rank.Independent, Seed: uint64(run) + 1, K: k}
+		d := core.SummarizeDispersed(cfg, ds)
+		emp += truthMin.SquaredError(d.MinLSet(nil))
+		cv += CondVarIndependentMin(ds, d)
+	}
+	check(t, "ind-min", emp, cv)
+}
+
+func TestCondVarColocatedMatchesEmpirical(t *testing.T) {
+	ds := synthData(100, 3, 47)
+	const k = 20
+	const runs = 1500
+	truth := TruthOf(ds, estimate.SingleOf(1))
+	var empI, empP, cvI, cvP float64
+	for run := 0; run < runs; run++ {
+		cfg := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(run) + 1, K: k}
+		c := core.SummarizeColocated(cfg, ds)
+		empI += truth.SquaredError(c.Inclusive(estimate.SingleOf(1)))
+		empP += truth.SquaredError(c.Plain(1))
+		i, p := CondVarColocated(ds, c, 1)
+		cvI += i
+		cvP += p
+	}
+	check(t, "inclusive", empI, cvI)
+	check(t, "plain", empP, cvP)
+}
+
+func TestCondVarUniformMinMatchesEmpirical(t *testing.T) {
+	ds := synthData(90, 2, 53)
+	const k = 25
+	const runs = 2500
+	truthMin := TruthOf(ds, estimate.MinOf())
+	var emp, cv float64
+	for run := 0; run < runs; run++ {
+		cfg := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(run) + 1, K: k}
+		sketches := core.SummarizeUniformBaseline(cfg, ds)
+		emp += truthMin.SquaredError(estimate.UniformMin(rank.IPPS, sketches, nil))
+		cv += CondVarUniformMin(ds, rank.IPPS, sketches)
+	}
+	check(t, "uniform-min", emp, cv)
+}
+
+func TestCondVarZeroWhenExact(t *testing.T) {
+	ds := synthData(30, 2, 59)
+	cfg := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 3, K: 64}
+	d := core.SummarizeDispersed(cfg, ds)
+	cv := CondVarDispersed(ds, d)
+	if cv.Max != 0 || cv.MinL != 0 || cv.L1L != 0 {
+		t.Fatalf("full-coverage conditional variance should be zero: %+v", cv)
+	}
+	if got := CondVarIndependentMin(ds, core.SummarizeDispersed(core.Config{Family: rank.IPPS, Mode: rank.Independent, Seed: 3, K: 64}, ds)); got != 0 {
+		t.Fatalf("independent full-coverage variance = %v", got)
+	}
+}
+
+func TestCondVarOrderings(t *testing.T) {
+	// Structural inequalities that hold per realized run: l-set ≤ s-set,
+	// coordinated min ≤ independent min, inclusive ≤ plain.
+	ds := synthData(150, 3, 61)
+	for run := 0; run < 20; run++ {
+		cfgC := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: uint64(run) + 1, K: 12}
+		dC := core.SummarizeDispersed(cfgC, ds)
+		cv := CondVarDispersed(ds, dC)
+		if cv.MinL > cv.MinS+1e-9*cv.MinS {
+			t.Fatalf("run %d: ΣV[min-l] %v above ΣV[min-s] %v", run, cv.MinL, cv.MinS)
+		}
+		cfgI := core.Config{Family: rank.IPPS, Mode: rank.Independent, Seed: uint64(run) + 1, K: 12}
+		dI := core.SummarizeDispersed(cfgI, ds)
+		if ind := CondVarIndependentMin(ds, dI); !math.IsInf(ind, 1) && ind < cv.MinL*0.5 {
+			// Different summaries (different thresholds), so only a loose
+			// cross-check is valid; systematic reversal would still fail.
+			t.Fatalf("run %d: independent min ΣV %v implausibly below coordinated %v", run, ind, cv.MinL)
+		}
+		c := core.SummarizeColocated(cfgC, ds)
+		for b := 0; b < ds.NumAssignments(); b++ {
+			incl, plain := CondVarColocated(ds, c, b)
+			if incl > plain+1e-9*plain {
+				t.Fatalf("run %d b=%d: inclusive ΣV %v above plain %v", run, b, incl, plain)
+			}
+		}
+	}
+}
+
+func TestCondVarDispersedRequiresSharedSeed(t *testing.T) {
+	ds := synthData(20, 2, 67)
+	cfg := core.Config{Family: rank.IPPS, Mode: rank.Independent, Seed: 1, K: 4}
+	d := core.SummarizeDispersed(cfg, ds)
+	assertPanics(t, func() { CondVarDispersed(ds, d) })
+}
+
+func TestVarTermEdges(t *testing.T) {
+	if varTerm(0, 0.5) != 0 {
+		t.Fatal("zero f")
+	}
+	if varTerm(2, 1) != 0 {
+		t.Fatal("certain inclusion")
+	}
+	if !math.IsInf(varTerm(2, 0), 1) {
+		t.Fatal("impossible inclusion should be +Inf")
+	}
+	if got := varTerm(2, 0.5); got != 4 {
+		t.Fatalf("varTerm = %v, want 4", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package evalstats implements the evaluation metrics of Section 9: the sum
+// of per-key variances ΣV[a] = Σ_i VAR[a(i)] and its normalized form
+// nΣV = ΣV/(Σ_i f(i))², approximated by averaging squared errors over
+// repeated runs of the sampling algorithm, plus the sharing index and
+// combined-sample-size accounting used by the colocated comparisons.
+package evalstats
+
+import (
+	"fmt"
+	"math"
+
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+)
+
+// Truth holds the exact per-key values of an aggregate f over a dataset,
+// with the precomputed sums needed to evaluate squared error in time
+// proportional to the summary rather than the data.
+type Truth struct {
+	F     map[string]float64 // per-key f(i), positive entries only
+	SumF  float64            // Σ_i f(i)
+	SumF2 float64            // Σ_i f(i)²
+}
+
+// TruthOf evaluates the aggregate f exactly on every key of the dataset.
+func TruthOf(ds *dataset.Dataset, f estimate.AggFunc) Truth {
+	t := Truth{F: make(map[string]float64, ds.NumKeys())}
+	vec := make([]float64, ds.NumAssignments())
+	for i := 0; i < ds.NumKeys(); i++ {
+		ds.WeightVectorInto(vec, i)
+		v := f.Eval(vec)
+		if v > 0 {
+			t.F[ds.Key(i)] = v
+		}
+		t.SumF += v
+		t.SumF2 += v * v
+	}
+	return t
+}
+
+// SquaredError returns Σ_i (a(i) − f(i))² for one AW-summary: the per-run
+// sample whose average over runs estimates ΣV[a]. Computed as
+// SumF2 + Σ_{i∈S}[(a(i)−f(i))² − f(i)²], touching only summarized keys.
+func (t Truth) SquaredError(aw estimate.AWSummary) float64 {
+	total := t.SumF2
+	for _, key := range aw.Keys() {
+		a := aw.AdjustedWeight(key)
+		f := t.F[key]
+		d := a - f
+		total += d*d - f*f
+	}
+	return total
+}
+
+// Measurement aggregates repeated-run statistics for one estimator.
+type Measurement struct {
+	// SigmaV approximates ΣV[a] = Σ_i VAR[a(i)].
+	SigmaV float64
+	// NSigmaV is SigmaV normalized by (Σ_i f(i))².
+	NSigmaV float64
+	// MeanSummaryKeys is the mean number of keys with positive adjusted
+	// weight per run.
+	MeanSummaryKeys float64
+	// Runs is the number of sampling repetitions averaged.
+	Runs int
+}
+
+// Measure approximates ΣV[a] for an estimator by averaging squared error
+// over runs independent sampling repetitions (the paper uses 25–200). The
+// est callback must build a fresh summary under the given hash seed.
+func Measure(truth Truth, runs int, baseSeed uint64, est func(seed uint64) estimate.AWSummary) Measurement {
+	if runs < 1 {
+		panic(fmt.Sprintf("evalstats: invalid run count %d", runs))
+	}
+	var total float64
+	var keys int
+	for r := 0; r < runs; r++ {
+		aw := est(baseSeed + uint64(r)*0x9e3779b97f4a7c15)
+		total += truth.SquaredError(aw)
+		keys += aw.Len()
+	}
+	m := Measurement{
+		SigmaV:          total / float64(runs),
+		MeanSummaryKeys: float64(keys) / float64(runs),
+		Runs:            runs,
+	}
+	if truth.SumF > 0 {
+		m.NSigmaV = m.SigmaV / (truth.SumF * truth.SumF)
+	}
+	return m
+}
+
+// SharingIndex is |S|/(k·|W|): the ratio of distinct keys in the combined
+// summary to the total embedded-sample budget (Section 9.3). It lies in
+// [1/|W|, 1]; lower is better (more sharing).
+func SharingIndex(distinctKeys, k, numAssignments int) float64 {
+	return float64(distinctKeys) / (float64(k) * float64(numAssignments))
+}
+
+// MeanSummarySize averages a summary-size callback over runs repetitions;
+// used for the sharing index and the variance-versus-storage tradeoffs
+// (Figures 12–17).
+func MeanSummarySize(runs int, baseSeed uint64, size func(seed uint64) int) float64 {
+	if runs < 1 {
+		panic(fmt.Sprintf("evalstats: invalid run count %d", runs))
+	}
+	total := 0
+	for r := 0; r < runs; r++ {
+		total += size(baseSeed + uint64(r)*0x9e3779b97f4a7c15)
+	}
+	return float64(total) / float64(runs)
+}
+
+// RelErr is a convenience for reporting: |got−want|/want (0 when want is 0
+// and got is 0, +Inf when only want is 0).
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Covariance accumulates the empirical covariance of two keys' adjusted
+// weights across runs — used to probe the paper's zero-covariance
+// conjecture (Conjecture 8.1).
+type Covariance struct {
+	n           float64
+	sx, sy, sxy float64
+}
+
+// Add records one run's adjusted weights for the two keys.
+func (c *Covariance) Add(x, y float64) {
+	c.n++
+	c.sx += x
+	c.sy += y
+	c.sxy += x * y
+}
+
+// Value returns the empirical covariance (0 for fewer than 2 samples).
+func (c *Covariance) Value() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	return c.sxy/c.n - (c.sx/c.n)*(c.sy/c.n)
+}
+
+// N returns the number of recorded runs.
+func (c *Covariance) N() int { return int(c.n) }

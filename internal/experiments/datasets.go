@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"coordsample/internal/datagen"
+	"coordsample/internal/dataset"
+)
+
+// workloads bundles the generated datasets for one Options value. Generation
+// is deterministic, so experiments that share a scale share identical data.
+type workloads struct {
+	opts Options
+
+	ip1Flows []datagen.Flow
+	ip2Flows []datagen.Flow
+	ratings  *dataset.Dataset
+	stocks   []datagen.StockDay
+}
+
+func newWorkloads(opts Options) *workloads {
+	return &workloads{opts: opts}
+}
+
+func (w *workloads) ip1() []datagen.Flow {
+	if w.ip1Flows == nil {
+		w.ip1Flows = datagen.IPTrace(datagen.DefaultIPConfig1().Scale(w.opts.Scale))
+	}
+	return w.ip1Flows
+}
+
+func (w *workloads) ip2() []datagen.Flow {
+	if w.ip2Flows == nil {
+		w.ip2Flows = datagen.IPTrace(datagen.DefaultIPConfig2().Scale(w.opts.Scale))
+	}
+	return w.ip2Flows
+}
+
+func (w *workloads) netflix() *dataset.Dataset {
+	if w.ratings == nil {
+		w.ratings = datagen.Ratings(datagen.DefaultRatingsConfig().Scale(w.opts.Scale))
+	}
+	return w.ratings
+}
+
+func (w *workloads) stockTable() []datagen.StockDay {
+	if w.stocks == nil {
+		w.stocks = datagen.Stocks(datagen.DefaultStocksConfig().Scale(w.opts.Scale))
+	}
+	return w.stocks
+}
+
+// ip1Dispersed returns IP dataset1 in the dispersed model for the given key
+// and weight attribute (two periods).
+func (w *workloads) ip1Dispersed(key datagen.IPKey, weight datagen.IPWeight) *dataset.Dataset {
+	return datagen.DispersedIP(w.ip1(), key, weight)
+}
+
+// ip2Dispersed returns IP dataset2 (four hourly assignments).
+func (w *workloads) ip2Dispersed(key datagen.IPKey, weight datagen.IPWeight) *dataset.Dataset {
+	return datagen.DispersedIP(w.ip2(), key, weight)
+}
+
+// ip1Colocated returns the colocated IP dataset1 for period 0.
+func (w *workloads) ip1Colocated(key datagen.IPKey, weights []datagen.IPWeight) *dataset.Dataset {
+	return datagen.ColocatedIP(w.ip1(), key, 0, weights)
+}
+
+// ip2ColocatedHour3 returns the colocated IP dataset2 for hour 3 (index 2),
+// matching the paper's "Hour3" colocated workload.
+func (w *workloads) ip2ColocatedHour3(key datagen.IPKey, weights []datagen.IPWeight) *dataset.Dataset {
+	return datagen.ColocatedIP(w.ip2(), key, 2, weights)
+}
+
+// stocksDispersed returns the dispersed stocks dataset for one attribute
+// across all 23 trading days.
+func (w *workloads) stocksDispersed(attr datagen.StockAttr) *dataset.Dataset {
+	return datagen.DispersedStocks(w.stockTable(), attr)
+}
+
+// stocksColocated returns the colocated stocks dataset for day 0
+// (October 1), as in Figure 11.
+func (w *workloads) stocksColocated() *dataset.Dataset {
+	return datagen.ColocatedStocks(w.stockTable(), 0)
+}
+
+// firstR returns {0, 1, …, n−1}.
+func firstR(n int) []int {
+	R := make([]int, n)
+	for i := range R {
+		R[i] = i
+	}
+	return R
+}
+
+// capKs drops sweep values that exceed the number of keys (small-scale runs).
+func capKs(ks []int, numKeys int) []int {
+	out := make([]int, 0, len(ks))
+	for _, k := range ks {
+		if k < numKeys {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		k := numKeys / 2
+		if k < 1 {
+			k = 1
+		}
+		out = []int{k}
+	}
+	return out
+}

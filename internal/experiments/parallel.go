@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelRuns evaluates fn for each run index concurrently and returns the
+// per-run result vectors in run order, so that downstream accumulation is
+// deterministic regardless of scheduling. fn must be safe for concurrent
+// invocation (each run builds its own summaries from its own seed).
+func parallelRuns(runs int, fn func(run int) []float64) [][]float64 {
+	out := make([][]float64, runs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		for run := 0; run < runs; run++ {
+			out[run] = fn(run)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range work {
+				out[run] = fn(run)
+			}
+		}()
+	}
+	for run := 0; run < runs; run++ {
+		work <- run
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// sumRuns folds per-run vectors into their componentwise sum (in run order,
+// keeping floating-point results deterministic).
+func sumRuns(results [][]float64) []float64 {
+	if len(results) == 0 {
+		return nil
+	}
+	total := make([]float64, len(results[0]))
+	for _, vec := range results {
+		for i, v := range vec {
+			total[i] += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"coordsample/internal/core"
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+	"coordsample/internal/evalstats"
+	"coordsample/internal/hashing"
+	"coordsample/internal/rank"
+)
+
+// dispersedPoint holds ΣV measurements for the full dispersed estimator
+// suite at one sample size k: the coordinated estimators (min s-set/l-set,
+// max, L1 s-set/l-set), the independent-sketches min, and the
+// single-assignment estimators a^(b).
+type dispersedPoint struct {
+	K                                 int
+	IndMin, MinL, MinS, Max, L1L, L1S float64 // ΣV
+	NIndMin, NMinL, NMinS, NMax, NL1L float64 // nΣV
+	NL1S                              float64
+	Singles                           []float64 // ΣV of a^(b)
+	NSingles                          []float64
+}
+
+// dispersedSweep measures the dispersed estimator suite on assignments R of
+// ds across the k sweep. Per run, each coordinated summary is built once and
+// every estimator is evaluated from it.
+func dispersedSweep(ds *dataset.Dataset, R []int, ks []int, runs int, seed uint64) []dispersedPoint {
+	sub := ds.Restrict(R)
+	all := firstR(sub.NumAssignments())
+	truthMax := evalstats.TruthOf(sub, estimate.MaxOf())
+	truthMin := evalstats.TruthOf(sub, estimate.MinOf())
+	truthL1 := evalstats.TruthOf(sub, estimate.RangeOf())
+	truthSingles := make([]evalstats.Truth, len(all))
+	for b := range all {
+		truthSingles[b] = evalstats.TruthOf(sub, estimate.SingleOf(b))
+	}
+
+	ks = capKs(ks, sub.NumKeys())
+	points := make([]dispersedPoint, 0, len(ks))
+	for ki, k := range ks {
+		k := k
+		// Conditional-variance measurement (see internal/evalstats): exact
+		// per-run ΣV given the realized conditioning thresholds, unbiased
+		// for ΣV[a] and immune to the error censoring that makes empirical
+		// squared error unusable for independent sketches with large |R|.
+		results := parallelRuns(runs, func(run int) []float64 {
+			runSeed := hashing.Mix64(seed + uint64(ki)*1e6 + uint64(run) + 1)
+			cc := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: runSeed, K: k}
+			cv := evalstats.CondVarDispersed(sub, core.SummarizeDispersed(cc, sub))
+			ci := core.Config{Family: rank.IPPS, Mode: rank.Independent, Seed: runSeed, K: k}
+			indMin := evalstats.CondVarIndependentMin(sub, core.SummarizeDispersed(ci, sub))
+			vec := []float64{cv.Max, cv.MinL, cv.MinS, cv.L1L, cv.L1S, indMin}
+			return append(vec, cv.Singles...)
+		})
+		totals := sumRuns(results)
+		seMax, seMinL, seMinS, seL1L, seL1S, seIndMin := totals[0], totals[1], totals[2], totals[3], totals[4], totals[5]
+		seSingles := totals[6:]
+		n := float64(runs)
+		p := dispersedPoint{
+			K:      k,
+			IndMin: seIndMin / n, MinL: seMinL / n, MinS: seMinS / n,
+			Max: seMax / n, L1L: seL1L / n, L1S: seL1S / n,
+		}
+		norm := func(sv float64, t evalstats.Truth) float64 {
+			if t.SumF == 0 {
+				return 0
+			}
+			return sv / (t.SumF * t.SumF)
+		}
+		p.NIndMin = norm(p.IndMin, truthMin)
+		p.NMinL = norm(p.MinL, truthMin)
+		p.NMinS = norm(p.MinS, truthMin)
+		p.NMax = norm(p.Max, truthMax)
+		p.NL1L = norm(p.L1L, truthL1)
+		p.NL1S = norm(p.L1S, truthL1)
+		p.Singles = make([]float64, len(all))
+		p.NSingles = make([]float64, len(all))
+		for b := range all {
+			p.Singles[b] = seSingles[b] / n
+			p.NSingles[b] = norm(p.Singles[b], truthSingles[b])
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// colocatedRatioPoint holds, for one k, the per-weight-assignment ΣV ratios
+// of the inclusive estimators to the plain single-sketch estimator
+// (Figures 9–11).
+type colocatedRatioPoint struct {
+	K          int
+	RatioCoord []float64 // ΣV[a_c^(b)]/ΣV[a_p^(b)]
+	RatioInd   []float64 // ΣV[a_i^(b)]/ΣV[a_p^(b)]
+}
+
+func colocatedRatioSweep(ds *dataset.Dataset, ks []int, runs int, seed uint64) []colocatedRatioPoint {
+	w := ds.NumAssignments()
+	truths := make([]evalstats.Truth, w)
+	for b := 0; b < w; b++ {
+		truths[b] = evalstats.TruthOf(ds, estimate.SingleOf(b))
+	}
+	ks = capKs(ks, ds.NumKeys())
+	points := make([]colocatedRatioPoint, 0, len(ks))
+	for ki, k := range ks {
+		k := k
+		results := parallelRuns(runs, func(run int) []float64 {
+			runSeed := hashing.Mix64(seed + uint64(ki)*1e6 + uint64(run) + 1)
+			cc := core.SummarizeColocated(core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: runSeed, K: k}, ds)
+			ci := core.SummarizeColocated(core.Config{Family: rank.IPPS, Mode: rank.Independent, Seed: runSeed, K: k}, ds)
+			vec := make([]float64, 3*w)
+			for b := 0; b < w; b++ {
+				incl, plain := evalstats.CondVarColocated(ds, cc, b)
+				inclInd, _ := evalstats.CondVarColocated(ds, ci, b)
+				vec[b], vec[w+b], vec[2*w+b] = plain, incl, inclInd
+			}
+			return vec
+		})
+		totals := sumRuns(results)
+		sePlain, seCoord, seInd := totals[:w], totals[w:2*w], totals[2*w:]
+		p := colocatedRatioPoint{K: k, RatioCoord: make([]float64, w), RatioInd: make([]float64, w)}
+		for b := 0; b < w; b++ {
+			if sePlain[b] > 0 {
+				p.RatioCoord[b] = seCoord[b] / sePlain[b]
+				p.RatioInd[b] = seInd[b] / sePlain[b]
+			}
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// sizePoint holds the variance-versus-storage tradeoff at one k
+// (Figures 12–16): mean combined summary size and per-weight nΣV for the
+// four estimator/summary variants.
+type sizePoint struct {
+	K                  int
+	SizeCoord, SizeInd float64
+	NPlainCoord        []float64 // plain RC, coordinated summary
+	NPlainInd          []float64 // plain RC, independent summary
+	NInclusiveCoord    []float64
+	NInclusiveInd      []float64
+}
+
+func sizeTradeoffSweep(ds *dataset.Dataset, ks []int, runs int, seed uint64) []sizePoint {
+	w := ds.NumAssignments()
+	truths := make([]evalstats.Truth, w)
+	for b := 0; b < w; b++ {
+		truths[b] = evalstats.TruthOf(ds, estimate.SingleOf(b))
+	}
+	ks = capKs(ks, ds.NumKeys())
+	points := make([]sizePoint, 0, len(ks))
+	for ki, k := range ks {
+		k := k
+		results := parallelRuns(runs, func(run int) []float64 {
+			runSeed := hashing.Mix64(seed + uint64(ki)*1e6 + uint64(run) + 1)
+			cc := core.SummarizeColocated(core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: runSeed, K: k}, ds)
+			ci := core.SummarizeColocated(core.Config{Family: rank.IPPS, Mode: rank.Independent, Seed: runSeed, K: k}, ds)
+			vec := make([]float64, 2+4*w)
+			vec[0], vec[1] = float64(cc.DistinctKeys()), float64(ci.DistinctKeys())
+			for b := 0; b < w; b++ {
+				inclC, plainC := evalstats.CondVarColocated(ds, cc, b)
+				inclI, plainI := evalstats.CondVarColocated(ds, ci, b)
+				vec[2+b], vec[2+w+b], vec[2+2*w+b], vec[2+3*w+b] = plainC, plainI, inclC, inclI
+			}
+			return vec
+		})
+		totals := sumRuns(results)
+		sizeC, sizeI := totals[0], totals[1]
+		sePC, sePI := totals[2:2+w], totals[2+w:2+2*w]
+		seIC, seII := totals[2+2*w:2+3*w], totals[2+3*w:]
+		n := float64(runs)
+		p := sizePoint{
+			K: k, SizeCoord: sizeC / n, SizeInd: sizeI / n,
+			NPlainCoord: make([]float64, w), NPlainInd: make([]float64, w),
+			NInclusiveCoord: make([]float64, w), NInclusiveInd: make([]float64, w),
+		}
+		for b := 0; b < w; b++ {
+			denom := truths[b].SumF * truths[b].SumF
+			if denom == 0 {
+				continue
+			}
+			p.NPlainCoord[b] = sePC[b] / n / denom
+			p.NPlainInd[b] = sePI[b] / n / denom
+			p.NInclusiveCoord[b] = seIC[b] / n / denom
+			p.NInclusiveInd[b] = seII[b] / n / denom
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// sharingPoint holds the mean sharing index at one k for coordinated and
+// independent summaries (Figure 17).
+type sharingPoint struct {
+	K                    int
+	IndexCoord, IndexInd float64
+}
+
+func sharingSweep(ds *dataset.Dataset, ks []int, runs int, seed uint64) []sharingPoint {
+	w := ds.NumAssignments()
+	ks = capKs(ks, ds.NumKeys())
+	points := make([]sharingPoint, 0, len(ks))
+	for ki, k := range ks {
+		var dc, di float64
+		for run := 0; run < runs; run++ {
+			runSeed := hashing.Mix64(seed + uint64(ki)*1e6 + uint64(run) + 1)
+			cc := core.SummarizeColocated(core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: runSeed, K: k}, ds)
+			ci := core.SummarizeColocated(core.Config{Family: rank.IPPS, Mode: rank.Independent, Seed: runSeed, K: k}, ds)
+			dc += float64(cc.DistinctKeys())
+			di += float64(ci.DistinctKeys())
+		}
+		n := float64(runs)
+		points = append(points, sharingPoint{
+			K:          k,
+			IndexCoord: evalstats.SharingIndex(int(dc/n), k, w),
+			IndexInd:   evalstats.SharingIndex(int(di/n), k, w),
+		})
+	}
+	return points
+}
+
+// uniformBaselinePoint compares the weighted coordinated min estimator with
+// the unit-weight baseline of Section 9.2 at one k.
+type uniformBaselinePoint struct {
+	K                     int
+	WeightedSV, UniformSV float64
+}
+
+func uniformBaselineSweep(ds *dataset.Dataset, R []int, ks []int, runs int, seed uint64) []uniformBaselinePoint {
+	sub := ds.Restrict(R)
+	ks = capKs(ks, sub.NumKeys())
+	points := make([]uniformBaselinePoint, 0, len(ks))
+	for ki, k := range ks {
+		var seW, seU float64
+		for run := 0; run < runs; run++ {
+			runSeed := hashing.Mix64(seed + uint64(ki)*1e6 + uint64(run) + 1)
+			cfg := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: runSeed, K: k}
+			seW += evalstats.CondVarDispersed(sub, core.SummarizeDispersed(cfg, sub)).MinL
+			seU += evalstats.CondVarUniformMin(sub, rank.IPPS, core.SummarizeUniformBaseline(cfg, sub))
+		}
+		points = append(points, uniformBaselinePoint{K: k, WeightedSV: seW / float64(runs), UniformSV: seU / float64(runs)})
+	}
+	return points
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordsample/internal/datagen"
+	"coordsample/internal/dataset"
+)
+
+func init() {
+	register(Experiment{
+		ID: "table2", Paper: "Table 2",
+		Desc: "IP dataset1 dispersed sums: Σw1, Σw2, Σmax, Σmin, ΣL1 per key/weight combo",
+		Run:  runTable2,
+	})
+	register(Experiment{
+		ID: "table_ip2", Paper: "IP dataset2 in-text tables",
+		Desc: "Hourly distinct keys and byte totals; min/max/L1 sums for hour subsets",
+		Run:  runTableIP2,
+	})
+	register(Experiment{
+		ID: "table3", Paper: "Table 3",
+		Desc: "Netflix: distinct movies and total ratings per month; min/max/L1 for month subsets",
+		Run:  runTable3,
+	})
+	register(Experiment{
+		ID: "table4", Paper: "Table 4",
+		Desc: "Stocks: daily totals of the six attributes; min/max/L1 for day subsets",
+		Run:  runTable4,
+	})
+}
+
+func multiSums(t *Table, label string, ds *dataset.Dataset, R []int) {
+	t.AddRow(label,
+		fsci(ds.SumMin(R, nil)),
+		fsci(ds.SumMax(R, nil)),
+		fsci(ds.SumRange(R, nil)))
+}
+
+func runTable2(opts Options) Result {
+	opts = opts.WithDefaults()
+	w := newWorkloads(opts)
+	combos := []struct {
+		label  string
+		key    datagen.IPKey
+		weight datagen.IPWeight
+	}{
+		{"destIP, 4tuple", datagen.KeyDstIP, datagen.WeightFlows},
+		{"destIP, bytes", datagen.KeyDstIP, datagen.WeightBytes},
+		{"srcIP+destIP, packets", datagen.KeySrcDst, datagen.WeightPackets},
+		{"srcIP+destIP, bytes", datagen.KeySrcDst, datagen.WeightBytes},
+	}
+	t := Table{Title: "IP dataset1 (synthetic): dispersed weight totals",
+		Columns: []string{"key, weight", "Σw(1)", "Σw(2)", "Σmax{1,2}", "Σmin{1,2}", "ΣL1{1,2}"}}
+	for _, c := range combos {
+		ds := w.ip1Dispersed(c.key, c.weight)
+		R := []int{0, 1}
+		t.AddRow(c.label,
+			fsci(ds.Total(0)), fsci(ds.Total(1)),
+			fsci(ds.SumMax(R, nil)), fsci(ds.SumMin(R, nil)), fsci(ds.SumRange(R, nil)))
+	}
+	return Result{Tables: []Table{t}}
+}
+
+func runTableIP2(opts Options) Result {
+	opts = opts.WithDefaults()
+	w := newWorkloads(opts)
+	var res Result
+
+	hours := Table{Title: "IP dataset2 (synthetic): per-hour distinct keys and byte totals",
+		Columns: []string{"hours", "destIP keys", "4tuple keys", "bytes"}}
+	dsD := w.ip2Dispersed(datagen.KeyDstIP, datagen.WeightBytes)
+	ds4 := w.ip2Dispersed(datagen.Key4Tuple, datagen.WeightBytes)
+	for h := 0; h < 4; h++ {
+		hours.AddRow(fmt.Sprint(h+1),
+			fmt.Sprint(dsD.SupportSize(h)), fmt.Sprint(ds4.SupportSize(h)), fsci(dsD.Total(h)))
+	}
+	for _, R := range [][]int{{0, 1}, {0, 1, 2, 3}} {
+		label := fmt.Sprintf("%v", rplus(R))
+		bytes := 0.0
+		for _, h := range R {
+			bytes += dsD.Total(h)
+		}
+		hours.AddRow(label,
+			fmt.Sprint(dsD.DistinctKeys(R)), fmt.Sprint(ds4.DistinctKeys(R)), fsci(bytes))
+	}
+	res.Tables = append(res.Tables, hours)
+
+	sums := Table{Title: "IP dataset2 (synthetic): multi-assignment byte sums",
+		Columns: []string{"key / hours", "Σmin", "Σmax", "ΣL1"}}
+	multiSums(&sums, "destIP {1,2}", dsD, []int{0, 1})
+	multiSums(&sums, "destIP {1-4}", dsD, []int{0, 1, 2, 3})
+	multiSums(&sums, "4tuple {1,2}", ds4, []int{0, 1})
+	multiSums(&sums, "4tuple {1-4}", ds4, []int{0, 1, 2, 3})
+	res.Tables = append(res.Tables, sums)
+	return res
+}
+
+func rplus(R []int) []int {
+	out := make([]int, len(R))
+	for i, b := range R {
+		out[i] = b + 1
+	}
+	return out
+}
+
+func runTable3(opts Options) Result {
+	opts = opts.WithDefaults()
+	ds := newWorkloads(opts).netflix()
+	var res Result
+
+	months := Table{Title: "Netflix (synthetic): per-month distinct movies and total ratings",
+		Columns: []string{"month", "movies", "ratings"}}
+	for m := 0; m < ds.NumAssignments(); m++ {
+		months.AddRow(fmt.Sprint(m+1), fmt.Sprint(ds.SupportSize(m)), fsci(ds.Total(m)))
+	}
+	res.Tables = append(res.Tables, months)
+
+	sums := Table{Title: "Netflix (synthetic): multi-assignment rating sums",
+		Columns: []string{"months", "Σmin", "Σmax", "ΣL1"}}
+	multiSums(&sums, "{1,2}", ds, firstR(2))
+	multiSums(&sums, "{1-6}", ds, firstR(6))
+	multiSums(&sums, "{1-12}", ds, firstR(12))
+	res.Tables = append(res.Tables, sums)
+	return res
+}
+
+func runTable4(opts Options) Result {
+	opts = opts.WithDefaults()
+	w := newWorkloads(opts)
+	table := w.stockTable()
+	var res Result
+
+	days := len(table[0].Attrs)
+	daily := Table{Title: "Stocks (synthetic): daily totals per attribute",
+		Columns: []string{"attr"}}
+	for d := 0; d < days; d++ {
+		daily.Columns = append(daily.Columns, fmt.Sprint(d+1))
+	}
+	for _, attr := range datagen.AllStockAttrs() {
+		row := []string{attr.String()}
+		for d := 0; d < days; d++ {
+			total := 0.0
+			for _, r := range table {
+				total += r.Attrs[d][attr]
+			}
+			row = append(row, fsci(total))
+		}
+		daily.Rows = append(daily.Rows, row)
+	}
+	res.Tables = append(res.Tables, daily)
+
+	sums := Table{Title: "Stocks (synthetic): multi-day min/max/L1 sums",
+		Columns: []string{"attr / days", "Σmin", "Σmax", "ΣL1"}}
+	for _, attr := range []datagen.StockAttr{datagen.High, datagen.Volume} {
+		ds := w.stocksDispersed(attr)
+		for _, n := range []int{2, 5, 10, 15, 23} {
+			multiSums(&sums, fmt.Sprintf("%s 1-%d", attr, n), ds, firstR(n))
+		}
+	}
+	res.Tables = append(res.Tables, sums)
+	return res
+}

@@ -1,0 +1,333 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFamilyString(t *testing.T) {
+	if IPPS.String() != "IPPS" || EXP.String() != "EXP" {
+		t.Fatal("unexpected family names")
+	}
+	if Family(99).String() == "" {
+		t.Fatal("unknown family should still format")
+	}
+}
+
+func TestCDFZeroWeight(t *testing.T) {
+	for _, f := range []Family{IPPS, EXP} {
+		if got := f.CDF(0, 10); got != 0 {
+			t.Fatalf("%v: F_0(10) = %v, want 0", f, got)
+		}
+		if got := f.Quantile(0, 0.5); !math.IsInf(got, 1) {
+			t.Fatalf("%v: Q_0(0.5) = %v, want +Inf", f, got)
+		}
+	}
+}
+
+func TestCDFInfinity(t *testing.T) {
+	for _, f := range []Family{IPPS, EXP} {
+		if got := f.CDF(2.5, math.Inf(1)); got != 1 {
+			t.Fatalf("%v: F_w(+Inf) = %v, want 1", f, got)
+		}
+		if got := f.CDF(2.5, -1); got != 0 {
+			t.Fatalf("%v: F_w(-1) = %v, want 0", f, got)
+		}
+	}
+}
+
+func TestIPPSKnownValues(t *testing.T) {
+	// From Figure 1: p(i) = min{1, w(i)τ} with τ = 1/82 and w = 20 gives
+	// 20/82 ≈ 0.24.
+	got := IPPS.CDF(20, 1.0/82)
+	if math.Abs(got-20.0/82) > 1e-12 {
+		t.Fatalf("IPPS CDF = %v, want %v", got, 20.0/82)
+	}
+	// Saturation at 1.
+	if got := IPPS.CDF(20, 1); got != 1 {
+		t.Fatalf("IPPS CDF should saturate at 1, got %v", got)
+	}
+}
+
+func TestEXPKnownValues(t *testing.T) {
+	if got := EXP.CDF(1, math.Log(2)); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("EXP median mismatch: %v", got)
+	}
+	if got := EXP.Quantile(1, 0.5); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("EXP quantile mismatch: %v", got)
+	}
+}
+
+func TestRoundTripQuantileCDF(t *testing.T) {
+	f := func(wRaw, uRaw uint32) bool {
+		w := 1e-3 + float64(wRaw%100000)/100 // weights in [1e-3, 1000)
+		u := (float64(uRaw%99998) + 1) / 100000
+		for _, fam := range []Family{IPPS, EXP} {
+			x := fam.Quantile(w, u)
+			if math.Abs(fam.CDF(w, x)-u) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotoneInWeight(t *testing.T) {
+	// The defining property of a monotone family: w1 ≥ w2 ⇒ F_w1(x) ≥ F_w2(x).
+	f := func(aRaw, bRaw, xRaw uint32) bool {
+		w1 := float64(aRaw%10000) / 10
+		w2 := float64(bRaw%10000) / 10
+		if w1 < w2 {
+			w1, w2 = w2, w1
+		}
+		x := float64(xRaw%10000) / 1000
+		for _, fam := range []Family{IPPS, EXP} {
+			if fam.CDF(w1, x) < fam.CDF(w2, x)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedSeedFormulas(t *testing.T) {
+	// Shared-seed assignment for IPPS ranks is u/w; for EXP, −ln(1−u)/w
+	// (Section 4). Verify against the Seed01 value.
+	a := Assigner{Family: IPPS, Mode: SharedSeed, Seed: 5}
+	u := a.Seed01("key", 0)
+	if got := a.Rank("key", 3, 4.0); math.Abs(got-u/4.0) > 1e-15 {
+		t.Fatalf("IPPS shared-seed rank = %v, want %v", got, u/4.0)
+	}
+	e := Assigner{Family: EXP, Mode: SharedSeed, Seed: 5}
+	want := -math.Log1p(-u) / 4.0
+	if got := e.Rank("key", 3, 4.0); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("EXP shared-seed rank = %v, want %v", got, want)
+	}
+}
+
+func TestSharedSeedSameAcrossAssignments(t *testing.T) {
+	a := Assigner{Family: IPPS, Mode: SharedSeed, Seed: 17}
+	if a.Seed01("x", 0) != a.Seed01("x", 7) {
+		t.Fatal("shared seed must not depend on assignment")
+	}
+	// Equal weights in different assignments must give equal ranks.
+	if a.Rank("x", 0, 3) != a.Rank("x", 9, 3) {
+		t.Fatal("equal weights should yield equal shared-seed ranks")
+	}
+}
+
+func TestIndependentSeedsDiffer(t *testing.T) {
+	a := Assigner{Family: IPPS, Mode: Independent, Seed: 17}
+	if a.Seed01("x", 0) == a.Seed01("x", 1) {
+		t.Fatal("independent mode should give distinct per-assignment seeds")
+	}
+}
+
+func TestRankVectorMatchesRank(t *testing.T) {
+	// Dispersed per-assignment processing (Rank) must agree exactly with
+	// colocated processing (RankVector) — that is the coordination claim.
+	weights := []float64{15, 0, 10, 5, 10, 10}
+	for _, mode := range []Coordination{SharedSeed, Independent} {
+		for _, fam := range []Family{IPPS, EXP} {
+			a := Assigner{Family: fam, Mode: mode, Seed: 3}
+			vec := a.RankVector("key-A", weights)
+			for b, w := range weights {
+				if got := a.Rank("key-A", b, w); got != vec[b] {
+					t.Fatalf("%v/%v: Rank(b=%d) = %v, RankVector = %v", fam, mode, b, got, vec[b])
+				}
+			}
+		}
+	}
+}
+
+func TestConsistencyProperty(t *testing.T) {
+	// Consistent ranks: w^(b1) ≥ w^(b2) ⇒ r^(b1) ≤ r^(b2), with equality of
+	// ranks when weights are equal.
+	check := func(a Assigner, key string, weights []float64) {
+		t.Helper()
+		ranks := a.RankVector(key, weights)
+		for i := range weights {
+			for j := range weights {
+				if weights[i] > weights[j] && ranks[i] > ranks[j] {
+					t.Fatalf("%v/%v: inconsistent ranks: w=%v r=%v", a.Family, a.Mode, weights, ranks)
+				}
+				if weights[i] == weights[j] && weights[i] > 0 && ranks[i] != ranks[j] {
+					t.Fatalf("%v/%v: equal weights, unequal ranks: w=%v r=%v", a.Family, a.Mode, weights, ranks)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	assigners := []Assigner{
+		{Family: IPPS, Mode: SharedSeed, Seed: 11},
+		{Family: EXP, Mode: SharedSeed, Seed: 11},
+		{Family: EXP, Mode: IndependentDifferences, Seed: 11},
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		weights := make([]float64, n)
+		for i := range weights {
+			if rng.Float64() < 0.2 {
+				weights[i] = 0
+			} else if rng.Float64() < 0.3 {
+				weights[i] = float64(1 + rng.Intn(4)) // force ties
+			} else {
+				weights[i] = rng.Float64() * 100
+			}
+		}
+		key := "k" + string(rune('a'+trial%26))
+		for _, a := range assigners {
+			check(a, key, weights)
+		}
+	}
+}
+
+func TestIndependentDifferencesMarginal(t *testing.T) {
+	// Each marginal r^(b)(i) must be Exponential(w^(b)(i)): check the mean
+	// over many keys for a fixed weight vector.
+	weights := []float64{2, 5, 9}
+	a := Assigner{Family: EXP, Mode: IndependentDifferences, Seed: 23}
+	const n = 60000
+	sums := make([]float64, len(weights))
+	for i := 0; i < n; i++ {
+		ranks := a.RankVector("key-"+string(rune(i%26+'a'))+itoa(i), weights)
+		for b, r := range ranks {
+			sums[b] += r
+		}
+	}
+	for b, w := range weights {
+		mean := sums[b] / n
+		want := 1 / w
+		if math.Abs(mean-want) > 0.05*want {
+			t.Fatalf("assignment %d: mean rank %v, want ≈ %v", b, mean, want)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func TestIndependentDifferencesZeroWeights(t *testing.T) {
+	a := Assigner{Family: EXP, Mode: IndependentDifferences, Seed: 7}
+	ranks := a.RankVector("z", []float64{0, 3, 0})
+	if !math.IsInf(ranks[0], 1) || !math.IsInf(ranks[2], 1) {
+		t.Fatalf("zero weights must get +Inf ranks, got %v", ranks)
+	}
+	if math.IsInf(ranks[1], 1) || ranks[1] <= 0 {
+		t.Fatalf("positive weight must get a finite positive rank, got %v", ranks[1])
+	}
+}
+
+func TestIndependentDifferencesDispersedPanics(t *testing.T) {
+	a := Assigner{Family: EXP, Mode: IndependentDifferences, Seed: 7}
+	assertPanics(t, func() { a.Rank("x", 0, 1) })
+	assertPanics(t, func() { a.Seed01("x", 0) })
+}
+
+func TestIndependentDifferencesRequiresEXP(t *testing.T) {
+	a := Assigner{Family: IPPS, Mode: IndependentDifferences, Seed: 7}
+	assertPanics(t, func() { a.RankVector("x", []float64{1, 2}) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestMinRank(t *testing.T) {
+	ranks := []float64{0.5, 0.1, math.Inf(1), 0.3}
+	if got := MinRank(ranks, nil); got != 0.1 {
+		t.Fatalf("MinRank(all) = %v", got)
+	}
+	if got := MinRank(ranks, []int{0, 2, 3}); got != 0.3 {
+		t.Fatalf("MinRank(subset) = %v", got)
+	}
+	if got := MinRank([]float64{math.Inf(1)}, nil); !math.IsInf(got, 1) {
+		t.Fatalf("MinRank of all-Inf = %v", got)
+	}
+}
+
+func TestEXPMinimumProperty(t *testing.T) {
+	// The minimum of independent EXP ranks over a set J is Exponential with
+	// parameter w(J) — the property behind Lemma 4.1. Statistical check of
+	// the mean of min-rank over many hash draws.
+	weights := []float64{1, 2, 3, 4}
+	total := 10.0
+	const n = 60000
+	sum := 0.0
+	a := Assigner{Family: EXP, Mode: Independent, Seed: 99}
+	for t := 0; t < n; t++ {
+		m := math.Inf(1)
+		for b, w := range weights {
+			r := a.Rank("trial-"+itoa(t), b, w)
+			if r < m {
+				m = r
+			}
+		}
+		sum += m
+	}
+	mean := sum / n
+	if want := 1 / total; math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("min-rank mean %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestRankVectorIntoLengthMismatch(t *testing.T) {
+	a := Assigner{Family: IPPS, Mode: SharedSeed, Seed: 1}
+	assertPanics(t, func() { a.RankVectorInto(make([]float64, 2), "x", []float64{1, 2, 3}) })
+}
+
+func TestCoordinationStrings(t *testing.T) {
+	if SharedSeed.String() != "shared-seed" ||
+		Independent.String() != "independent" ||
+		IndependentDifferences.String() != "independent-differences" {
+		t.Fatal("unexpected coordination names")
+	}
+	if !SharedSeed.Consistent() || Independent.Consistent() || !IndependentDifferences.Consistent() {
+		t.Fatal("Consistent() wrong")
+	}
+}
+
+func BenchmarkSharedSeedRankVector(b *testing.B) {
+	a := Assigner{Family: IPPS, Mode: SharedSeed, Seed: 1}
+	weights := []float64{10, 20, 30, 0, 50, 60, 70, 80}
+	dst := make([]float64, len(weights))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.RankVectorInto(dst, "10.1.2.3:443", weights)
+	}
+}
+
+func BenchmarkIndependentDifferencesRankVector(b *testing.B) {
+	a := Assigner{Family: EXP, Mode: IndependentDifferences, Seed: 1}
+	weights := []float64{10, 20, 30, 0, 50, 60, 70, 80}
+	dst := make([]float64, len(weights))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.RankVectorInto(dst, "10.1.2.3:443", weights)
+	}
+}

@@ -1,0 +1,310 @@
+// Package sketch implements the three sample formats of the paper
+// (Section 3): bottom-k (order) sketches, Poisson-τ sketches, and k-mins
+// sketches, together with one-pass stream builders.
+//
+// A sketch of a weighted set (I, w) under a rank assignment r keeps the keys
+// with smallest ranks plus the auxiliary rank information the estimators
+// condition on: for bottom-k, the k-th and (k+1)-st smallest rank values; for
+// Poisson, the threshold τ. Builders process aggregated (key, weight) streams
+// in one pass with O(k) state, which is what makes the summarization scalable
+// in the dispersed model — each assignment is sketched independently, and
+// coordination comes entirely from the shared hash-derived ranks.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is a sampled key together with its rank and weight in the sketched
+// assignment. The seed needed by known-seeds estimators is not stored: it is
+// recomputed from the deterministic hash when needed.
+type Entry struct {
+	Key    string
+	Rank   float64
+	Weight float64
+}
+
+// entryLess orders entries by (rank, key); the key tiebreak makes stream and
+// offline constructions agree exactly even in artificial tie cases.
+func entryLess(a, b Entry) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.Key < b.Key
+}
+
+// BottomK is an immutable bottom-k sketch: the (at most) k keys of smallest
+// rank, the k-th smallest rank r_k(I), and the (k+1)-st smallest rank
+// r_{k+1}(I) (+Inf when fewer than k, resp. k+1, keys exist).
+type BottomK struct {
+	k         int
+	entries   []Entry // ascending (rank, key)
+	kth       float64 // r_k(I)
+	threshold float64 // r_{k+1}(I)
+	index     map[string]int
+}
+
+// K returns the sketch size parameter.
+func (s *BottomK) K() int { return s.k }
+
+// Size returns the number of sampled keys (≤ k; smaller when |I| < k).
+func (s *BottomK) Size() int { return len(s.entries) }
+
+// Entries returns the sampled entries in ascending rank order. The slice is
+// shared; callers must not modify it.
+func (s *BottomK) Entries() []Entry { return s.entries }
+
+// Threshold returns r_{k+1}(I), the rank-conditioning value of the RC
+// estimator. It is +Inf when the sketch holds the whole set.
+func (s *BottomK) Threshold() float64 { return s.threshold }
+
+// KthRank returns r_k(I), +Inf when fewer than k keys exist.
+func (s *BottomK) KthRank() float64 { return s.kth }
+
+// Contains reports whether key was sampled.
+func (s *BottomK) Contains(key string) bool {
+	_, ok := s.index[key]
+	return ok
+}
+
+// Lookup returns the entry for key, if sampled.
+func (s *BottomK) Lookup(key string) (Entry, bool) {
+	if i, ok := s.index[key]; ok {
+		return s.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// RankExcluding returns r_k(I ∖ {key}), the value that is fixed on the
+// rank-conditioning subspace Ω(key, r^{−key}) and therefore usable as an HTP
+// conditioning threshold (Section 3, Rank Conditioning): it equals
+// r_{k+1}(I) when key is in the sketch and r_k(I) otherwise.
+func (s *BottomK) RankExcluding(key string) float64 {
+	if s.Contains(key) {
+		return s.threshold
+	}
+	return s.kth
+}
+
+// BottomKBuilder consumes an aggregated (key, rank, weight) stream and
+// maintains the k smallest-ranked keys with O(k) state and O(log k) work per
+// item. Keys must be pre-aggregated: offering the same key twice would treat
+// it as two distinct stream elements.
+type BottomKBuilder struct {
+	k    int
+	heap []Entry // max-heap on (rank, key)
+	next float64 // min rank among rejected/evicted items = r_{k+1} so far
+}
+
+// NewBottomKBuilder returns a builder for bottom-k sketches. k must be ≥ 1.
+func NewBottomKBuilder(k int) *BottomKBuilder {
+	if k < 1 {
+		panic(fmt.Sprintf("sketch: invalid bottom-k size %d", k))
+	}
+	return &BottomKBuilder{k: k, heap: make([]Entry, 0, k), next: math.Inf(1)}
+}
+
+// Offer presents one aggregated key with its rank and weight. Keys with
+// nonpositive weight or infinite rank are never sampled and are skipped.
+func (b *BottomKBuilder) Offer(key string, rankValue, weight float64) {
+	if weight <= 0 || math.IsInf(rankValue, 1) || math.IsNaN(rankValue) {
+		return
+	}
+	e := Entry{Key: key, Rank: rankValue, Weight: weight}
+	if len(b.heap) < b.k {
+		b.push(e)
+		return
+	}
+	if entryLess(e, b.heap[0]) {
+		evicted := b.heap[0]
+		b.replaceTop(e)
+		if evicted.Rank < b.next {
+			b.next = evicted.Rank
+		}
+		return
+	}
+	if e.Rank < b.next {
+		b.next = e.Rank
+	}
+}
+
+// Sketch freezes the builder into a BottomK. The builder may continue to be
+// fed afterwards; Sketch can be called again for an updated snapshot.
+//
+// The sampling model requires pre-aggregated keys (each key offered once per
+// assignment); a violation that leaves two copies of a key in the retained
+// sample is detected here and reported by panic rather than silently
+// corrupting every downstream estimate.
+func (b *BottomKBuilder) Sketch() *BottomK {
+	entries := make([]Entry, len(b.heap))
+	copy(entries, b.heap)
+	sort.Slice(entries, func(i, j int) bool { return entryLess(entries[i], entries[j]) })
+	kth := math.Inf(1)
+	if len(entries) == b.k {
+		kth = entries[len(entries)-1].Rank
+	}
+	index := make(map[string]int, len(entries))
+	for i, e := range entries {
+		if _, dup := index[e.Key]; dup {
+			panic(fmt.Sprintf("sketch: key %q offered more than once; aggregate keys before sketching", e.Key))
+		}
+		index[e.Key] = i
+	}
+	return &BottomK{k: b.k, entries: entries, kth: kth, threshold: b.next, index: index}
+}
+
+func (b *BottomKBuilder) push(e Entry) {
+	b.heap = append(b.heap, e)
+	i := len(b.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(b.heap[parent], b.heap[i]) {
+			break
+		}
+		b.heap[parent], b.heap[i] = b.heap[i], b.heap[parent]
+		i = parent
+	}
+}
+
+func (b *BottomKBuilder) replaceTop(e Entry) {
+	b.heap[0] = e
+	i := 0
+	n := len(b.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && entryLess(b.heap[largest], b.heap[l]) {
+			largest = l
+		}
+		if r < n && entryLess(b.heap[largest], b.heap[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		b.heap[i], b.heap[largest] = b.heap[largest], b.heap[i]
+		i = largest
+	}
+}
+
+// Prefix returns the bottom-l sketch embedded in s (l ≤ s.K()): the l
+// smallest-ranked entries with correctly recomputed r_l(I) and r_{l+1}(I).
+// Used by the fixed-distinct-keys colocated summaries (Section 4), which
+// grow l adaptively under a shared storage budget.
+func (s *BottomK) Prefix(l int) *BottomK {
+	if l < 1 || l > s.k {
+		panic(fmt.Sprintf("sketch: prefix size %d out of range for k=%d", l, s.k))
+	}
+	// n = min(s.k, |I|), so comparisons of n against l (≤ s.k) decide
+	// whether the l-th and (l+1)-st smallest ranks of I exist.
+	n := len(s.entries)
+	cut := l
+	if cut > n {
+		cut = n
+	}
+	entries := s.entries[:cut]
+	kth, threshold := math.Inf(1), math.Inf(1)
+	if n >= l {
+		kth = s.entries[l-1].Rank
+	}
+	switch {
+	case n >= l+1:
+		threshold = s.entries[l].Rank
+	case n == l:
+		// Either l == s.k (inherit r_{k+1}) or |I| == l exactly (+Inf); the
+		// stored threshold is correct in both cases.
+		threshold = s.threshold
+	}
+	index := make(map[string]int, cut)
+	for i, e := range entries {
+		index[e.Key] = i
+	}
+	return &BottomK{k: l, entries: entries, kth: kth, threshold: threshold, index: index}
+}
+
+// BottomKFromRanks constructs a bottom-k sketch offline from parallel slices
+// of keys, ranks, and weights (used by tests and by the worked examples).
+func BottomKFromRanks(k int, keys []string, ranks, weights []float64) *BottomK {
+	if len(keys) != len(ranks) || len(keys) != len(weights) {
+		panic("sketch: length mismatch")
+	}
+	b := NewBottomKBuilder(k)
+	for i, key := range keys {
+		b.Offer(key, ranks[i], weights[i])
+	}
+	return b.Sketch()
+}
+
+// Merge combines bottom-k sketches of *disjoint* key sets into the bottom-k
+// sketch of their union — the distributed substrate for sketching one
+// assignment across shards (each site sketches its shard; a combiner merges).
+// Correctness: every key of shard j absent from its sketch has rank at least
+// that sketch's threshold, so the merged k smallest and the merged
+// (k+1)-smallest rank are determined by the retained entries plus the shard
+// thresholds. All sketches must share the same k. The caller is responsible
+// for disjointness (shards partition the key space); overlapping keys would
+// be double-counted, exactly as they would in the underlying data.
+func Merge(sketches ...*BottomK) *BottomK {
+	if len(sketches) == 0 {
+		panic("sketch: nothing to merge")
+	}
+	k := sketches[0].k
+	for _, s := range sketches {
+		if s.k != k {
+			panic("sketch: merged sketches must share k")
+		}
+	}
+	b := NewBottomKBuilder(k)
+	for _, s := range sketches {
+		for _, e := range s.entries {
+			b.Offer(e.Key, e.Rank, e.Weight)
+		}
+		// The shard's threshold is the smallest rank among its unretained
+		// keys; feeding it as a candidate makes the merged threshold exact.
+		if !math.IsInf(s.threshold, 1) {
+			if s.threshold < b.next {
+				b.next = s.threshold
+			}
+		}
+	}
+	return b.Sketch()
+}
+
+// UnionDistinctKeys returns the set of distinct keys appearing in any of the
+// sketches — the "combined sample" whose size the sharing index of Section 9
+// measures.
+func UnionDistinctKeys(sketches []*BottomK) map[string]bool {
+	u := make(map[string]bool)
+	for _, s := range sketches {
+		for _, e := range s.entries {
+			u[e.Key] = true
+		}
+	}
+	return u
+}
+
+// UnionBottomK implements the constructive half of Lemma 4.2: from
+// coordinated bottom-k sketches of assignments R it returns the k distinct
+// keys with smallest r^(minR) rank, which form a bottom-k sketch of
+// (I, w^(maxR)). The per-key rank is the minimum rank across sketches.
+func UnionBottomK(k int, sketches []*BottomK) []Entry {
+	minRank := make(map[string]float64)
+	for _, s := range sketches {
+		for _, e := range s.entries {
+			if cur, ok := minRank[e.Key]; !ok || e.Rank < cur {
+				minRank[e.Key] = e.Rank
+			}
+		}
+	}
+	entries := make([]Entry, 0, len(minRank))
+	for key, r := range minRank {
+		entries = append(entries, Entry{Key: key, Rank: r})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entryLess(entries[i], entries[j]) })
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}

@@ -1,0 +1,215 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"coordsample/internal/hashing"
+	"coordsample/internal/rank"
+)
+
+// KMins is a k-mins sketch: for each of k independent rank assignments, the
+// minimum rank value over the set and the key attaining it. Coordinated
+// k-mins sketches of several weight assignments share the k underlying rank
+// assignments, which is what Theorem 4.1 exploits.
+type KMins struct {
+	keys  []string  // argmin key per coordinate; "" when the set is empty
+	ranks []float64 // min rank per coordinate; +Inf when the set is empty
+}
+
+// K returns the number of coordinates.
+func (s *KMins) K() int { return len(s.keys) }
+
+// MinKey returns the key with minimum rank in coordinate j ("" if none).
+func (s *KMins) MinKey(j int) string { return s.keys[j] }
+
+// MinRank returns the minimum rank in coordinate j (+Inf if none).
+func (s *KMins) MinRank(j int) float64 { return s.ranks[j] }
+
+// KMinsBuilder builds a k-mins sketch of one assignment from a (key, weight)
+// stream in the dispersed model. Coordinate j uses the rank assignment
+// derived from the builder's base seed and j, so builders with the same base
+// Assigner are coordinated across assignments.
+type KMinsBuilder struct {
+	coords     []rank.Assigner
+	assignment int
+	keys       []string
+	ranks      []float64
+}
+
+// NewKMinsBuilder returns a builder for the given assignment index with k
+// coordinates.
+func NewKMinsBuilder(a rank.Assigner, assignment, k int) *KMinsBuilder {
+	if k < 1 {
+		panic(fmt.Sprintf("sketch: invalid k-mins size %d", k))
+	}
+	b := &KMinsBuilder{
+		coords:     coordAssigners(a, k),
+		assignment: assignment,
+		keys:       make([]string, k),
+		ranks:      make([]float64, k),
+	}
+	for j := range b.ranks {
+		b.ranks[j] = math.Inf(1)
+	}
+	return b
+}
+
+func coordAssigners(a rank.Assigner, k int) []rank.Assigner {
+	coords := make([]rank.Assigner, k)
+	for j := range coords {
+		coords[j] = rank.Assigner{Family: a.Family, Mode: a.Mode, Seed: hashing.Derive(a.Seed, j)}
+	}
+	return coords
+}
+
+// Offer presents one aggregated key with its weight in this assignment.
+func (b *KMinsBuilder) Offer(key string, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	for j, a := range b.coords {
+		r := a.Rank(key, b.assignment, weight)
+		if r < b.ranks[j] || (r == b.ranks[j] && key < b.keys[j]) {
+			b.ranks[j] = r
+			b.keys[j] = key
+		}
+	}
+}
+
+// Sketch freezes the builder into a KMins sketch.
+func (b *KMinsBuilder) Sketch() *KMins {
+	return &KMins{keys: append([]string(nil), b.keys...), ranks: append([]float64(nil), b.ranks...)}
+}
+
+// KMinsSetBuilder builds coordinated k-mins sketches for all assignments of
+// colocated data in one pass. It supports all three coordination modes,
+// including independent-differences (which needs the full weight vector and
+// therefore cannot run dispersed).
+type KMinsSetBuilder struct {
+	coords []rank.Assigner
+	numAsg int
+	keys   [][]string  // [assignment][coordinate]
+	ranks  [][]float64 // [assignment][coordinate]
+	buf    []float64
+}
+
+// NewKMinsSetBuilder returns a colocated builder for numAssignments weight
+// assignments and k coordinates.
+func NewKMinsSetBuilder(a rank.Assigner, numAssignments, k int) *KMinsSetBuilder {
+	if k < 1 || numAssignments < 1 {
+		panic("sketch: invalid k-mins set dimensions")
+	}
+	b := &KMinsSetBuilder{
+		coords: coordAssigners(a, k),
+		numAsg: numAssignments,
+		keys:   make([][]string, numAssignments),
+		ranks:  make([][]float64, numAssignments),
+		buf:    make([]float64, numAssignments),
+	}
+	for asg := 0; asg < numAssignments; asg++ {
+		b.keys[asg] = make([]string, k)
+		b.ranks[asg] = make([]float64, k)
+		for j := range b.ranks[asg] {
+			b.ranks[asg][j] = math.Inf(1)
+		}
+	}
+	return b
+}
+
+// Offer presents one key with its full weight vector.
+func (b *KMinsSetBuilder) Offer(key string, weights []float64) {
+	if len(weights) != b.numAsg {
+		panic("sketch: weight vector length mismatch")
+	}
+	for j, a := range b.coords {
+		a.RankVectorInto(b.buf, key, weights)
+		for asg, r := range b.buf {
+			if r < b.ranks[asg][j] || (r == b.ranks[asg][j] && key < b.keys[asg][j]) {
+				b.ranks[asg][j] = r
+				b.keys[asg][j] = key
+			}
+		}
+	}
+}
+
+// Sketches freezes the builder into one KMins sketch per assignment.
+func (b *KMinsSetBuilder) Sketches() []*KMins {
+	out := make([]*KMins, b.numAsg)
+	for asg := 0; asg < b.numAsg; asg++ {
+		out[asg] = &KMins{
+			keys:  append([]string(nil), b.keys[asg]...),
+			ranks: append([]float64(nil), b.ranks[asg]...),
+		}
+	}
+	return out
+}
+
+// CommonMinFraction returns the fraction of coordinates in which the two
+// sketches have the same minimum-rank key. Under independent-differences
+// consistent ranks this is an unbiased estimator of the weighted Jaccard
+// similarity of the two assignments (Theorem 4.1).
+func CommonMinFraction(a, b *KMins) float64 {
+	if a.K() != b.K() {
+		panic("sketch: k-mins size mismatch")
+	}
+	if a.K() == 0 {
+		return 0
+	}
+	common := 0
+	for j := 0; j < a.K(); j++ {
+		if a.keys[j] != "" && a.keys[j] == b.keys[j] {
+			common++
+		}
+	}
+	return float64(common) / float64(a.K())
+}
+
+// Selectivity returns the fraction of coordinates whose minimum-rank key
+// satisfies pred. For EXP ranks the minimum-rank key of each coordinate is
+// key i with probability w(i)/w(I), so the fraction is an unbiased
+// estimator of the weighted selectivity w(J)/w(I) of the subpopulation J
+// selected by pred — the classic k-mins subset query [Cohen 1997].
+func (s *KMins) Selectivity(pred func(key string) bool) float64 {
+	if s.K() == 0 {
+		return 0
+	}
+	hits := 0
+	for j, key := range s.keys {
+		if key == "" || math.IsInf(s.ranks[j], 1) {
+			continue
+		}
+		if pred == nil || pred(key) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(s.K())
+}
+
+// SubsetWeightEstimate combines Selectivity with TotalWeightEstimate to
+// estimate w(J) = Σ_{i∈J} w(i) from a k-mins sketch with EXP ranks
+// (requires k ≥ 2). The two factors are dependent, so the product is
+// consistent rather than exactly unbiased; bottom-k summaries give unbiased
+// subset sums and are preferred when available.
+func (s *KMins) SubsetWeightEstimate(pred func(key string) bool) float64 {
+	return s.Selectivity(pred) * s.TotalWeightEstimate()
+}
+
+// TotalWeightEstimate returns the classic k-mins estimator of the total
+// weight w(I) for EXP ranks: (k−1)/Σ_j r_j. The minimum rank of each
+// coordinate is Exponential(w(I)), so the sum of k independent minima is
+// Gamma(k, w(I)) and (k−1)/sum is unbiased for k ≥ 2.
+func (s *KMins) TotalWeightEstimate() float64 {
+	k := s.K()
+	if k < 2 {
+		panic("sketch: total-weight estimate requires k ≥ 2")
+	}
+	sum := 0.0
+	for _, r := range s.ranks {
+		if math.IsInf(r, 1) {
+			return 0 // empty set
+		}
+		sum += r
+	}
+	return float64(k-1) / sum
+}

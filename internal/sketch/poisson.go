@@ -1,0 +1,148 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"coordsample/internal/rank"
+)
+
+// Poisson is an immutable Poisson-τ sketch: the keys whose rank is below τ.
+// Inclusions of different keys are independent; the expected size is
+// Σ_i F_{w(i)}(τ).
+type Poisson struct {
+	tau     float64
+	entries []Entry
+	index   map[string]int
+}
+
+// Tau returns the sampling threshold τ.
+func (s *Poisson) Tau() float64 { return s.tau }
+
+// Size returns the number of sampled keys.
+func (s *Poisson) Size() int { return len(s.entries) }
+
+// Entries returns the sampled entries in ascending rank order. The slice is
+// shared; callers must not modify it.
+func (s *Poisson) Entries() []Entry { return s.entries }
+
+// Contains reports whether key was sampled.
+func (s *Poisson) Contains(key string) bool {
+	_, ok := s.index[key]
+	return ok
+}
+
+// Lookup returns the entry for key, if sampled.
+func (s *Poisson) Lookup(key string) (Entry, bool) {
+	if i, ok := s.index[key]; ok {
+		return s.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// RankExcluding returns the rank-conditioning threshold for key. For a
+// Poisson sketch the threshold is τ for every key: inclusions are
+// independent, so conditioning on the other keys' ranks changes nothing.
+// Sharing this method with BottomK lets the multiple-assignment estimators
+// treat both sketch types uniformly ("the treatment of Poisson sketches is
+// similar and simpler", Section 4).
+func (s *Poisson) RankExcluding(string) float64 { return s.tau }
+
+// PoissonBuilder consumes an aggregated (key, rank, weight) stream and keeps
+// keys with rank below τ. State is proportional to the sample, not the data.
+type PoissonBuilder struct {
+	tau     float64
+	entries []Entry
+}
+
+// NewPoissonBuilder returns a builder with threshold τ > 0 (possibly +Inf,
+// which samples every positive-weight key).
+func NewPoissonBuilder(tau float64) *PoissonBuilder {
+	if !(tau > 0) {
+		panic(fmt.Sprintf("sketch: invalid Poisson threshold %v", tau))
+	}
+	return &PoissonBuilder{tau: tau}
+}
+
+// Offer presents one aggregated key with its rank and weight.
+func (b *PoissonBuilder) Offer(key string, rankValue, weight float64) {
+	if weight <= 0 || math.IsNaN(rankValue) {
+		return
+	}
+	if rankValue < b.tau {
+		b.entries = append(b.entries, Entry{Key: key, Rank: rankValue, Weight: weight})
+	}
+}
+
+// Sketch freezes the builder into a Poisson sketch. Duplicate sampled keys
+// (a violation of the pre-aggregation requirement) are reported by panic.
+func (b *PoissonBuilder) Sketch() *Poisson {
+	entries := make([]Entry, len(b.entries))
+	copy(entries, b.entries)
+	sortEntries(entries)
+	index := make(map[string]int, len(entries))
+	for i, e := range entries {
+		if _, dup := index[e.Key]; dup {
+			panic(fmt.Sprintf("sketch: key %q offered more than once; aggregate keys before sketching", e.Key))
+		}
+		index[e.Key] = i
+	}
+	return &Poisson{tau: b.tau, entries: entries, index: index}
+}
+
+func sortEntries(entries []Entry) {
+	// Insertion into ascending (rank, key) order; sketches are small.
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entryLess(entries[j], entries[j-1]); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+// SolveTau returns the threshold τ for which a Poisson sketch of the given
+// weights has expected size k: Σ_i F_{w_i}(τ) = k (Figure 1 computes
+// τ = k/82 this way for IPPS ranks and total weight 82). When k is at least
+// the number of positive weights, τ is +Inf — every key is sampled with
+// probability 1.
+func SolveTau(family rank.Family, weights []float64, k float64) float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("sketch: invalid expected size %v", k))
+	}
+	positive := 0
+	maxW := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			positive++
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	if float64(positive) <= k {
+		return math.Inf(1)
+	}
+	expected := func(tau float64) float64 {
+		s := 0.0
+		for _, w := range weights {
+			s += family.CDF(w, tau)
+		}
+		return s
+	}
+	// Bracket the root, then bisect. expected is nondecreasing in τ.
+	lo, hi := 0.0, 1.0/maxW
+	for expected(hi) < k {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return hi
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-15*hi; iter++ {
+		mid := (lo + hi) / 2
+		if expected(mid) < k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
