@@ -150,6 +150,87 @@ func BenchmarkInclusiveEstimator(b *testing.B) {
 	}
 }
 
+// --- Sharded ingestion throughput (the tentpole pipeline) ---
+
+// benchShardedOffer measures end-to-end sharded ingestion of one
+// assignment: n Offers through the batched channels plus the terminal
+// Sketch (flush, drain, merge). Throughput scales with workers on
+// multi-core hardware; on a single core the channel overhead is the price
+// of the pipeline.
+func benchShardedOffer(b *testing.B, shards, workers int) {
+	const n = 1 << 16
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 1024}
+	keys := make([]string, n)
+	weights := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%06d", i)
+		weights[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := coordsample.NewShardedSketcher(cfg, 0, shards, workers)
+		for j := range keys {
+			s.Offer(keys[j], weights[j])
+		}
+		s.Sketch()
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func BenchmarkShardedOffer(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			if workers > shards {
+				continue
+			}
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				benchShardedOffer(b, shards, workers)
+			})
+		}
+	}
+}
+
+// BenchmarkShardedOfferBaseline is the single-stream reference for the
+// BenchmarkShardedOffer series: same stream, same k, no pipeline.
+func BenchmarkShardedOfferBaseline(b *testing.B) {
+	const n = 1 << 16
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 1024}
+	keys := make([]string, n)
+	weights := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%06d", i)
+		weights[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := coordsample.NewAssignmentSketcher(cfg, 0)
+		for j := range keys {
+			s.Offer(keys[j], weights[j])
+		}
+		s.Sketch()
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func BenchmarkSummarizeDispersedParallel(b *testing.B) {
+	ds := benchDataset(20000, 2)
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 1024}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i) + 1
+				coordsample.SummarizeDispersedParallel(cfg, ds, shards, 0)
+			}
+		})
+	}
+}
+
 func BenchmarkKMinsJaccard(b *testing.B) {
 	ds := benchDataset(5000, 2)
 	cfg := coordsample.Config{Family: coordsample.EXP, Mode: coordsample.IndependentDifferences, Seed: 1, K: 256}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -30,7 +31,14 @@ func main() {
 	runs := flag.Int("runs", 25, "sampling repetitions per measured point")
 	ks := flag.String("ks", "", "comma-separated k sweep (default per experiment)")
 	seed := flag.Uint64("seed", 0xC0FFEE, "hash seed")
+	shards := flag.Int("shards", 0, "shard count for the sharding experiment (0 = sweep defaults)")
+	workers := flag.Int("workers", 0, "cap process parallelism and per-assignment ingestion workers (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workers > 0 {
+		// Bounds every worker pool in the process: the parallel sampling
+		// repetitions and the sharded-ingestion drains alike.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *list || *run == "" {
 		listExperiments()
@@ -41,7 +49,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Shards: *shards, Workers: *workers}
 	if *ks != "" {
 		for _, part := range strings.Split(*ks, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(part))

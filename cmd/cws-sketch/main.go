@@ -12,6 +12,12 @@
 //	cws-sketch -in data.csv -k 1024 -query L1          # Σ |w1 − w2| over all keys
 //	cws-sketch -in data.csv -k 1024 -query min -R 0,1,2
 //	cws-sketch -in data.csv -k 1024 -query sum -b 0 -prefix "192.168."
+//	cws-sketch -in data.csv -k 1024 -shards 8 -workers 4   # sharded concurrent ingestion
+//
+// With -shards > 1 each assignment's stream is hash-partitioned across
+// disjoint shards sketched by concurrent workers and merged; the resulting
+// sketches (and therefore all query answers) are identical to the
+// single-stream ones.
 package main
 
 import (
@@ -35,7 +41,12 @@ func main() {
 	b := flag.Int("b", 0, "assignment index for -query sum")
 	rFlag := flag.String("R", "", "comma-separated assignment subset (default all)")
 	prefix := flag.String("prefix", "", "restrict to keys with this prefix (subpopulation)")
+	shards := flag.Int("shards", 1, "hash-partition each assignment's stream across this many shards (>1 enables concurrent ingestion)")
+	workers := flag.Int("workers", 0, "ingestion workers per assignment (0 = GOMAXPROCS; only with -shards > 1)")
 	flag.Parse()
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be ≥ 1, got %d", *shards))
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -47,9 +58,8 @@ func main() {
 		r = f
 	}
 
-	names, sketchers, err := sketchCSV(bufio.NewReader(r), coordsample.Config{
-		Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: *seed, K: *k,
-	})
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: *seed, K: *k}
+	names, sketchers, err := sketchCSV(bufio.NewReader(r), cfg, *shards, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -57,7 +67,6 @@ func main() {
 	for i, s := range sketchers {
 		sketches[i] = s.Sketch()
 	}
-	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: *seed, K: *k}
 	summary := coordsample.CombineDispersed(cfg, sketches)
 
 	R, err := parseR(*rFlag, len(names))
@@ -92,15 +101,26 @@ func main() {
 	}
 }
 
-func sketchCSV(r io.Reader, cfg coordsample.Config) ([]string, []*coordsample.AssignmentSketcher, error) {
+// ingestor is the common stream interface of the single-stream and sharded
+// sketchers; both freeze to the bit-identical bottom-k sketch.
+type ingestor interface {
+	Offer(key string, weight float64)
+	Sketch() *coordsample.BottomK
+}
+
+func sketchCSV(r io.Reader, cfg coordsample.Config, shards, workers int) ([]string, []ingestor, error) {
 	cr, err := csvio.NewReader(r)
 	if err != nil {
 		return nil, nil, err
 	}
 	names := cr.AssignmentNames()
-	sketchers := make([]*coordsample.AssignmentSketcher, len(names))
+	sketchers := make([]ingestor, len(names))
 	for b := range sketchers {
-		sketchers[b] = coordsample.NewAssignmentSketcher(cfg, b)
+		if shards > 1 {
+			sketchers[b] = coordsample.NewShardedSketcher(cfg, b, shards, workers)
+		} else {
+			sketchers[b] = coordsample.NewAssignmentSketcher(cfg, b)
+		}
 	}
 	for {
 		row, err := cr.Next()

@@ -59,6 +59,10 @@ type (
 	AssignmentSketcher = core.AssignmentSketcher
 	// ColocatedSummarizer summarizes colocated (key, vector) records.
 	ColocatedSummarizer = core.ColocatedSummarizer
+	// ShardedSketcher sketches one assignment of dispersed data across
+	// hash-partitioned shards sketched concurrently; the frozen sketch is
+	// bit-identical to AssignmentSketcher's.
+	ShardedSketcher = core.ShardedSketcher
 	// PoissonSketcher sketches one assignment with a Poisson-τ sample.
 	PoissonSketcher = core.PoissonSketcher
 	// PoissonSketch is a Poisson-τ sketch of one weight assignment.
@@ -142,6 +146,25 @@ func SummarizeDispersed(cfg Config, ds *Dataset) *Dispersed {
 	return core.SummarizeDispersed(cfg, ds)
 }
 
+// NewShardedSketcher creates a concurrent dispersed-model sketcher for
+// assignment b: keys are hash-partitioned across shards disjoint shards
+// (with a hash independent of the rank hash, so coordination is untouched),
+// each sketched by its own builder behind worker goroutines. Sketch() merges
+// the shard sketches into the exact single-stream result and shuts the
+// pipeline down. workers ≤ 0 selects GOMAXPROCS.
+func NewShardedSketcher(cfg Config, b, shards, workers int) *ShardedSketcher {
+	return core.NewShardedSketcher(cfg, b, shards, workers)
+}
+
+// SummarizeDispersedParallel runs the dispersed pipeline with all
+// assignments sketched concurrently, each ingested through a sharded
+// sketcher with the given shards and per-assignment worker count. The
+// summary is identical to SummarizeDispersed's — sharding changes
+// wall-clock time, never the sample.
+func SummarizeDispersedParallel(cfg Config, ds *Dataset, shards, workers int) *Dispersed {
+	return core.SummarizeDispersedParallel(cfg, ds, shards, workers)
+}
+
 // SummarizeColocated runs the colocated pipeline over an in-memory dataset.
 func SummarizeColocated(cfg Config, ds *Dataset) *Colocated {
 	return core.SummarizeColocated(cfg, ds)
@@ -163,8 +186,20 @@ func KMinsJaccard(cfg Config, ds *Dataset, b1, b2 int) float64 {
 
 // MergeSketches combines bottom-k sketches of *disjoint* shards of one
 // assignment into the exact bottom-k sketch of the union — the distributed
-// pattern: each site sketches its shard, a combiner merges. All sketches
-// must share k and must have been built with the same Config.
+// pattern: each site sketches its shard, a combiner merges.
+//
+// Contract: all sketches must share the same k (mismatched k panics), must
+// sketch the same assignment, and must have been built under the same Config
+// — identical Family, Mode, and Seed. The seed cannot be checked here: a
+// BottomK carries no Config, so merging sketches built under different
+// configurations silently produces a sample that is NOT a bottom-k sample of
+// the union (ranks from different hash functions are incomparable).
+// Disjointness is likewise the caller's responsibility, but its most common
+// violation is detected: if the same key is retained by two input sketches
+// and both copies survive the merge, the freeze step panics with
+// "offered more than once" rather than silently double-counting the key in
+// every downstream estimate. An overlapping key that does not survive the
+// merge is indistinguishable from duplicate data and goes undetected.
 func MergeSketches(sketches ...*BottomK) *BottomK {
 	return sketch.Merge(sketches...)
 }

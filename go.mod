@@ -1,0 +1,3 @@
+module coordsample
+
+go 1.22

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+	"coordsample/internal/shard"
+	"coordsample/internal/sketch"
+)
+
+// ShardedSketcher is the concurrent, hash-partitioned counterpart of
+// AssignmentSketcher: same stream contract, bit-identical frozen sketch.
+type ShardedSketcher = shard.Sketcher
+
+// NewShardedSketcher creates a sharded dispersed-model sketcher for
+// assignment index assignment: keys are hash-partitioned across shards
+// disjoint shards, each sketched by its own builder behind worker
+// goroutines, and Sketch() merges into the exact single-stream result.
+// workers ≤ 0 selects GOMAXPROCS; the worker count is capped at shards.
+func NewShardedSketcher(cfg Config, assignment, shards, workers int) *ShardedSketcher {
+	cfg.validate()
+	if cfg.Mode == rank.IndependentDifferences {
+		panic("core: independent-differences coordination requires colocated weights")
+	}
+	return shard.NewSketcher(cfg.Assigner(), assignment, cfg.K, shards, workers)
+}
+
+// SummarizeDispersedParallel is the concurrent counterpart of
+// SummarizeDispersed: assignments are sketched concurrently by a worker
+// pool, and each assignment's stream is ingested through a ShardedSketcher
+// with the given shards and workersPerAssignment. The resulting summary is
+// identical to the sequential pipeline — per-assignment sketches are
+// bit-identical, so every estimator sees the same sampled keys with the
+// same adjusted weights.
+//
+// Total concurrency is roughly min(GOMAXPROCS, |W|) × workersPerAssignment;
+// for datasets with many assignments, workersPerAssignment = 1 with
+// shards > 1 already overlaps the per-assignment hashing work.
+func SummarizeDispersedParallel(cfg Config, ds *dataset.Dataset, shards, workersPerAssignment int) *estimate.Dispersed {
+	cfg.validate()
+	numAsg := ds.NumAssignments()
+	sketches := make([]*sketch.BottomK, numAsg)
+
+	pool := runtime.GOMAXPROCS(0)
+	if pool > numAsg {
+		pool = numAsg
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for p := 0; p < pool; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				sk := NewShardedSketcher(cfg, b, shards, workersPerAssignment)
+				col := ds.Column(b)
+				for i := 0; i < ds.NumKeys(); i++ {
+					if col[i] > 0 {
+						sk.Offer(ds.Key(i), col[i])
+					}
+				}
+				sketches[b] = sk.Sketch()
+			}
+		}()
+	}
+	for b := 0; b < numAsg; b++ {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	return CombineDispersed(cfg, sketches)
+}

@@ -19,15 +19,22 @@ const (
 	fnvPrime  uint64 = 1099511628211
 )
 
-// Hash64 returns a 64-bit hash of key seeded with seed. Identical (seed, key)
-// pairs always produce identical values, across processes and platforms.
-func Hash64(seed uint64, key string) uint64 {
-	h := fnvOffset ^ Mix64(seed)
+// fnv1a runs the 64-bit FNV-1a byte loop over key from the given basis —
+// the shared core of Hash64 and ShardHash, which differ only in how the
+// basis is derived.
+func fnv1a(basis uint64, key string) uint64 {
+	h := basis
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= fnvPrime
 	}
-	return Mix64(h)
+	return h
+}
+
+// Hash64 returns a 64-bit hash of key seeded with seed. Identical (seed, key)
+// pairs always produce identical values, across processes and platforms.
+func Hash64(seed uint64, key string) uint64 {
+	return Mix64(fnv1a(fnvOffset^Mix64(seed), key))
 }
 
 // Mix64 is the splitmix64 finalizer: a bijective avalanche mix of a 64-bit
@@ -62,6 +69,20 @@ func KeySeed(seed uint64, key string) float64 {
 // per-assignment hashes, yielding independent rank assignments.
 func AssignmentSeed(seed uint64, assignment int, key string) float64 {
 	return Unit(Hash64(Mix64(seed^(uint64(assignment)+0x9e3779b97f4a7c15)), key))
+}
+
+// shardSalt decorrelates ShardHash from Hash64: the rank hash mixes the
+// user's seed into the FNV offset basis, so salting the shard hash with a
+// fixed constant keeps the two hash streams distinct for every realistic
+// seed choice.
+const shardSalt uint64 = 0x9e3779b97f4a7c15
+
+// ShardHash returns a 64-bit hash of key for partitioning a key space across
+// shards. It deliberately takes no user seed: shard routing must not depend
+// on the rank hash, so that how a stream is partitioned can never correlate
+// with which keys the coordinated samples retain.
+func ShardHash(key string) uint64 {
+	return Mix64(fnv1a(fnvOffset^shardSalt, key))
 }
 
 // Derive produces a child seed from a parent seed and a stream index, for

@@ -1,0 +1,180 @@
+// Package shard implements sharded, concurrent ingestion of one weight
+// assignment's aggregated (key, weight) stream.
+//
+// The construction rests on two facts. First, per-assignment sketching is a
+// one-pass, O(k)-state operation (Section 3 of the paper), so a stream can be
+// split arbitrarily and each piece sketched independently. Second,
+// sketch.Merge combines bottom-k sketches of *disjoint* key sets into the
+// exact bottom-k sketch of their union. A Sketcher therefore hash-partitions
+// keys across S disjoint shards, runs one BottomKBuilder per shard behind
+// batched channels drained by worker goroutines, and freezes via sketch.Merge
+// into a sketch that is bit-identical — same entries, same r_k(I), same
+// r_{k+1}(I) — to what a single-stream AssignmentSketcher would have built.
+//
+// The shard router uses hashing.ShardHash, which takes no user seed: routing
+// is independent of the rank hash, so coordination across assignments is
+// untouched by how the stream happens to be partitioned. Ranks themselves are
+// computed inside the workers, moving the hash-and-quantile work off the
+// producer's goroutine — that is where the throughput win comes from.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"coordsample/internal/hashing"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// batchSize is the number of items buffered per worker before a channel
+// send. Batching amortizes channel synchronization over many keys; 256 keeps
+// the per-batch memory small (a few KiB) while making sends rare.
+const batchSize = 256
+
+// item is one routed stream element. The rank is computed by the receiving
+// worker, not the producer.
+type item struct {
+	key    string
+	weight float64
+	shard  int32
+}
+
+// ShardOf returns the shard index of key under a partition into shards
+// disjoint pieces. The assignment is deterministic and seed-free, so every
+// site partitions identically and independently of the rank hash.
+func ShardOf(key string, shards int) int {
+	return int(hashing.ShardHash(key) % uint64(shards))
+}
+
+// Sketcher builds the bottom-k sketch of one weight assignment by
+// hash-partitioning its stream across disjoint shards sketched concurrently.
+// It is a drop-in replacement for a single-stream sketcher: the frozen
+// sketch is bit-identical to the one-builder construction.
+//
+// Offer must be called from a single goroutine (the producer); the
+// concurrency is internal. Sketch terminates the pipeline: it flushes
+// pending batches, waits for the workers, and merges — Offer must not be
+// called afterwards.
+type Sketcher struct {
+	assigner   rank.Assigner
+	assignment int
+	shards     int
+	workers    int
+	builders   []*sketch.BottomKBuilder // one per shard; builders[s] is owned by worker s % workers
+	chans      []chan []item            // one per worker
+	pending    [][]item                 // producer-side batch per worker
+	wg         sync.WaitGroup
+	closed     bool
+}
+
+// NewSketcher creates a sharded sketcher for assignment index assignment
+// with per-assignment sample size k. shards must be ≥ 1; workers ≤ 0 selects
+// GOMAXPROCS, and the worker count is capped at the shard count (shard s is
+// owned by worker s mod workers, so extra workers would idle).
+func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sketcher {
+	if shards < 1 {
+		panic(fmt.Sprintf("shard: invalid shard count %d", shards))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	s := &Sketcher{
+		assigner:   assigner,
+		assignment: assignment,
+		shards:     shards,
+		workers:    workers,
+		builders:   make([]*sketch.BottomKBuilder, shards),
+		chans:      make([]chan []item, workers),
+		pending:    make([][]item, workers),
+	}
+	for i := range s.builders {
+		s.builders[i] = sketch.NewBottomKBuilder(k)
+	}
+	for w := range s.chans {
+		s.chans[w] = make(chan []item, 4)
+		s.pending[w] = make([]item, 0, batchSize)
+	}
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go s.drain(s.chans[w])
+	}
+	return s
+}
+
+// drain consumes batches, computing each item's rank and offering it to its
+// shard's builder. The fixed shard→worker ownership means no builder is ever
+// touched by two goroutines.
+func (s *Sketcher) drain(ch <-chan []item) {
+	defer s.wg.Done()
+	for batch := range ch {
+		for _, it := range batch {
+			r := s.assigner.Rank(it.key, s.assignment, it.weight)
+			s.builders[it.shard].Offer(it.key, r, it.weight)
+		}
+	}
+}
+
+// Offer presents one aggregated key with its weight in this assignment.
+// Keys must be pre-aggregated (each key offered at most once), exactly as
+// for the single-stream sketcher.
+func (s *Sketcher) Offer(key string, weight float64) {
+	if s.closed {
+		panic("shard: Offer after Sketch")
+	}
+	if weight <= 0 {
+		return // never sampled; skip before paying for routing
+	}
+	sh := ShardOf(key, s.shards)
+	w := sh % s.workers
+	s.pending[w] = append(s.pending[w], item{key: key, weight: weight, shard: int32(sh)})
+	if len(s.pending[w]) == batchSize {
+		s.chans[w] <- s.pending[w]
+		s.pending[w] = make([]item, 0, batchSize)
+	}
+}
+
+// Sketch flushes the pipeline, waits for the workers, and merges the shard
+// sketches into the bottom-k sketch of the full assignment. Unlike the
+// single-stream builder this is terminal: the pipeline is shut down and
+// further Offers panic. Sketch may be called again; it returns the same
+// frozen result.
+func (s *Sketcher) Sketch() *sketch.BottomK {
+	s.close()
+	parts := make([]*sketch.BottomK, s.shards)
+	for i, b := range s.builders {
+		parts[i] = b.Sketch()
+	}
+	return sketch.Merge(parts...)
+}
+
+// close flushes pending batches, closes the worker channels, and waits for
+// the drain goroutines to finish. Idempotent.
+func (s *Sketcher) close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for w, batch := range s.pending {
+		if len(batch) > 0 {
+			s.chans[w] <- batch
+		}
+		s.pending[w] = nil
+		close(s.chans[w])
+	}
+	s.wg.Wait()
+}
+
+// NumShards returns the shard count.
+func (s *Sketcher) NumShards() int { return s.shards }
+
+// NumWorkers returns the effective worker count (after clamping to the
+// shard count).
+func (s *Sketcher) NumWorkers() int { return s.workers }
+
+// Assignment returns the assignment index this sketcher serves.
+func (s *Sketcher) Assignment() int { return s.assignment }

@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// singleStream builds the reference sketch the way AssignmentSketcher does:
+// one builder, one pass, ranks from the same assigner.
+func singleStream(a rank.Assigner, assignment, k int, keys []string, weights []float64) *sketch.BottomK {
+	b := sketch.NewBottomKBuilder(k)
+	for i, key := range keys {
+		if weights[i] > 0 {
+			b.Offer(key, a.Rank(key, assignment, weights[i]), weights[i])
+		}
+	}
+	return b.Sketch()
+}
+
+// randomStream draws a heavy-tailed (key, weight) stream with some zero
+// weights mixed in, mimicking a sparse assignment column.
+func randomStream(rng *rand.Rand, n int, tag string) ([]string, []float64) {
+	keys := make([]string, n)
+	weights := make([]float64, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s-key-%06d", tag, i)
+		if rng.Float64() < 0.1 {
+			weights[i] = 0
+		} else {
+			weights[i] = math.Exp(rng.NormFloat64() * 2)
+		}
+	}
+	return keys, weights
+}
+
+func requireIdentical(t *testing.T, got, want *sketch.BottomK, label string) {
+	t.Helper()
+	if got.K() != want.K() {
+		t.Fatalf("%s: k = %d, want %d", label, got.K(), want.K())
+	}
+	if got.KthRank() != want.KthRank() {
+		t.Errorf("%s: KthRank = %v, want %v", label, got.KthRank(), want.KthRank())
+	}
+	if got.Threshold() != want.Threshold() {
+		t.Errorf("%s: Threshold = %v, want %v", label, got.Threshold(), want.Threshold())
+	}
+	ge, we := got.Entries(), want.Entries()
+	if len(ge) != len(we) {
+		t.Fatalf("%s: %d entries, want %d", label, len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("%s: entry %d = %+v, want %+v", label, i, ge[i], we[i])
+		}
+	}
+}
+
+// TestShardedEquivalence is the headline guarantee: for every shard and
+// worker count, the sharded pipeline's frozen sketch is bit-identical —
+// entries, KthRank, Threshold — to the single-stream construction.
+func TestShardedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys, weights := randomStream(rng, 5000, "eq")
+	cfgs := []rank.Assigner{
+		{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1},
+		{Family: rank.EXP, Mode: rank.SharedSeed, Seed: 42},
+		{Family: rank.IPPS, Mode: rank.Independent, Seed: 7},
+	}
+	for _, a := range cfgs {
+		for _, k := range []int{1, 64, 512} {
+			want := singleStream(a, 0, k, keys, weights)
+			for _, shards := range []int{1, 2, 7, 16} {
+				for _, workers := range []int{1, 3, 8} {
+					s := NewSketcher(a, 0, k, shards, workers)
+					for i, key := range keys {
+						s.Offer(key, weights[i])
+					}
+					label := fmt.Sprintf("%v k=%d shards=%d workers=%d", a, k, shards, workers)
+					requireIdentical(t, s.Sketch(), want, label)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSmallSet checks the |I| < k edge where every key is retained
+// and both conditioning ranks are +Inf.
+func TestShardedSmallSet(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 3}
+	keys := []string{"a", "b", "c"}
+	weights := []float64{1, 2, 3}
+	want := singleStream(a, 0, 10, keys, weights)
+	for _, shards := range []int{1, 2, 7, 16} {
+		s := NewSketcher(a, 0, 10, shards, 4)
+		for i, key := range keys {
+			s.Offer(key, weights[i])
+		}
+		requireIdentical(t, s.Sketch(), want, fmt.Sprintf("small set shards=%d", shards))
+	}
+}
+
+// TestShardedLargeStreamCrossesBatches exercises multiple full batches per
+// worker so flush-on-close and mid-stream sends are both covered.
+func TestShardedLargeStreamCrossesBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	keys, weights := randomStream(rng, 40*batchSize, "big")
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 5}
+	want := singleStream(a, 2, 256, keys, weights)
+	s := NewSketcher(a, 2, 256, 4, 2)
+	for i, key := range keys {
+		s.Offer(key, weights[i])
+	}
+	requireIdentical(t, s.Sketch(), want, "large stream")
+}
+
+// TestSketchIsTerminal verifies the pipeline contract: Sketch freezes, a
+// repeated Sketch returns the same result, and Offer afterwards panics.
+func TestSketchIsTerminal(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 9}
+	s := NewSketcher(a, 0, 4, 3, 2)
+	for i := 0; i < 100; i++ {
+		s.Offer(fmt.Sprintf("t-%03d", i), 1+float64(i))
+	}
+	first := s.Sketch()
+	requireIdentical(t, s.Sketch(), first, "repeated Sketch")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Offer after Sketch did not panic")
+		}
+	}()
+	s.Offer("late", 1)
+}
+
+// TestShardOfPartitions checks the router is a total, deterministic
+// partition with every shard reachable.
+func TestShardOfPartitions(t *testing.T) {
+	const shards = 8
+	hit := make([]int, shards)
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("p-%04d", i)
+		s := ShardOf(key, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("ShardOf(%q) = %d out of range", key, s)
+		}
+		if s != ShardOf(key, shards) {
+			t.Fatalf("ShardOf(%q) not deterministic", key)
+		}
+		hit[s]++
+	}
+	for s, n := range hit {
+		if n == 0 {
+			t.Errorf("shard %d never hit over 4096 keys", s)
+		}
+	}
+}
+
+// TestInvalidShardCount checks constructor validation.
+func TestInvalidShardCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shards=0 did not panic")
+		}
+	}()
+	NewSketcher(rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1}, 0, 4, 0, 1)
+}
+
+// TestWorkerClamp verifies workers are capped at the shard count and that
+// workers ≤ 0 selects a positive default.
+func TestWorkerClamp(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1}
+	s := NewSketcher(a, 0, 4, 3, 64)
+	if s.NumWorkers() != 3 {
+		t.Errorf("workers = %d, want clamp to 3", s.NumWorkers())
+	}
+	s.Sketch()
+	s = NewSketcher(a, 0, 4, 2, -1)
+	if s.NumWorkers() < 1 || s.NumWorkers() > 2 {
+		t.Errorf("defaulted workers = %d, want in [1,2]", s.NumWorkers())
+	}
+	s.Sketch()
+}

@@ -243,9 +243,18 @@ func BottomKFromRanks(k int, keys []string, ranks, weights []float64) *BottomK {
 // Correctness: every key of shard j absent from its sketch has rank at least
 // that sketch's threshold, so the merged k smallest and the merged
 // (k+1)-smallest rank are determined by the retained entries plus the shard
-// thresholds. All sketches must share the same k. The caller is responsible
-// for disjointness (shards partition the key space); overlapping keys would
-// be double-counted, exactly as they would in the underlying data.
+// thresholds.
+//
+// Contract: all sketches must share the same k (mismatched k panics) and
+// must have been built under the same rank assignment — same family, mode,
+// and seed. Mismatched configurations cannot be detected here (a BottomK
+// carries no Config) and silently yield a merged sample that is not a
+// bottom-k sample of anything. Disjointness (shards partition the key
+// space) is also the caller's responsibility; overlapping keys would be
+// double-counted, exactly as duplicate records would in the underlying
+// data. The most common disjointness violation is caught downstream: when
+// two copies of a key both survive the merge, the Sketch() freeze panics
+// ("offered more than once") instead of corrupting every estimate.
 func Merge(sketches ...*BottomK) *BottomK {
 	if len(sketches) == 0 {
 		panic("sketch: nothing to merge")

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"coordsample/internal/dataset"
@@ -500,6 +501,41 @@ func TestMergeValidation(t *testing.T) {
 	s1 := BottomKFromRanks(2, []string{"a"}, []float64{0.1}, []float64{1})
 	s2 := BottomKFromRanks(3, []string{"b"}, []float64{0.2}, []float64{1})
 	assertPanics(t, func() { Merge(s1, s2) })
+}
+
+func TestMergeMismatchedKPanicMessage(t *testing.T) {
+	// The Merge contract: sketches built with different k are rejected by
+	// panic (silently merging them would misplace both conditioning ranks).
+	s1 := BottomKFromRanks(2, []string{"a", "b"}, []float64{0.1, 0.2}, []float64{1, 1})
+	s2 := BottomKFromRanks(3, []string{"c", "d"}, []float64{0.3, 0.4}, []float64{1, 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Merge with mismatched k did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "share k") {
+			t.Fatalf("panic %v does not state the shared-k contract", r)
+		}
+	}()
+	Merge(s1, s2)
+}
+
+func TestMergeOverlappingShardsDetected(t *testing.T) {
+	// Disjointness is the caller's obligation; the common violation — the
+	// same key retained by two inputs and surviving the merge — is caught by
+	// the freeze step's duplicate-key panic instead of double-counting.
+	s1 := BottomKFromRanks(4, []string{"dup", "x"}, []float64{0.1, 0.5}, []float64{3, 1})
+	s2 := BottomKFromRanks(4, []string{"dup", "y"}, []float64{0.1, 0.6}, []float64{3, 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Merge of overlapping sketches was not detected")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "more than once") {
+			t.Fatalf("panic %v is not the duplicate-key detection", r)
+		}
+	}()
+	Merge(s1, s2)
 }
 
 func TestMergeSingleSketchIdentity(t *testing.T) {
