@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coordsample"
+)
+
+// writeCSV emits a 2-assignment dataset in the cws interchange format.
+func writeCSV(t *testing.T, path string, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString("key,period1,period2\n")
+	for i := 0; i < n; i++ {
+		w1 := math.Exp(rng.NormFloat64() * 2)
+		w2 := w1 * math.Exp(0.5*rng.NormFloat64())
+		fmt.Fprintf(&sb, "host-%04d,%g,%g\n", i, w1, w2)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// summarizeCSV runs the in-process dispersed pipeline over the CSV exactly
+// as cws-sketch does (one Offer per positive weight).
+func summarizeCSV(t *testing.T, path string, cfg coordsample.Config) *coordsample.Dispersed {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	s0 := coordsample.NewAssignmentSketcher(cfg, 0)
+	s1 := coordsample.NewAssignmentSketcher(cfg, 1)
+	for _, line := range lines[1:] {
+		parts := strings.Split(line, ",")
+		var w1, w2 float64
+		fmt.Sscanf(parts[1], "%g", &w1)
+		fmt.Sscanf(parts[2], "%g", &w2)
+		if w1 > 0 {
+			s0.Offer(parts[0], w1)
+		}
+		if w2 > 0 {
+			s1.Offer(parts[0], w2)
+		}
+	}
+	d, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s0.Sketch(), s1.Sketch()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSeparateProcessesBitIdentical is the acceptance criterion end to
+// end, across real OS process boundaries: cws-sketch (process 1) writes
+// fingerprinted sketch files, cws-merge (process 2) reads, verifies,
+// merges, and queries them, and the printed estimate is bit-identical to
+// the in-process pipeline over the same data. Mixing in a sketch built
+// under a different seed or K fails loudly.
+func TestSeparateProcessesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	sketchBin := filepath.Join(dir, "cws-sketch")
+	mergeBin := filepath.Join(dir, "cws-merge")
+	for bin, pkg := range map[string]string{sketchBin: "coordsample/cmd/cws-sketch", mergeBin: "coordsample/cmd/cws-merge"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	csv := filepath.Join(dir, "data.csv")
+	writeCSV(t, csv, 21, 3000)
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 256}
+
+	// Process 1: sketch and ship (one file per assignment, both formats).
+	for _, format := range []string{"binary", "json"} {
+		prefix := filepath.Join(dir, "site-"+format)
+		out, err := exec.Command(sketchBin, "-in", csv, "-k", "256", "-seed", "1",
+			"-out", prefix, "-format", format, "-query", "none").CombinedOutput()
+		if err != nil {
+			t.Fatalf("cws-sketch (%s): %v\n%s", format, err, out)
+		}
+		suffix := ".cws"
+		if format == "json" {
+			suffix = ".cws.json"
+		}
+		files := []string{prefix + ".0" + suffix, prefix + ".1" + suffix}
+
+		// Process 2: merge and query the shipped files alone.
+		inProcess := summarizeCSV(t, csv, cfg)
+		for _, q := range []struct {
+			args []string
+			want float64
+		}{
+			{[]string{"-query", "L1"}, inProcess.RangeLSet(nil).Estimate(nil)},
+			{[]string{"-query", "max"}, inProcess.Max(nil).Estimate(nil)},
+			{[]string{"-query", "min"}, inProcess.MinLSet(nil).Estimate(nil)},
+			{[]string{"-query", "lth", "-l", "2"}, inProcess.LthLargest(nil, 2).Estimate(nil)},
+			{[]string{"-query", "sum", "-b", "0", "-prefix", "host-1"},
+				inProcess.Single(0).Estimate(func(k string) bool { return strings.HasPrefix(k, "host-1") })},
+		} {
+			out, err := exec.Command(mergeBin, append(q.args, files...)...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("cws-merge %v: %v\n%s", q.args, err, out)
+			}
+			// cws-merge prints the estimate with %v: shortest exact float64
+			// representation, so string equality means bit-identity.
+			if want := fmt.Sprintf("= %v ", q.want); !strings.Contains(string(out), want) {
+				t.Fatalf("cws-merge %v (%s): output %q does not contain bit-identical %q",
+					q.args, format, out, want)
+			}
+		}
+	}
+
+	// Loud-failure direction 1: a site with a different seed.
+	badPrefix := filepath.Join(dir, "rogue")
+	if out, err := exec.Command(sketchBin, "-in", csv, "-k", "256", "-seed", "2",
+		"-out", badPrefix, "-query", "none").CombinedOutput(); err != nil {
+		t.Fatalf("cws-sketch (rogue): %v\n%s", err, out)
+	}
+	out, err := exec.Command(mergeBin, "-query", "L1",
+		filepath.Join(dir, "site-binary.0.cws"), badPrefix+".1.cws").CombinedOutput()
+	if err == nil {
+		t.Fatalf("cws-merge accepted sketches with different seeds:\n%s", out)
+	}
+	if !strings.Contains(string(out), "not coordinated") {
+		t.Fatalf("mismatch error does not explain the coordination failure: %s", out)
+	}
+
+	// Loud-failure direction 2: shard sketches of one assignment with
+	// different K (caught by the fingerprint in the merge).
+	smallPrefix := filepath.Join(dir, "small-k")
+	if out, err := exec.Command(sketchBin, "-in", csv, "-k", "128", "-seed", "1",
+		"-out", smallPrefix, "-query", "none").CombinedOutput(); err != nil {
+		t.Fatalf("cws-sketch (small k): %v\n%s", err, out)
+	}
+	out, err = exec.Command(mergeBin, "-query", "L1",
+		filepath.Join(dir, "site-binary.0.cws"), smallPrefix+".0.cws",
+		filepath.Join(dir, "site-binary.1.cws")).CombinedOutput()
+	if err == nil {
+		t.Fatalf("cws-merge accepted shard sketches with different K:\n%s", out)
+	}
+	if !strings.Contains(string(out), "fingerprint") {
+		t.Fatalf("mismatch error does not mention the fingerprint: %s", out)
+	}
+}
+
+// TestRunErrors covers the in-process error paths of the merge command.
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil || !strings.Contains(err.Error(), "no sketch files") {
+		t.Fatalf("missing-files error: %v", err)
+	}
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.cws")
+	if err := os.WriteFile(garbage, []byte("not a sketch"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garbage}, &buf); err == nil || !strings.Contains(err.Error(), "not a sketch file") {
+		t.Fatalf("garbage-file error: %v", err)
+	}
+	if err := run([]string{filepath.Join(dir, "missing.cws")}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRunQueriesDecodedFiles drives run() directly over library-written
+// files, including the verbose listing.
+func TestRunQueriesDecodedFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 3, K: 32}
+	rng := rand.New(rand.NewSource(8))
+	var files []string
+	for b := 0; b < 2; b++ {
+		sk := coordsample.NewAssignmentSketcher(cfg, b)
+		for i := 0; i < 500; i++ {
+			sk.Offer(fmt.Sprintf("k%04d", i), math.Exp(rng.NormFloat64()))
+		}
+		path := filepath.Join(dir, fmt.Sprintf("a%d.cws", b))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coordsample.EncodeSketch(f, coordsample.CodecBinary, cfg, b, sk.Sketch()); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		files = append(files, path)
+	}
+	var buf bytes.Buffer
+	if err := run(append([]string{"-v", "-query", "jaccard"}, files...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "loaded") || !strings.Contains(out, "weighted Jaccard") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}

@@ -1,6 +1,7 @@
-// Command cws-sketch builds coordinated bottom-k sketches from CSV data and
-// answers multiple-assignment aggregate queries — the dispersed pipeline as
-// a shell tool.
+// Command cws-sketch builds coordinated bottom-k sketches from CSV data,
+// answers multiple-assignment aggregate queries, and — with -out — writes
+// each assignment's sketch as a self-describing, fingerprinted sketch file
+// that cws-merge in another process can verify, merge, and query.
 //
 // Input: a CSV with header "key,<a1>,<a2>,..." (as produced by cws-datagen),
 // one weight column per assignment. Each column is sketched independently
@@ -13,6 +14,8 @@
 //	cws-sketch -in data.csv -k 1024 -query min -R 0,1,2
 //	cws-sketch -in data.csv -k 1024 -query sum -b 0 -prefix "192.168."
 //	cws-sketch -in data.csv -k 1024 -shards 8 -workers 4   # sharded concurrent ingestion
+//	cws-sketch -in siteA.csv -k 1024 -out siteA -query none  # ship: siteA.0.cws, siteA.1.cws, ...
+//	cws-merge -query L1 siteA.*.cws siteB.*.cws              # ...query the shipped files
 //
 // With -shards > 1 each assignment's stream is hash-partitioned across
 // disjoint shards sketched by concurrent workers and merged; the resulting
@@ -26,10 +29,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"coordsample"
+	"coordsample/internal/cliquery"
 	"coordsample/internal/csvio"
 )
 
@@ -37,15 +40,22 @@ func main() {
 	in := flag.String("in", "", "input CSV (default stdin)")
 	k := flag.Int("k", 1024, "sketch size per assignment")
 	seed := flag.Uint64("seed", 1, "hash seed shared by all assignments")
-	query := flag.String("query", "L1", "query: sum, min, max, L1, jaccard")
+	query := flag.String("query", "L1", "query: "+cliquery.Queries+", or none")
 	b := flag.Int("b", 0, "assignment index for -query sum")
+	l := flag.Int("l", 1, "ℓ for -query lth (1 = largest)")
 	rFlag := flag.String("R", "", "comma-separated assignment subset (default all)")
 	prefix := flag.String("prefix", "", "restrict to keys with this prefix (subpopulation)")
 	shards := flag.Int("shards", 1, "hash-partition each assignment's stream across this many shards (>1 enables concurrent ingestion)")
 	workers := flag.Int("workers", 0, "ingestion workers per assignment (0 = GOMAXPROCS; only with -shards > 1)")
+	out := flag.String("out", "", "write one sketch file per assignment: <out>.<b>.cws[.json]")
+	format := flag.String("format", "binary", "sketch file format for -out: binary or json")
 	flag.Parse()
 	if *shards < 1 {
 		fatal(fmt.Errorf("-shards must be ≥ 1, got %d", *shards))
+	}
+	codec, err := coordsample.ParseSketchCodec(*format)
+	if err != nil {
+		fatal(err)
 	}
 
 	var r io.Reader = os.Stdin
@@ -67,9 +77,25 @@ func main() {
 	for i, s := range sketchers {
 		sketches[i] = s.Sketch()
 	}
-	summary := coordsample.CombineDispersed(cfg, sketches)
 
-	R, err := parseR(*rFlag, len(names))
+	if *out != "" {
+		for i, s := range sketches {
+			path := sketchFileName(*out, i, codec)
+			if err := writeSketchFile(path, codec, cfg, i, s); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%s, assignment %d, %d entries)\n", path, names[i], i, s.Size())
+		}
+	}
+	if *query == "none" {
+		return
+	}
+
+	summary, err := coordsample.CombineDispersed(cfg, sketches)
+	if err != nil {
+		fatal(err)
+	}
+	R, err := cliquery.ParseR(*rFlag, len(names))
 	if err != nil {
 		fatal(err)
 	}
@@ -79,26 +105,35 @@ func main() {
 		pred = func(key string) bool { return strings.HasPrefix(key, p) }
 	}
 
-	switch *query {
-	case "sum":
-		report("sum "+names[*b], summary.Single(*b).Estimate(pred))
-	case "min":
-		report("min-dominance", summary.MinLSet(R).Estimate(pred))
-	case "max":
-		report("max-dominance", summary.Max(R).Estimate(pred))
-	case "L1":
-		report("L1 difference", summary.RangeLSet(R).Estimate(pred))
-	case "jaccard":
-		mx := summary.Max(R).Estimate(pred)
-		mn := summary.MinLSet(R).Estimate(pred)
-		if mx == 0 {
-			report("weighted Jaccard", 1)
-		} else {
-			report("weighted Jaccard", mn/mx)
-		}
-	default:
-		fatal(fmt.Errorf("unknown query %q", *query))
+	label, v, err := cliquery.Answer(summary, *query, *b, R, *l, pred)
+	if err != nil {
+		fatal(err)
 	}
+	if *query == "sum" {
+		label = "sum " + names[*b]
+	}
+	fmt.Printf("%s ≈ %.6g\n", label, v)
+}
+
+// sketchFileName names assignment b's sketch file under the -out prefix.
+func sketchFileName(prefix string, b int, c coordsample.SketchCodec) string {
+	name := fmt.Sprintf("%s.%d.cws", prefix, b)
+	if c == coordsample.CodecJSON {
+		name += ".json"
+	}
+	return name
+}
+
+func writeSketchFile(path string, c coordsample.SketchCodec, cfg coordsample.Config, b int, s *coordsample.BottomK) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := coordsample.EncodeSketch(f, c, cfg, b, s); err != nil {
+		f.Close()
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // ingestor is the common stream interface of the single-stream and sharded
@@ -137,25 +172,6 @@ func sketchCSV(r io.Reader, cfg coordsample.Config, shards, workers int) ([]stri
 		}
 	}
 	return names, sketchers, nil
-}
-
-func parseR(s string, n int) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var R []int
-	for _, part := range strings.Split(s, ",") {
-		b, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || b < 0 || b >= n {
-			return nil, fmt.Errorf("invalid assignment index %q", part)
-		}
-		R = append(R, b)
-	}
-	return R, nil
-}
-
-func report(name string, v float64) {
-	fmt.Printf("%s ≈ %.6g\n", name, v)
 }
 
 func fatal(err error) {

@@ -23,8 +23,15 @@
 //	s0 := coordsample.NewAssignmentSketcher(cfg, 0) // e.g. at site A
 //	s1 := coordsample.NewAssignmentSketcher(cfg, 1) // e.g. at site B
 //	// ... s0.Offer(key, w) over period-1 data, s1.Offer over period-2 data ...
-//	sum := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s0.Sketch(), s1.Sketch()})
+//	sum, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s0.Sketch(), s1.Sketch()})
+//	if err != nil { ... } // sketches built under a different configuration
 //	change := sum.RangeLSet(nil).Estimate(func(key string) bool { return interesting(key) })
+//
+// Sketches are wire-portable: every sketch built through the pipelines
+// carries a configuration fingerprint, EncodeSketch/DecodeSketch ship it
+// between processes (binary or JSON), and CombineDecoded reassembles
+// shipped files into a queryable summary, rejecting any file built under a
+// mismatched configuration (see cmd/cws-merge and examples/distributed).
 //
 // Colocated weights (full weight vector available per key): feed a
 // ColocatedSummarizer and use the inclusive estimators, which exploit every
@@ -43,6 +50,8 @@
 package coordsample
 
 import (
+	"io"
+
 	"coordsample/internal/core"
 	"coordsample/internal/dataset"
 	"coordsample/internal/estimate"
@@ -92,6 +101,17 @@ type (
 	Family = rank.Family
 	// Coordination is the joint distribution of a key's rank vector.
 	Coordination = rank.Coordination
+	// SketchCodec selects the wire format of an encoded sketch.
+	SketchCodec = sketch.Codec
+	// DecodedSketch is a sketch read back from the wire: construction
+	// metadata plus the (fingerprint-verified) bottom-k or Poisson sketch.
+	DecodedSketch = sketch.Decoded
+	// FingerprintMismatchError reports an attempt to combine or ship
+	// sketches built under different configurations.
+	FingerprintMismatchError = sketch.FingerprintMismatchError
+	// CoordinationMismatchError reports shipped sketches whose rank
+	// family, coordination mode, or seed disagree.
+	CoordinationMismatchError = core.CoordinationMismatchError
 )
 
 // Rank families (Section 3 of the paper).
@@ -124,8 +144,11 @@ func NewAssignmentSketcher(cfg Config, b int) *AssignmentSketcher {
 }
 
 // CombineDispersed merges per-assignment sketches (in assignment order) into
-// a queryable dispersed summary.
-func CombineDispersed(cfg Config, sketches []*BottomK) *Dispersed {
+// a queryable dispersed summary. Fingerprinted sketches (everything built
+// through the pipeline constructors) are verified against cfg; a sketch
+// built under a different Family, Mode, Seed, or assignment index yields a
+// *FingerprintMismatchError instead of a silently corrupt summary.
+func CombineDispersed(cfg Config, sketches []*BottomK) (*Dispersed, error) {
 	return core.CombineDispersed(cfg, sketches)
 }
 
@@ -147,7 +170,7 @@ func SummarizeDispersed(cfg Config, ds *Dataset) *Dispersed {
 }
 
 // NewShardedSketcher creates a concurrent dispersed-model sketcher for
-// assignment b: keys are hash-partitioned across shards disjoint shards
+// assignment b: keys are hash-partitioned across disjoint shards
 // (with a hash independent of the rank hash, so coordination is untouched),
 // each sketched by its own builder behind worker goroutines. Sketch() merges
 // the shard sketches into the exact single-stream result and shuts the
@@ -188,20 +211,31 @@ func KMinsJaccard(cfg Config, ds *Dataset, b1, b2 int) float64 {
 // assignment into the exact bottom-k sketch of the union — the distributed
 // pattern: each site sketches its shard, a combiner merges.
 //
-// Contract: all sketches must share the same k (mismatched k panics), must
-// sketch the same assignment, and must have been built under the same Config
-// — identical Family, Mode, and Seed. The seed cannot be checked here: a
-// BottomK carries no Config, so merging sketches built under different
-// configurations silently produces a sample that is NOT a bottom-k sample of
-// the union (ranks from different hash functions are incomparable).
-// Disjointness is likewise the caller's responsibility, but its most common
+// Contract: all sketches must have been built under the same Config —
+// identical Family, Mode, Seed, and K — and for the same assignment. This
+// is now verified: every sketch built through the pipeline constructors
+// carries a fingerprint digesting exactly those parameters, and a mismatch
+// (incomparable ranks from different hash functions, or different k)
+// returns a *FingerprintMismatchError instead of silently producing a
+// sample that is NOT a bottom-k sample of the union. Sketches from legacy
+// fingerprint-less constructors are rejected too; use
+// MergeSketchesUnchecked when their provenance is known out of band.
+// Disjointness remains the caller's responsibility, but its most common
 // violation is detected: if the same key is retained by two input sketches
 // and both copies survive the merge, the freeze step panics with
 // "offered more than once" rather than silently double-counting the key in
 // every downstream estimate. An overlapping key that does not survive the
 // merge is indistinguishable from duplicate data and goes undetected.
-func MergeSketches(sketches ...*BottomK) *BottomK {
+func MergeSketches(sketches ...*BottomK) (*BottomK, error) {
 	return sketch.Merge(sketches...)
+}
+
+// MergeSketchesUnchecked is MergeSketches without the fingerprint
+// verification — for sketches built by fingerprint-less legacy paths whose
+// common configuration the caller vouches for. Getting that wrong silently
+// corrupts every downstream estimate; prefer MergeSketches.
+func MergeSketchesUnchecked(sketches ...*BottomK) *BottomK {
+	return sketch.MergeUnchecked(sketches...)
 }
 
 // NewPoissonSketcher creates a dispersed-model Poisson sketcher for
@@ -217,9 +251,55 @@ func PoissonTau(family Family, weights []float64, k float64) float64 {
 }
 
 // CombineDispersedPoisson merges per-assignment Poisson sketches into a
-// queryable dispersed summary.
-func CombineDispersedPoisson(cfg Config, sketches []*PoissonSketch) *Dispersed {
+// queryable dispersed summary, verifying sketch fingerprints against cfg
+// exactly as CombineDispersed does.
+func CombineDispersedPoisson(cfg Config, sketches []*PoissonSketch) (*Dispersed, error) {
 	return core.CombineDispersedPoisson(cfg, sketches)
+}
+
+// Wire codecs for shipping sketches between processes (binary is compact;
+// JSON is self-describing text). Both round-trip float64 values exactly,
+// including the ±Inf conditioning ranks.
+const (
+	CodecBinary = sketch.CodecBinary
+	CodecJSON   = sketch.CodecJSON
+)
+
+// ParseSketchCodec parses a codec name ("binary" or "json").
+func ParseSketchCodec(s string) (SketchCodec, error) { return sketch.ParseCodec(s) }
+
+// EncodeSketch writes the bottom-k sketch of assignment b, built under cfg,
+// as a self-describing sketch file: a versioned header with the full
+// construction configuration and its fingerprint, the conditioning ranks,
+// and the entries. The sketch's fingerprint is checked against cfg before
+// anything is written, so a file can never misstate its provenance.
+func EncodeSketch(w io.Writer, c SketchCodec, cfg Config, b int, s *BottomK) error {
+	return sketch.EncodeBottomK(w, c, sketch.WireMeta{Family: cfg.Family, Mode: cfg.Mode, Seed: cfg.Seed, Assignment: b}, s)
+}
+
+// EncodePoissonSketch writes the Poisson sketch of assignment b, built
+// under cfg, as a sketch file (τ travels in the sketch body).
+func EncodePoissonSketch(w io.Writer, c SketchCodec, cfg Config, b int, s *PoissonSketch) error {
+	return sketch.EncodePoisson(w, c, sketch.WireMeta{Family: cfg.Family, Mode: cfg.Mode, Seed: cfg.Seed, Assignment: b}, s)
+}
+
+// DecodeSketch reads one sketch file (either codec, auto-detected),
+// revalidates every structural invariant, and verifies the stored
+// fingerprint against the stored configuration. The decoded sketch is
+// exactly as trustworthy as one built in-process.
+func DecodeSketch(r io.Reader) (*DecodedSketch, error) {
+	return sketch.Decode(r)
+}
+
+// CombineDecoded assembles decoded sketch files into a queryable dispersed
+// summary — the distributed combiner run on shipped summaries alone.
+// Bottom-k files sharing an assignment index are shard sketches and are
+// merged (fingerprint-verified); the assignments present must cover 0..max.
+// Files whose Family, Mode, or Seed disagree are rejected with a
+// *CoordinationMismatchError; shard sketches built under a different K or
+// Seed are rejected with a *FingerprintMismatchError.
+func CombineDecoded(decoded []*DecodedSketch) (*Dispersed, error) {
+	return core.CombineDecoded(decoded)
 }
 
 // SummarizeDispersedPoisson runs the dispersed Poisson pipeline over an

@@ -41,7 +41,10 @@ func TestPublicAPIDispersedRoundTrip(t *testing.T) {
 		sumL1 += math.Abs(w0 - w1)
 	}
 
-	sum := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s0.Sketch(), s1.Sketch()})
+	sum, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s0.Sketch(), s1.Sketch()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	checks := []struct {
 		name string
 		got  float64

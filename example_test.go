@@ -18,7 +18,10 @@ func ExampleCombineDispersed() {
 	for key, w := range weights {
 		s.Offer(key, w)
 	}
-	sum := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s.Sketch()})
+	sum, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s.Sketch()})
+	if err != nil {
+		panic(err)
+	}
 	// k ≥ |I| ⇒ the estimate is exact: 82.
 	fmt.Printf("%.0f\n", sum.Single(0).Estimate(nil))
 	// Subpopulation J = {i2, i4, i6} has weight 40.

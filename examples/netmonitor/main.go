@@ -37,15 +37,22 @@ func main() {
 		sketchers[h] = coordsample.NewAssignmentSketcher(cfg, h)
 	}
 
+	// The sketching contract requires pre-aggregated keys (each key offered
+	// at most once per hour), so flows are first accumulated per destination
+	// — randomly drawn destIPs collide, and offering a duplicate would
+	// (correctly) panic the freeze step.
 	rng := rand.New(rand.NewSource(11))
-	truthL1 := make(map[string]float64) // per-/16 truth for validation
+	volumes := make(map[string]*[hours]float64)
 	for i := 0; i < numFlows; i++ {
 		// Keys are destIPs in a handful of /16s; one of them gets attacked.
 		prefix := fmt.Sprintf("10.%d", rng.Intn(8))
 		dest := fmt.Sprintf("%s.%d.%d", prefix, rng.Intn(256), rng.Intn(256))
 		base := math.Exp(rng.NormFloat64() * 2)
-		var prev float64
-		var vols [hours]float64
+		acc := volumes[dest]
+		if acc == nil {
+			acc = new([hours]float64)
+			volumes[dest] = acc
+		}
 		for h := 0; h < hours; h++ {
 			v := base * (0.5 + rng.Float64())
 			if prefix == "10.3" && h >= 2 {
@@ -54,13 +61,13 @@ func main() {
 			if rng.Float64() < 0.15 {
 				v = 0 // flow absent this hour
 			}
-			vols[h] = v
-			if h > 0 {
-				truthL1[prefix+"."] += math.Abs(v - prev)
-			}
-			prev = v
-			if v > 0 {
-				sketchers[h].Offer(dest, v)
+			acc[h] += v
+		}
+	}
+	for dest, acc := range volumes {
+		for h := 0; h < hours; h++ {
+			if acc[h] > 0 {
+				sketchers[h].Offer(dest, acc[h])
 			}
 		}
 	}
@@ -69,7 +76,10 @@ func main() {
 	for h, s := range sketchers {
 		sketches[h] = s.Sketch()
 	}
-	summary := coordsample.CombineDispersed(cfg, sketches)
+	summary, err := coordsample.CombineDispersed(cfg, sketches)
+	if err != nil {
+		panic(err) // all sketches share cfg
+	}
 
 	// 1. Rank /16 prefixes by estimated hour3-vs-hour2 change.
 	fmt.Println("hour2→hour3 L1 change by /16 prefix (estimated from sketches):")

@@ -54,9 +54,14 @@ func main() {
 		truthMin += math.Min(w1, w2)
 	}
 
-	// Combine the two sketches into one queryable summary.
-	summary := coordsample.CombineDispersed(cfg,
+	// Combine the two sketches into one queryable summary. The error path
+	// fires only when sketches built under different configurations are
+	// mixed — impossible here, where both sites share cfg.
+	summary, err := coordsample.CombineDispersed(cfg,
 		[]*coordsample.BottomK{siteA.Sketch(), siteB.Sketch()})
+	if err != nil {
+		panic(err)
+	}
 
 	show := func(name string, got, want float64) {
 		fmt.Printf("  %-22s estimate %14.1f   truth %14.1f   error %5.2f%%\n",

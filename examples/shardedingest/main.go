@@ -79,7 +79,10 @@ func main() {
 		identical, merged.Size(), merged.KthRank(), merged.Threshold())
 
 	// The merged sketch slots into the usual query pipeline.
-	summary := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{merged})
+	summary, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{merged})
+	if err != nil {
+		panic(err) // merged carries cfg's fingerprint
+	}
 	total := 0.0
 	for _, w := range weights {
 		total += w

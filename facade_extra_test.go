@@ -44,7 +44,10 @@ func TestPublicAPIPoissonPipelines(t *testing.T) {
 			ps.Offer(ds.Key(i), w)
 		}
 	}
-	single := coordsample.CombineDispersedPoisson(cfg, []*coordsample.PoissonSketch{ps.Sketch()})
+	single, err := coordsample.CombineDispersedPoisson(cfg, []*coordsample.PoissonSketch{ps.Sketch()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	truth0 := ds.SumSingle(0, nil)
 	if got := single.Single(0).Estimate(nil); math.Abs(got-truth0) > 0.3*truth0 {
 		t.Fatalf("Poisson single %v too far from %v", got, truth0)
@@ -72,7 +75,10 @@ func TestPublicAPIMergeSketches(t *testing.T) {
 		shards[i%3].Offer(key, w)
 		whole.Offer(key, w)
 	}
-	merged := coordsample.MergeSketches(shards[0].Sketch(), shards[1].Sketch(), shards[2].Sketch())
+	merged, err := coordsample.MergeSketches(shards[0].Sketch(), shards[1].Sketch(), shards[2].Sketch())
+	if err != nil {
+		t.Fatal(err)
+	}
 	direct := whole.Sketch()
 	if merged.Size() != direct.Size() || merged.Threshold() != direct.Threshold() {
 		t.Fatalf("merged sketch differs: size %d/%d threshold %v/%v",

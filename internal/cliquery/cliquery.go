@@ -1,0 +1,80 @@
+// Package cliquery dispatches the query vocabulary shared by the
+// cws-sketch and cws-merge command-line tools onto a dispersed summary, so
+// both binaries answer identically-named queries identically — which is
+// what makes "query at the site" and "query shipped files at the
+// combiner" directly comparable.
+package cliquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+)
+
+// Queries lists the supported query names for usage messages.
+const Queries = "sum, min, max, L1, lth, jaccard"
+
+// ParseR parses a comma-separated assignment subset against n assignments;
+// the empty string selects all (nil).
+func ParseR(s string, n int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var R []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || b < 0 || b >= n {
+			return nil, fmt.Errorf("invalid assignment index %q", part)
+		}
+		R = append(R, b)
+	}
+	return R, nil
+}
+
+// Answer evaluates the named query over the summary restricted to pred
+// (nil selects all keys): "sum" (single assignment b), "min"/"max"
+// dominance, "L1" difference, "lth" (ℓ-th largest, ℓ = l), or "jaccard"
+// (clamped min/max ratio, 1 by convention for an empty subpopulation). It
+// returns a human-readable label alongside the estimate.
+func Answer(d *estimate.Dispersed, query string, b int, R []int, l int, pred dataset.Pred) (string, float64, error) {
+	nR := len(R)
+	if R == nil {
+		nR = d.NumAssignments()
+	}
+	switch query {
+	case "sum":
+		if b < 0 || b >= d.NumAssignments() {
+			return "", 0, fmt.Errorf("assignment index %d out of range (have %d assignments)", b, d.NumAssignments())
+		}
+		return fmt.Sprintf("sum b=%d", b), d.Single(b).Estimate(pred), nil
+	case "min":
+		return "min-dominance", d.MinLSet(R).Estimate(pred), nil
+	case "max":
+		return "max-dominance", d.Max(R).Estimate(pred), nil
+	case "L1":
+		return "L1 difference", d.RangeLSet(R).Estimate(pred), nil
+	case "lth":
+		if l < 1 || l > nR {
+			return "", 0, fmt.Errorf("-l %d out of range for |R|=%d", l, nR)
+		}
+		return fmt.Sprintf("%d-th largest", l), d.LthLargest(R, l).Estimate(pred), nil
+	case "jaccard":
+		mx := d.Max(R).Estimate(pred)
+		if mx <= 0 {
+			// 0/0 convention: an empty subpopulation is identical to itself.
+			return "weighted Jaccard", 1, nil
+		}
+		j := d.MinLSet(R).Estimate(pred) / mx
+		if j < 0 {
+			j = 0
+		} else if j > 1 {
+			j = 1
+		}
+		return "weighted Jaccard", j, nil
+	default:
+		return "", 0, fmt.Errorf("unknown query %q (want one of %s)", query, Queries)
+	}
+}

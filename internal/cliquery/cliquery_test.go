@@ -1,0 +1,87 @@
+package cliquery
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+func buildSummary(t *testing.T) *estimate.Dispersed {
+	t.Helper()
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 9}
+	rng := rand.New(rand.NewSource(4))
+	sketches := make([]*sketch.BottomK, 2)
+	for b := range sketches {
+		bld := sketch.NewBottomKBuilder(32)
+		for i := 0; i < 300; i++ {
+			key := "key-" + strconv.Itoa(i)
+			w := math.Exp(rng.NormFloat64())
+			bld.Offer(key, a.Rank(key, b, w), w)
+		}
+		sketches[b] = bld.Sketch()
+	}
+	return estimate.NewDispersed(a, sketches)
+}
+
+func TestAnswerDispatch(t *testing.T) {
+	d := buildSummary(t)
+	for _, q := range []string{"sum", "min", "max", "L1", "lth", "jaccard"} {
+		label, v, err := Answer(d, q, 0, nil, 1, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if label == "" || math.IsNaN(v) {
+			t.Fatalf("%s: label %q value %v", q, label, v)
+		}
+	}
+	// The dispatch must agree with the direct estimator calls.
+	if _, v, _ := Answer(d, "L1", 0, nil, 1, nil); v != d.RangeLSet(nil).Estimate(nil) {
+		t.Fatal("L1 dispatch diverges from RangeLSet")
+	}
+	if _, v, _ := Answer(d, "lth", 0, nil, 2, nil); v != d.LthLargest(nil, 2).Estimate(nil) {
+		t.Fatal("lth dispatch diverges from LthLargest")
+	}
+	pred := func(key string) bool { return strings.HasSuffix(key, "1") }
+	if _, v, _ := Answer(d, "max", 0, []int{1}, 1, pred); v != d.Max([]int{1}).Estimate(pred) {
+		t.Fatal("predicate/R not forwarded")
+	}
+}
+
+func TestAnswerErrors(t *testing.T) {
+	d := buildSummary(t)
+	for _, tc := range []struct {
+		q    string
+		b, l int
+	}{
+		{"nope", 0, 1},
+		{"sum", 5, 1},
+		{"sum", -1, 1},
+		{"lth", 0, 0},
+		{"lth", 0, 3},
+	} {
+		if _, _, err := Answer(d, tc.q, tc.b, nil, tc.l, nil); err == nil {
+			t.Fatalf("%+v: expected error", tc)
+		}
+	}
+}
+
+func TestParseR(t *testing.T) {
+	if R, err := ParseR("", 3); err != nil || R != nil {
+		t.Fatalf("empty: %v %v", R, err)
+	}
+	R, err := ParseR("2, 0", 3)
+	if err != nil || len(R) != 2 || R[0] != 2 || R[1] != 0 {
+		t.Fatalf("parse: %v %v", R, err)
+	}
+	for _, bad := range []string{"x", "3", "-1", "1,,2"} {
+		if _, err := ParseR(bad, 3); err == nil {
+			t.Fatalf("%q: expected error", bad)
+		}
+	}
+}

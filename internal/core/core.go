@@ -71,10 +71,11 @@ func NewAssignmentSketcher(cfg Config, assignment int) *AssignmentSketcher {
 	if cfg.Mode == rank.IndependentDifferences {
 		panic("core: independent-differences coordination requires colocated weights")
 	}
+	a := cfg.Assigner()
 	return &AssignmentSketcher{
-		assigner:   cfg.Assigner(),
+		assigner:   a,
 		assignment: assignment,
-		builder:    sketch.NewBottomKBuilder(cfg.K),
+		builder:    sketch.NewBottomKBuilderWithFingerprint(cfg.K, a.Fingerprint(assignment, cfg.K)),
 	}
 }
 
@@ -89,9 +90,36 @@ func (s *AssignmentSketcher) Sketch() *sketch.BottomK { return s.builder.Sketch(
 // CombineDispersed merges independently built per-assignment sketches into a
 // dispersed summary. The sketches must come from AssignmentSketchers sharing
 // cfg (same family, mode, and seed), in assignment-index order.
-func CombineDispersed(cfg Config, sketches []*sketch.BottomK) *estimate.Dispersed {
+//
+// Every fingerprinted sketch is verified against the configuration: a
+// sketch built under a different Family, Mode, Seed, or assignment index
+// yields a *sketch.FingerprintMismatchError (with Index naming the
+// offending position) instead of a summary whose estimates would be
+// silently corrupt. Per-assignment sample sizes may differ from cfg.K (the
+// estimators support bottom-k^(b) sketches); sketches without a
+// fingerprint — legacy construction paths such as BottomKFromRanks — are
+// accepted unverified.
+func CombineDispersed(cfg Config, sketches []*sketch.BottomK) (*estimate.Dispersed, error) {
 	cfg.validate()
-	return estimate.NewDispersed(cfg.Assigner(), sketches)
+	a := cfg.Assigner()
+	for b, s := range sketches {
+		if fp := s.Fingerprint(); fp != 0 {
+			if want := a.Fingerprint(b, s.K()); fp != want {
+				return nil, &sketch.FingerprintMismatchError{Index: b, Want: want, Got: fp}
+			}
+		}
+	}
+	return estimate.NewDispersed(a, sketches), nil
+}
+
+// mustCombineDispersed is CombineDispersed for sketches the pipeline just
+// built itself, where a fingerprint mismatch is impossible.
+func mustCombineDispersed(cfg Config, sketches []*sketch.BottomK) *estimate.Dispersed {
+	d, err := CombineDispersed(cfg, sketches)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return d
 }
 
 // SummarizeDispersed runs the full dispersed pipeline over an in-memory
@@ -111,7 +139,7 @@ func SummarizeDispersed(cfg Config, ds *dataset.Dataset) *estimate.Dispersed {
 		}
 		sketches[b] = sk.Sketch()
 	}
-	return CombineDispersed(cfg, sketches)
+	return mustCombineDispersed(cfg, sketches)
 }
 
 // --- Colocated pipeline ---

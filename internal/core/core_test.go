@@ -81,7 +81,10 @@ func TestDispersedSketchersMatchDatasetPipeline(t *testing.T) {
 		}
 		sketches[b] = sk.Sketch()
 	}
-	viaSites := CombineDispersed(cfg, sketches)
+	viaSites, err := CombineDispersed(cfg, sketches)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for b := 0; b < 2; b++ {
 		a1 := viaDataset.Sketch(b).Entries()

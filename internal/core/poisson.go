@@ -26,10 +26,11 @@ func NewPoissonSketcher(cfg Config, assignment int, tau float64) *PoissonSketche
 	if cfg.Mode == rank.IndependentDifferences {
 		panic("core: independent-differences coordination requires colocated weights")
 	}
+	a := cfg.Assigner()
 	return &PoissonSketcher{
-		assigner:   cfg.Assigner(),
+		assigner:   a,
 		assignment: assignment,
-		builder:    sketch.NewPoissonBuilder(tau),
+		builder:    sketch.NewPoissonBuilderWithFingerprint(tau, a.Fingerprint(assignment, 0)),
 	}
 }
 
@@ -44,10 +45,20 @@ func (s *PoissonSketcher) Sketch() *sketch.Poisson { return s.builder.Sketch() }
 // CombineDispersedPoisson merges per-assignment Poisson sketches built with
 // cfg into a dispersed summary supporting the same estimator suite as
 // bottom-k summaries (the Poisson expressions substitute τ^(b) for
-// r^(b)_k(I∖{i})).
-func CombineDispersedPoisson(cfg Config, sketches []*sketch.Poisson) *estimate.Dispersed {
+// r^(b)_k(I∖{i})). Fingerprinted sketches are verified against cfg exactly
+// as in CombineDispersed (Poisson fingerprints digest Family/Mode/Seed and
+// the assignment index; τ is data-dependent and carried by the sketch).
+func CombineDispersedPoisson(cfg Config, sketches []*sketch.Poisson) (*estimate.Dispersed, error) {
 	cfg.validate()
-	return estimate.NewDispersedPoisson(cfg.Assigner(), sketches)
+	a := cfg.Assigner()
+	for b, s := range sketches {
+		if fp := s.Fingerprint(); fp != 0 {
+			if want := a.Fingerprint(b, 0); fp != want {
+				return nil, &sketch.FingerprintMismatchError{Index: b, Want: want, Got: fp}
+			}
+		}
+	}
+	return estimate.NewDispersedPoisson(a, sketches), nil
 }
 
 // SummarizeDispersedPoisson runs the dispersed Poisson pipeline over an
@@ -67,7 +78,11 @@ func SummarizeDispersedPoisson(cfg Config, ds *dataset.Dataset) *estimate.Disper
 		}
 		sketches[b] = sk.Sketch()
 	}
-	return CombineDispersedPoisson(cfg, sketches)
+	d, err := CombineDispersedPoisson(cfg, sketches)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err)) // sketches built above share cfg
+	}
+	return d
 }
 
 // SummarizeColocatedPoisson runs the colocated pipeline with embedded

@@ -16,9 +16,9 @@ import (
 type ShardedSketcher = shard.Sketcher
 
 // NewShardedSketcher creates a sharded dispersed-model sketcher for
-// assignment index assignment: keys are hash-partitioned across shards
-// disjoint shards, each sketched by its own builder behind worker
-// goroutines, and Sketch() merges into the exact single-stream result.
+// assignment index assignment: keys are hash-partitioned across disjoint
+// shards, each sketched by its own builder behind worker goroutines, and
+// Sketch() merges into the exact single-stream result.
 // workers ≤ 0 selects GOMAXPROCS; the worker count is capped at shards.
 func NewShardedSketcher(cfg Config, assignment, shards, workers int) *ShardedSketcher {
 	cfg.validate()
@@ -71,5 +71,5 @@ func SummarizeDispersedParallel(cfg Config, ds *dataset.Dataset, shards, workers
 	}
 	close(work)
 	wg.Wait()
-	return CombineDispersed(cfg, sketches)
+	return mustCombineDispersed(cfg, sketches)
 }

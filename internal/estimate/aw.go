@@ -26,6 +26,11 @@ import (
 type AWSummary struct {
 	weights map[string]float64
 	vars    map[string]float64
+	// sorted is the deterministic-summation key order, built once by the
+	// producing estimator (finalized). Keys are never deleted, so the cache
+	// is current exactly when its length matches the map's; a key added
+	// after finalization simply falls back to sorting per estimate.
+	sorted []string
 }
 
 // NewAWSummary creates an empty summary with capacity hint n.
@@ -81,16 +86,57 @@ func (s AWSummary) Keys() []string {
 	return keys
 }
 
+// finalized returns the summary with its sorted key order precomputed, so
+// the estimate methods sort once per summary instead of once per call.
+// Every estimator calls it on the fully populated summary it returns.
+func (s AWSummary) finalized() AWSummary {
+	s.sorted = s.Keys()
+	return s
+}
+
+// sortedKeys returns the deterministic summation order, reusing the
+// finalized cache when it is still current.
+func (s AWSummary) sortedKeys() []string {
+	if s.sorted != nil && len(s.sorted) == len(s.weights) {
+		return s.sorted
+	}
+	return s.Keys()
+}
+
+// neumaierSum accumulates float64 values with Neumaier's improved
+// Kahan–Babuška compensation: the rounding error of every addition is
+// captured in a running compensation term, so the result is nearly exact
+// regardless of magnitude ordering or cancellation.
+type neumaierSum struct{ sum, comp float64 }
+
+func (n *neumaierSum) add(x float64) {
+	t := n.sum + x
+	if math.Abs(n.sum) >= math.Abs(x) {
+		n.comp += (n.sum - t) + x
+	} else {
+		n.comp += (x - t) + n.sum
+	}
+	n.sum = t
+}
+
+func (n *neumaierSum) value() float64 { return n.sum + n.comp }
+
 // Estimate returns the unbiased estimate of Σ_{i: d(i)} f(i): the sum of
 // adjusted weights over sampled keys selected by pred (nil selects all).
+//
+// The sum is taken in sorted key order with Neumaier compensation, so the
+// result is deterministic — bit-identical across calls, runs, and
+// processes for the same summary — rather than wobbling in the last ulp
+// with Go's randomized map iteration order. This is what lets a combiner
+// process reproduce an in-process estimate exactly (see cmd/cws-merge).
 func (s AWSummary) Estimate(pred dataset.Pred) float64 {
-	total := 0.0
-	for key, a := range s.weights {
+	var total neumaierSum
+	for _, key := range s.sortedKeys() {
 		if pred == nil || pred(key) {
-			total += a
+			total.add(s.weights[key])
 		}
 	}
-	return total
+	return total.value()
 }
 
 // EstimateWithStdErr returns the unbiased estimate of Σ_{i: d(i)} f(i)
@@ -100,37 +146,44 @@ func (s AWSummary) Estimate(pred dataset.Pred) float64 {
 // and empirically accurate for all the estimators in this package. For L1
 // summaries produced by Sub the reported error is conservative (an upper
 // bound: Lemma 8.6 shows the max/min cross-term only reduces variance).
+// Like Estimate, both sums are deterministic (sorted order, Neumaier
+// compensation).
 func (s AWSummary) EstimateWithStdErr(pred dataset.Pred) (estimate, stderr float64) {
-	var total, variance float64
-	for key, a := range s.weights {
+	var total, variance neumaierSum
+	for _, key := range s.sortedKeys() {
 		if pred == nil || pred(key) {
-			total += a
-			variance += s.vars[key]
+			total.add(s.weights[key])
+			variance.add(s.vars[key])
 		}
 	}
-	return total, math.Sqrt(variance)
+	return total.value(), math.Sqrt(variance.value())
 }
 
 // EstimateScaled returns the unbiased estimate of Σ_{i: d(i)} h(i) for a
 // secondary numeric function h with h(i) > 0 ⇒ f(i) > 0, via the standard
 // ratio trick Σ a(i)·h(i)/f(i) (Section 3). scale(key) must return
 // h(key)/f(key) computed from the auxiliary attributes stored with the key.
+// Deterministic like Estimate (sorted order, Neumaier compensation).
 func (s AWSummary) EstimateScaled(pred dataset.Pred, scale func(key string) float64) float64 {
-	total := 0.0
-	for key, a := range s.weights {
+	var total neumaierSum
+	for _, key := range s.sortedKeys() {
 		if pred == nil || pred(key) {
-			total += a * scale(key)
+			total.add(s.weights[key] * scale(key))
 		}
 	}
-	return total
+	return total.value()
 }
 
 // Sub returns the per-key difference summary a − b. It implements Eq. (17):
 // a^(L1 R)(i) = a^(maxR)(i) − a^(minR)(i). For consistent rank assignments
 // Lemma 7.5 guarantees the differences are nonnegative; for independent
 // ranks individual entries may be negative, and are kept so that the sum
-// estimator remains unbiased. Per-key variance estimates are combined as
-// the sum of the operands' — a conservative upper bound, since by the
+// estimator remains unbiased. That includes keys present only in b: a key
+// selected by the min estimator but not the max estimator contributes its
+// full negative adjusted weight 0 − b(i). (Dropping such keys, as an
+// earlier revision did, biases every difference estimate upward by
+// E[b(i) · 1{i ∉ a-selection}].) Per-key variance estimates are combined
+// as the sum of the operands' — a conservative upper bound, since by the
 // Lemma 8.6 decomposition the max/min cross-term only subtracts.
 func Sub(a, b AWSummary) AWSummary {
 	out := NewAWSummary(a.Len())
@@ -142,7 +195,16 @@ func Sub(a, b AWSummary) AWSummary {
 			}
 		}
 	}
-	return out
+	for key, bv := range b.weights {
+		if _, ok := a.weights[key]; ok {
+			continue // handled above
+		}
+		out.weights[key] = -bv
+		if v := b.vars[key]; v > 0 {
+			out.vars[key] = v
+		}
+	}
+	return out.finalized()
 }
 
 // TopKeys returns up to n sampled keys in decreasing order of adjusted

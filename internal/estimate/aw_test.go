@@ -2,6 +2,7 @@ package estimate
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"coordsample/internal/rank"
@@ -212,6 +213,73 @@ func TestFigure1PoissonInclusionProbabilities(t *testing.T) {
 			if math.Abs(got-wantRows[k-1][i]) > 0.005 {
 				t.Fatalf("k=%d: p(i%d) = %v, want %v", k, i+1, got, wantRows[k-1][i])
 			}
+		}
+	}
+}
+
+// TestSubKeepsMinOnlyKeys regression-tests the Sub asymmetry bug: a key
+// present only in the subtrahend must contribute its full negative
+// adjusted weight (and its variance), not be silently dropped — dropping
+// it biases every difference estimate upward.
+func TestSubKeepsMinOnlyKeys(t *testing.T) {
+	a := NewAWSummary(1)
+	a.SetWithProb("both", 10, 0.5)
+	b := NewAWSummary(2)
+	b.SetWithProb("both", 4, 0.5)
+	b.SetWithProb("only-in-b", 7, 0.25)
+	d := Sub(a, b)
+	if got := d.AdjustedWeight("both"); got != 6 {
+		t.Fatalf("both diff = %v, want 6", got)
+	}
+	if got := d.AdjustedWeight("only-in-b"); got != -7 {
+		t.Fatalf("b-only key diff = %v, want -7 (was silently dropped before the fix)", got)
+	}
+	if got := d.Estimate(nil); got != -1 {
+		t.Fatalf("Estimate = %v, want -1", got)
+	}
+	if got := d.VarianceOf("only-in-b"); got != 7*7*(1-0.25) {
+		t.Fatalf("b-only variance = %v, want %v", got, 7*7*(1-0.25))
+	}
+}
+
+// TestEstimateDeterministicAndCompensated checks both halves of the
+// deterministic-summation fix: repeated evaluation is bit-identical (the
+// old map-order iteration wobbled in the last ulp), and the Neumaier
+// compensation survives catastrophic cancellation that plain sorted-order
+// summation gets wrong.
+func TestEstimateDeterministicAndCompensated(t *testing.T) {
+	// Keys chosen so sorted order is (big, one, neg): a naive left-to-right
+	// sum computes (1e16 + 1) - 1e16 = 0; the compensated sum returns 1.
+	a := NewAWSummary(2)
+	a.Set("a-big", 1e16)
+	a.Set("b-one", 1)
+	b := NewAWSummary(1)
+	b.Set("c-neg", 1e16)
+	d := Sub(a, b)
+	if got := d.Estimate(nil); got != 1 {
+		t.Fatalf("compensated sum = %v, want exactly 1", got)
+	}
+
+	// Bit-identical repeated evaluation on a large random summary.
+	rng := rand.New(rand.NewSource(5))
+	s := NewAWSummary(500)
+	for i := 0; i < 500; i++ {
+		s.SetWithProb("key-"+itoa(i), math.Exp(rng.NormFloat64()*8), 0.3+0.5*rng.Float64())
+	}
+	pred := func(key string) bool { return key[len(key)-1] != '7' }
+	scale := func(string) float64 { return 1.0 / 3 }
+	e0 := s.Estimate(pred)
+	w0, se0 := s.EstimateWithStdErr(pred)
+	sc0 := s.EstimateScaled(pred, scale)
+	for trial := 0; trial < 50; trial++ {
+		if e := s.Estimate(pred); e != e0 {
+			t.Fatalf("Estimate wobbled: %v != %v", e, e0)
+		}
+		if w, se := s.EstimateWithStdErr(pred); w != w0 || se != se0 {
+			t.Fatalf("EstimateWithStdErr wobbled")
+		}
+		if sc := s.EstimateScaled(pred, scale); sc != sc0 {
+			t.Fatalf("EstimateScaled wobbled")
 		}
 	}
 }

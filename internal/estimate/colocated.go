@@ -214,7 +214,7 @@ func (c *Colocated) Inclusive(f AggFunc) AWSummary {
 			out.SetWithProb(key, v/p, p)
 		}
 	}
-	return out
+	return out.finalized()
 }
 
 // EstimateWhere returns the inclusive estimate of Σ_{i: d(i)} f(i) for a
@@ -282,7 +282,7 @@ func (c *Colocated) GenericConsistent(f AggFunc) AWSummary {
 			out.SetWithProb(key, v/clampP(p), clampP(p))
 		}
 	}
-	return out
+	return out.finalized()
 }
 
 // Plain returns the plain single-sketch estimator for assignment b (RC for
@@ -298,5 +298,5 @@ func (c *Colocated) Plain(b int) AWSummary {
 			out.SetWithProb(e.Key, e.Weight/p, p)
 		}
 	}
-	return out
+	return out.finalized()
 }

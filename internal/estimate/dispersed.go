@@ -120,7 +120,7 @@ func (d *Dispersed) Single(b int) AWSummary {
 			out.SetWithProb(e.Key, e.Weight/p, p)
 		}
 	}
-	return out
+	return out.finalized()
 }
 
 // TopLFunc evaluates a top-ℓ dependent aggregate f(w^(top-ℓ R), b^(top-ℓ R))
@@ -257,7 +257,7 @@ func (d *Dispersed) SSetTopL(R []int, l int, f TopLFunc) AWSummary {
 			out.SetWithProb(key, v/clampP(p), clampP(p))
 		}
 	}
-	return out
+	return out.finalized()
 }
 
 // LSetTopL applies the l-set template estimator (Section 7.2) for a top-ℓ
@@ -360,17 +360,33 @@ func (d *Dispersed) LSetTopL(R []int, l int, f TopLFunc) AWSummary {
 			out.SetWithProb(key, v/clampP(p), clampP(p))
 		}
 	}
-	return out
+	return out.finalized()
 }
 
-// JaccardSSet estimates the weighted Jaccard similarity of the assignments R
-// over the selected subpopulation as the ratio of the min and max estimates.
+// JaccardSSet estimates the weighted Jaccard similarity
+// Σ w^(minR) / Σ w^(maxR) of the assignments R over the selected
+// subpopulation as the ratio of the min and max estimates.
+//
+// The result is clamped to [0, 1]: the ratio of two unbiased but noisy
+// estimates can stray outside the range of the true quantity (and the
+// s-set min summary is not a per-key subset of the max summary's values),
+// while the true similarity never does. When the max estimate is
+// nonpositive the subpopulation is empty in every assignment as far as
+// the summary can tell, and the 0/0 case is defined — by convention, not
+// by arithmetic — as 1: an empty subpopulation is identical to itself.
 func (d *Dispersed) JaccardSSet(R []int, pred func(string) bool) float64 {
 	mx := d.Max(R).Estimate(pred)
-	if mx == 0 {
+	if mx <= 0 {
 		return 1
 	}
-	return d.MinSSet(R).Estimate(pred) / mx
+	j := d.MinSSet(R).Estimate(pred) / mx
+	if j < 0 {
+		return 0
+	}
+	if j > 1 {
+		return 1
+	}
+	return j
 }
 
 func (d *Dispersed) checkR(R []int) []int {
@@ -443,5 +459,5 @@ func UniformMin(family rank.Family, sketches []*sketch.BottomK, R []int) AWSumma
 			out.SetWithProb(key, minW/clampP(p), clampP(p))
 		}
 	}
-	return out
+	return out.finalized()
 }

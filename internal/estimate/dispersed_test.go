@@ -479,3 +479,121 @@ func TestVarianceOrderingCoordVsIndependent(t *testing.T) {
 		t.Fatalf("independent MSE (%v) should far exceed coordinated MSE (%v)", ind, coord)
 	}
 }
+
+// TestRangeLSetKeepsMinOnlyKeys exercises the case the Sub fix exists
+// for: under Independent ranks the max estimator (LSetTopL with ℓ=1)
+// applies a seed-certification check to in-sketch assignments outside the
+// identified top that the min estimator (ℓ=|R|, no outside assignments)
+// never applies, so a key can be selected by min but not by max. Its
+// negative contribution must survive into RangeLSet; before the fix it was
+// silently dropped, biasing the L1 estimate upward by exactly that weight.
+func TestRangeLSetKeepsMinOnlyKeys(t *testing.T) {
+	// k=1 sketches of a 2-assignment set where only "X" is retained. The
+	// ranks are injected directly (as the grid tests do), so the
+	// hash-derived certification seed Seed01("X", b) is independent of
+	// them and a certifying-failure seed can be found by search.
+	build := func(seed uint64) *Dispersed {
+		bld0 := sketch.NewBottomKBuilder(1)
+		bld0.Offer("X", 0.02, 5)
+		bld0.Offer("Y0", 0.06, 1)
+		bld1 := sketch.NewBottomKBuilder(1)
+		bld1.Offer("X", 0.01, 3)
+		bld1.Offer("Y1", 0.05, 1)
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.Independent, Seed: seed}
+		return NewDispersed(a, []*sketch.BottomK{bld0.Sketch(), bld1.Sketch()})
+	}
+	// Max's certification for the outside-the-top assignment 1 requires
+	// u^(1)(X) < F_5(r_1^{(1)}(I∖{X})) = F_5(0.05) = 0.25.
+	var d *Dispersed
+	found := false
+	for seed := uint64(1); seed <= 200; seed++ {
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.Independent, Seed: seed}
+		if a.Seed01("X", 1) >= 0.25 {
+			d, found = build(seed), true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed with a failing certification in 200 tries (p≈0.75 each)")
+	}
+
+	mx := d.Max(nil)
+	mn := d.MinLSet(nil)
+	if mx.AdjustedWeight("X") != 0 {
+		t.Fatal("setup broken: X passed the max certification")
+	}
+	if mn.AdjustedWeight("X") <= 0 {
+		t.Fatal("setup broken: X not selected by the min estimator")
+	}
+
+	rl := d.RangeLSet(nil)
+	if got, want := rl.AdjustedWeight("X"), -mn.AdjustedWeight("X"); got != want {
+		t.Fatalf("min-only key contribution = %v, want %v (dropped before the Sub fix)", got, want)
+	}
+	if got, want := rl.Estimate(nil), mx.Estimate(nil)-mn.Estimate(nil); got != want {
+		t.Fatalf("RangeLSet estimate %v != max−min %v", got, want)
+	}
+}
+
+// TestRangeLSetUnbiasedIndependent is the Monte-Carlo unbiasedness
+// regression for the L1 estimator under Independent ranks: the mean over
+// many hash seeds must approach the true L1 distance. (The 2009 paper
+// evaluates SharedSeed most heavily; this pins the independent baseline,
+// whose estimate mixes positive and negative per-key terms.)
+func TestRangeLSetUnbiasedIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 60
+	keys := make([]string, n)
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	var truth float64
+	for i := range keys {
+		keys[i] = "key-" + itoa(i)
+		cols[0][i] = math.Exp(rng.NormFloat64())
+		cols[1][i] = cols[0][i] * math.Exp(0.3*rng.NormFloat64())
+		truth += math.Abs(cols[0][i] - cols[1][i])
+	}
+	var sum float64
+	const seeds = 3000
+	for seed := 1; seed <= seeds; seed++ {
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.Independent, Seed: uint64(seed)}
+		sum += buildDispersed(a, 10, keys, cols).RangeLSet(nil).Estimate(nil)
+	}
+	mean := sum / seeds
+	if math.Abs(mean-truth) > 0.06*truth {
+		t.Fatalf("mean L1 estimate %v over %d seeds too far from truth %v", mean, seeds, truth)
+	}
+}
+
+// TestJaccardSSetClamped: the ratio of two noisy unbiased estimates can
+// exceed 1, but the reported similarity never may — and a clamping case
+// must actually occur to prove the test bites.
+func TestJaccardSSetClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 30
+	keys := make([]string, n)
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	for i := range keys {
+		keys[i] = "key-" + itoa(i)
+		cols[0][i] = math.Exp(rng.NormFloat64())
+		cols[1][i] = cols[0][i] * math.Exp(0.1*rng.NormFloat64())
+	}
+	clampedSomewhere := false
+	for seed := uint64(1); seed <= 400; seed++ {
+		a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: seed}
+		d := buildDispersed(a, 4, keys, cols)
+		j := d.JaccardSSet(nil, nil)
+		if j < 0 || j > 1 {
+			t.Fatalf("seed %d: Jaccard %v outside [0,1]", seed, j)
+		}
+		mx := d.Max(nil).Estimate(nil)
+		if mx > 0 && d.MinSSet(nil).Estimate(nil)/mx > 1 {
+			if j != 1 {
+				t.Fatalf("seed %d: raw ratio > 1 not clamped (got %v)", seed, j)
+			}
+			clampedSomewhere = true
+		}
+	}
+	if !clampedSomewhere {
+		t.Fatal("no seed produced a ratio > 1; the clamp was never exercised")
+	}
+}

@@ -20,7 +20,7 @@ func BottomKRC(s *sketch.BottomK, family rank.Family) AWSummary {
 			out.SetWithProb(e.Key, e.Weight/p, p)
 		}
 	}
-	return out
+	return out.finalized()
 }
 
 // PoissonHT computes the Horvitz–Thompson adjusted weights for a Poisson-τ
@@ -35,7 +35,7 @@ func PoissonHT(s *sketch.Poisson, family rank.Family) AWSummary {
 			out.SetWithProb(e.Key, e.Weight/p, p)
 		}
 	}
-	return out
+	return out.finalized()
 }
 
 // clampP guards an inclusion probability against floating-point drift.

@@ -144,6 +144,42 @@ type Assigner struct {
 	Seed   uint64
 }
 
+// FingerprintVersion is the version of the fingerprint derivation. It is
+// folded into every fingerprint, so any future change to the digest (or to
+// the rank semantics it certifies) makes old and new fingerprints mismatch
+// rather than falsely agree.
+const FingerprintVersion = 1
+
+// Fingerprint returns a stable 64-bit digest of everything that determines
+// which sample a sketch construction draws: the rank family, the
+// coordination mode, the hash seed, the assignment index, and the sample
+// size parameter k — bound to FingerprintVersion. Two sketches whose
+// fingerprints agree were built under interchangeable configurations and
+// may be merged; a mismatch means their rank values are incomparable and
+// any combination would silently corrupt every downstream estimate.
+//
+// For Poisson sketches pass k = 0: the threshold τ is data-dependent and
+// travels with the sketch itself, not with the configuration.
+//
+// The digest is pure integer arithmetic over the inputs (no map iteration,
+// no floating point), so it is reproducible across processes, platforms,
+// and runs — which is what lets physically dispersed sites verify, with
+// zero coordination, that their shipped sketches are combinable. It is
+// never 0; zero is reserved to mean "no fingerprint" (legacy construction
+// paths).
+func (a Assigner) Fingerprint(assignment, k int) uint64 {
+	h := hashing.Mix64(uint64(FingerprintVersion))
+	h = hashing.Mix64(h ^ (uint64(a.Family) + 0x9e3779b97f4a7c15))
+	h = hashing.Mix64(h ^ (uint64(a.Mode) + 0x9e3779b97f4a7c15))
+	h = hashing.Mix64(h ^ a.Seed)
+	h = hashing.Mix64(h ^ (uint64(assignment) + 0x9e3779b97f4a7c15))
+	h = hashing.Mix64(h ^ (uint64(k) + 0x9e3779b97f4a7c15))
+	if h == 0 {
+		h = FingerprintVersion
+	}
+	return h
+}
+
 // Rank returns r^(b)(i) for a key with weight w in assignment b.
 //
 // It supports the dispersed model: the computation depends only on (key, b,

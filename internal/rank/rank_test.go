@@ -331,3 +331,45 @@ func BenchmarkIndependentDifferencesRankVector(b *testing.B) {
 		a.RankVectorInto(dst, "10.1.2.3:443", weights)
 	}
 }
+
+func TestFingerprintDistinguishesEveryField(t *testing.T) {
+	base := Assigner{Family: IPPS, Mode: SharedSeed, Seed: 7}
+	ref := base.Fingerprint(2, 64)
+	if ref == 0 {
+		t.Fatal("fingerprint must never be 0 (reserved for unfingerprinted sketches)")
+	}
+	if base.Fingerprint(2, 64) != ref {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	variants := map[string]uint64{
+		"family":     Assigner{Family: EXP, Mode: SharedSeed, Seed: 7}.Fingerprint(2, 64),
+		"mode":       Assigner{Family: IPPS, Mode: Independent, Seed: 7}.Fingerprint(2, 64),
+		"seed":       Assigner{Family: IPPS, Mode: SharedSeed, Seed: 8}.Fingerprint(2, 64),
+		"assignment": base.Fingerprint(3, 64),
+		"k":          base.Fingerprint(2, 65),
+		"poisson":    base.Fingerprint(2, 0),
+	}
+	seen := map[uint64]string{ref: "base"}
+	for field, fp := range variants {
+		if fp == ref {
+			t.Errorf("changing %s did not change the fingerprint", field)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprints of %s and %s collide", field, prev)
+		}
+		seen[fp] = field
+	}
+}
+
+// TestFingerprintStableAcrossReleases pins a golden value: the fingerprint
+// is a wire-format artifact (shipped in sketch files and compared across
+// processes), so accidentally changing the derivation must fail a test, not
+// silently invalidate every previously written sketch file.
+func TestFingerprintStableAcrossReleases(t *testing.T) {
+	got := Assigner{Family: IPPS, Mode: SharedSeed, Seed: 1}.Fingerprint(0, 1024)
+	const want = uint64(0x0f67e236504cb57d)
+	if got != want {
+		t.Fatalf("fingerprint derivation changed: got %#016x, want %#016x; "+
+			"if intentional, bump FingerprintVersion and update this golden value", got, want)
+	}
+}

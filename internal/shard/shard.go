@@ -92,8 +92,14 @@ func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sk
 		chans:      make([]chan []item, workers),
 		pending:    make([][]item, workers),
 	}
+	// Every shard builder carries the assignment's configuration
+	// fingerprint: the shard sketches are bottom-k sketches of (disjoint
+	// pieces of) the same assignment under the same rank assignment, so the
+	// freeze-time Merge is a verified same-fingerprint merge and the frozen
+	// result is itself fingerprinted and wire-portable.
+	fp := assigner.Fingerprint(assignment, k)
 	for i := range s.builders {
-		s.builders[i] = sketch.NewBottomKBuilder(k)
+		s.builders[i] = sketch.NewBottomKBuilderWithFingerprint(k, fp)
 	}
 	for w := range s.chans {
 		s.chans[w] = make(chan []item, 4)
@@ -149,7 +155,13 @@ func (s *Sketcher) Sketch() *sketch.BottomK {
 	for i, b := range s.builders {
 		parts[i] = b.Sketch()
 	}
-	return sketch.Merge(parts...)
+	merged, err := sketch.Merge(parts...)
+	if err != nil {
+		// The builders were all created with one fingerprint, so a mismatch
+		// here is a programming error, not bad input.
+		panic(fmt.Sprintf("shard: %v", err))
+	}
+	return merged
 }
 
 // close flushes pending batches, closes the worker channels, and waits for

@@ -37,17 +37,29 @@ func entryLess(a, b Entry) bool {
 
 // BottomK is an immutable bottom-k sketch: the (at most) k keys of smallest
 // rank, the k-th smallest rank r_k(I), and the (k+1)-st smallest rank
-// r_{k+1}(I) (+Inf when fewer than k, resp. k+1, keys exist).
+// r_{k+1}(I) (+Inf when fewer than k, resp. k+1, keys exist). A sketch built
+// through the core pipelines additionally carries a configuration
+// fingerprint (see Fingerprint), which makes it self-describing enough for
+// Merge to detect cross-configuration combinations.
 type BottomK struct {
-	k         int
-	entries   []Entry // ascending (rank, key)
-	kth       float64 // r_k(I)
-	threshold float64 // r_{k+1}(I)
-	index     map[string]int
+	k           int
+	fingerprint uint64  // rank.Assigner.Fingerprint digest; 0 = unfingerprinted
+	entries     []Entry // ascending (rank, key)
+	kth         float64 // r_k(I)
+	threshold   float64 // r_{k+1}(I)
+	index       map[string]int
 }
 
 // K returns the sketch size parameter.
 func (s *BottomK) K() int { return s.k }
+
+// Fingerprint returns the 64-bit digest of the configuration (rank family,
+// coordination mode, seed, assignment index, k, format version) the sketch
+// was built under, or 0 when the sketch was built by a legacy constructor
+// that did not supply one. Merge refuses to combine sketches whose
+// fingerprints are absent or disagree; see rank.Assigner.Fingerprint for
+// the derivation.
+func (s *BottomK) Fingerprint() uint64 { return s.fingerprint }
 
 // Size returns the number of sampled keys (≤ k; smaller when |I| < k).
 func (s *BottomK) Size() int { return len(s.entries) }
@@ -93,17 +105,31 @@ func (s *BottomK) RankExcluding(key string) float64 {
 // item. Keys must be pre-aggregated: offering the same key twice would treat
 // it as two distinct stream elements.
 type BottomKBuilder struct {
-	k    int
-	heap []Entry // max-heap on (rank, key)
-	next float64 // min rank among rejected/evicted items = r_{k+1} so far
+	k           int
+	fingerprint uint64
+	heap        []Entry // max-heap on (rank, key)
+	next        float64 // min rank among rejected/evicted items = r_{k+1} so far
 }
 
 // NewBottomKBuilder returns a builder for bottom-k sketches. k must be ≥ 1.
+// Sketches frozen from it carry no fingerprint and can only be combined
+// with MergeUnchecked; pipeline code should use
+// NewBottomKBuilderWithFingerprint.
 func NewBottomKBuilder(k int) *BottomKBuilder {
+	return NewBottomKBuilderWithFingerprint(k, 0)
+}
+
+// NewBottomKBuilderWithFingerprint returns a builder whose frozen sketches
+// carry the given configuration fingerprint (rank.Assigner.Fingerprint of
+// the family, mode, seed, assignment, and k used to compute the offered
+// ranks). Fingerprinted sketches are accepted by Merge and by the wire
+// codec; supplying a fingerprint that does not describe the offered ranks
+// defeats the cross-configuration protection.
+func NewBottomKBuilderWithFingerprint(k int, fingerprint uint64) *BottomKBuilder {
 	if k < 1 {
 		panic(fmt.Sprintf("sketch: invalid bottom-k size %d", k))
 	}
-	return &BottomKBuilder{k: k, heap: make([]Entry, 0, k), next: math.Inf(1)}
+	return &BottomKBuilder{k: k, fingerprint: fingerprint, heap: make([]Entry, 0, k), next: math.Inf(1)}
 }
 
 // Offer presents one aggregated key with its rank and weight. Keys with
@@ -152,7 +178,7 @@ func (b *BottomKBuilder) Sketch() *BottomK {
 		}
 		index[e.Key] = i
 	}
-	return &BottomK{k: b.k, entries: entries, kth: kth, threshold: b.next, index: index}
+	return &BottomK{k: b.k, fingerprint: b.fingerprint, entries: entries, kth: kth, threshold: b.next, index: index}
 }
 
 func (b *BottomKBuilder) push(e Entry) {
@@ -221,6 +247,10 @@ func (s *BottomK) Prefix(l int) *BottomK {
 	for i, e := range entries {
 		index[e.Key] = i
 	}
+	// The parent's fingerprint digests its k, which the prefix no longer
+	// has; carrying it over would falsely certify mergeability. Prefixes are
+	// consumed in-process by the fixed-budget colocated summaries, so they
+	// stay unfingerprinted.
 	return &BottomK{k: l, entries: entries, kth: kth, threshold: threshold, index: index}
 }
 
@@ -237,6 +267,33 @@ func BottomKFromRanks(k int, keys []string, ranks, weights []float64) *BottomK {
 	return b.Sketch()
 }
 
+// FingerprintMismatchError reports an attempt to combine sketches that were
+// not built under interchangeable configurations: either their fingerprints
+// disagree (different Family, Mode, Seed, K, or assignment — their ranks are
+// incomparable, so any combination would silently corrupt every downstream
+// estimate), or a sketch carries no fingerprint at all and therefore cannot
+// be verified.
+type FingerprintMismatchError struct {
+	// Index is the position of the offending sketch among the inputs
+	// (0-based), or -1 when the error concerns a single sketch checked
+	// against an expected configuration (e.g. by the wire codec).
+	Index int
+	// Want is the fingerprint the sketch was required to match; Got is the
+	// fingerprint it carries. Got == 0 means the sketch is unfingerprinted.
+	Want, Got uint64
+}
+
+func (e *FingerprintMismatchError) Error() string {
+	where := "sketch"
+	if e.Index >= 0 {
+		where = fmt.Sprintf("sketch %d", e.Index)
+	}
+	if e.Got == 0 {
+		return fmt.Sprintf("sketch: %s carries no configuration fingerprint and cannot be verified; rebuild it through a fingerprinted constructor, or use MergeUnchecked if the configurations are known to match", where)
+	}
+	return fmt.Sprintf("sketch: %s has fingerprint %#016x, want %#016x: the sketches were built under different configurations (Family/Mode/Seed/K/assignment) and their ranks are incomparable", where, e.Got, e.Want)
+}
+
 // Merge combines bottom-k sketches of *disjoint* key sets into the bottom-k
 // sketch of their union — the distributed substrate for sketching one
 // assignment across shards (each site sketches its shard; a combiner merges).
@@ -245,27 +302,53 @@ func BottomKFromRanks(k int, keys []string, ranks, weights []float64) *BottomK {
 // (k+1)-smallest rank are determined by the retained entries plus the shard
 // thresholds.
 //
-// Contract: all sketches must share the same k (mismatched k panics) and
-// must have been built under the same rank assignment — same family, mode,
-// and seed. Mismatched configurations cannot be detected here (a BottomK
-// carries no Config) and silently yield a merged sample that is not a
-// bottom-k sample of anything. Disjointness (shards partition the key
-// space) is also the caller's responsibility; overlapping keys would be
-// double-counted, exactly as duplicate records would in the underlying
-// data. The most common disjointness violation is caught downstream: when
-// two copies of a key both survive the merge, the Sketch() freeze panics
-// ("offered more than once") instead of corrupting every estimate.
-func Merge(sketches ...*BottomK) *BottomK {
+// Contract: all sketches must carry the same nonzero configuration
+// fingerprint, which certifies identical family, mode, seed, assignment,
+// and k; a violation returns a *FingerprintMismatchError instead of
+// silently producing a sample that is not a bottom-k sample of anything.
+// Use MergeUnchecked for fingerprint-less legacy construction paths.
+// Disjointness (shards partition the key space) remains the caller's
+// responsibility; overlapping keys would be double-counted, exactly as
+// duplicate records would in the underlying data. The most common
+// disjointness violation is caught downstream: when two copies of a key
+// both survive the merge, the Sketch() freeze panics ("offered more than
+// once") instead of corrupting every estimate.
+func Merge(sketches ...*BottomK) (*BottomK, error) {
+	if len(sketches) == 0 {
+		panic("sketch: nothing to merge")
+	}
+	want := sketches[0].fingerprint
+	for i, s := range sketches {
+		if s.fingerprint == 0 || s.fingerprint != want {
+			return nil, &FingerprintMismatchError{Index: i, Want: want, Got: s.fingerprint}
+		}
+	}
+	return MergeUnchecked(sketches...), nil
+}
+
+// MergeUnchecked is Merge without the fingerprint verification — the escape
+// hatch for sketches from legacy constructors (NewBottomKBuilder,
+// BottomKFromRanks) and for tests that build sketches by hand. The caller
+// asserts that all inputs were built under the same rank assignment;
+// getting that wrong silently yields a merged sample that is not a bottom-k
+// sample of anything. Mismatched k still panics (it is detectable without a
+// fingerprint). The merged sketch keeps the common fingerprint when all
+// inputs agree on one, and is unfingerprinted otherwise.
+func MergeUnchecked(sketches ...*BottomK) *BottomK {
 	if len(sketches) == 0 {
 		panic("sketch: nothing to merge")
 	}
 	k := sketches[0].k
+	fp := sketches[0].fingerprint
 	for _, s := range sketches {
 		if s.k != k {
 			panic("sketch: merged sketches must share k")
 		}
+		if s.fingerprint != fp {
+			fp = 0
+		}
 	}
-	b := NewBottomKBuilder(k)
+	b := NewBottomKBuilderWithFingerprint(k, fp)
 	for _, s := range sketches {
 		for _, e := range s.entries {
 			b.Offer(e.Key, e.Rank, e.Weight)

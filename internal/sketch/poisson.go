@@ -11,13 +11,19 @@ import (
 // Inclusions of different keys are independent; the expected size is
 // Σ_i F_{w(i)}(τ).
 type Poisson struct {
-	tau     float64
-	entries []Entry
-	index   map[string]int
+	tau         float64
+	fingerprint uint64 // rank.Assigner.Fingerprint digest (k = 0); 0 = unfingerprinted
+	entries     []Entry
+	index       map[string]int
 }
 
 // Tau returns the sampling threshold τ.
 func (s *Poisson) Tau() float64 { return s.tau }
+
+// Fingerprint returns the configuration digest the sketch was built under
+// (rank.Assigner.Fingerprint with k = 0 — τ is data-dependent and stored in
+// the sketch itself), or 0 for legacy construction paths.
+func (s *Poisson) Fingerprint() uint64 { return s.fingerprint }
 
 // Size returns the number of sampled keys.
 func (s *Poisson) Size() int { return len(s.entries) }
@@ -51,17 +57,28 @@ func (s *Poisson) RankExcluding(string) float64 { return s.tau }
 // PoissonBuilder consumes an aggregated (key, rank, weight) stream and keeps
 // keys with rank below τ. State is proportional to the sample, not the data.
 type PoissonBuilder struct {
-	tau     float64
-	entries []Entry
+	tau         float64
+	fingerprint uint64
+	entries     []Entry
 }
 
 // NewPoissonBuilder returns a builder with threshold τ > 0 (possibly +Inf,
-// which samples every positive-weight key).
+// which samples every positive-weight key). Sketches frozen from it carry
+// no fingerprint; pipeline code should use
+// NewPoissonBuilderWithFingerprint.
 func NewPoissonBuilder(tau float64) *PoissonBuilder {
+	return NewPoissonBuilderWithFingerprint(tau, 0)
+}
+
+// NewPoissonBuilderWithFingerprint returns a builder whose frozen sketches
+// carry the given configuration fingerprint (rank.Assigner.Fingerprint with
+// k = 0 of the family, mode, seed, and assignment used to compute the
+// offered ranks).
+func NewPoissonBuilderWithFingerprint(tau float64, fingerprint uint64) *PoissonBuilder {
 	if !(tau > 0) {
 		panic(fmt.Sprintf("sketch: invalid Poisson threshold %v", tau))
 	}
-	return &PoissonBuilder{tau: tau}
+	return &PoissonBuilder{tau: tau, fingerprint: fingerprint}
 }
 
 // Offer presents one aggregated key with its rank and weight.
@@ -87,7 +104,7 @@ func (b *PoissonBuilder) Sketch() *Poisson {
 		}
 		index[e.Key] = i
 	}
-	return &Poisson{tau: b.tau, entries: entries, index: index}
+	return &Poisson{tau: b.tau, fingerprint: b.fingerprint, entries: entries, index: index}
 }
 
 func sortEntries(entries []Entry) {
