@@ -33,7 +33,8 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-// One benchmark per reproduced table/figure (see DESIGN.md §4).
+// One benchmark per reproduced table/figure (see the experiment index in
+// EXPERIMENTS.md).
 
 func BenchmarkFig1Example(b *testing.B) { benchExperiment(b, "fig1") }
 func BenchmarkFig2Example(b *testing.B) { benchExperiment(b, "fig2") }
@@ -59,7 +60,7 @@ func BenchmarkTable4(b *testing.B)      { benchExperiment(b, "table4") }
 func BenchmarkUnweighted(b *testing.B)  { benchExperiment(b, "unweighted") }
 func BenchmarkJaccard(b *testing.B)     { benchExperiment(b, "jaccard") }
 
-// Ablation benches (DESIGN.md §7).
+// Ablation benches (the ablation_* entries of EXPERIMENTS.md).
 
 func BenchmarkAblationFamily(b *testing.B)  { benchExperiment(b, "ablation_family") }
 func BenchmarkAblationSketch(b *testing.B)  { benchExperiment(b, "ablation_sketch") }

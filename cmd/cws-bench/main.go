@@ -6,13 +6,18 @@
 //	cws-bench -list
 //	cws-bench -run fig3 [-scale 1.0] [-runs 25] [-ks 10,100,1000] [-seed 1]
 //	cws-bench -run all
+//	cws-bench -run serve -json BENCH_serve.json
 //
 // Each experiment prints plain-text tables with the same rows/series the
 // paper plots; see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// recorded paper-vs-measured comparisons.
+// recorded paper-vs-measured comparisons. With -json, the machine-readable
+// results (tables plus the options that produced them) are additionally
+// written to a file, which is how the checked-in BENCH_*.json perf records
+// are produced.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,24 @@ import (
 	"coordsample/internal/experiments"
 )
 
+// jsonReport is the -json file schema: enough provenance to rerun the
+// measurement, plus the raw tables.
+type jsonReport struct {
+	GeneratedBy string              `json:"generated_by"`
+	GoVersion   string              `json:"go_version"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	Options     experiments.Options `json:"options"`
+	Results     []jsonResult        `json:"results"`
+}
+
+type jsonResult struct {
+	ID        string              `json:"id"`
+	Paper     string              `json:"paper"`
+	Desc      string              `json:"desc"`
+	ElapsedMS int64               `json:"elapsed_ms"`
+	Tables    []experiments.Table `json:"tables"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
@@ -31,8 +54,9 @@ func main() {
 	runs := flag.Int("runs", 25, "sampling repetitions per measured point")
 	ks := flag.String("ks", "", "comma-separated k sweep (default per experiment)")
 	seed := flag.Uint64("seed", 0xC0FFEE, "hash seed")
-	shards := flag.Int("shards", 0, "shard count for the sharding experiment (0 = sweep defaults)")
+	shards := flag.Int("shards", 0, "shard count for the sharding/serve experiments (0 = sweep defaults)")
 	workers := flag.Int("workers", 0, "cap process parallelism and per-assignment ingestion workers (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file (the BENCH_*.json perf records)")
 	flag.Parse()
 	if *workers > 0 {
 		// Bounds every worker pool in the process: the parallel sampling
@@ -61,18 +85,36 @@ func main() {
 		}
 	}
 
+	report := jsonReport{
+		GeneratedBy: "cws-bench",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Options:     opts,
+	}
 	if *run == "all" {
 		for _, e := range experiments.Registry() {
-			execute(e, opts)
+			report.Results = append(report.Results, execute(e, opts))
 		}
-		return
+	} else {
+		e, ok := experiments.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cws-bench: unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		report.Results = append(report.Results, execute(e, opts))
 	}
-	e, ok := experiments.Find(*run)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "cws-bench: unknown experiment %q (use -list)\n", *run)
-		os.Exit(2)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cws-bench: encoding -json report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cws-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
-	execute(e, opts)
 }
 
 func listExperiments() {
@@ -82,10 +124,12 @@ func listExperiments() {
 	}
 }
 
-func execute(e experiments.Experiment, opts experiments.Options) {
+func execute(e experiments.Experiment, opts experiments.Options) jsonResult {
 	fmt.Printf("=== %s (%s) ===\n%s\n\n", e.ID, e.Paper, e.Desc)
 	start := time.Now()
 	res := e.Run(opts)
+	elapsed := time.Since(start)
 	res.Write(os.Stdout)
-	fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("[%s completed in %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
+	return jsonResult{ID: e.ID, Paper: e.Paper, Desc: e.Desc, ElapsedMS: elapsed.Milliseconds(), Tables: res.Tables}
 }

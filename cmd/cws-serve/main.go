@@ -1,0 +1,70 @@
+// Command cws-serve runs the online sketch server: a resident process that
+// ingests weighted observations over HTTP and answers every
+// multiple-assignment aggregate query of the library from frozen
+// coordinated sketches — the dispersed pipeline as a service instead of a
+// one-shot tool.
+//
+// Ingestion streams into the current epoch through sharded concurrent
+// sketchers; POST /freeze merges the epoch into the cumulative sketches
+// (exact, by the merge lemma) and atomically swaps the serving snapshot,
+// so queries never block ingestion and never see a half-built sketch.
+// Query answers are bit-identical to running the offline pipeline over the
+// same offers, and GET /sketch exports fingerprinted wire-codec files that
+// cws-merge accepts like any other site's.
+//
+// Usage:
+//
+//	cws-serve -assignments 2 -k 1024 -seed 1 -addr :7070
+//
+//	curl -X POST localhost:7070/offer -d '{"assignment":0,"key":"a","weight":2}'
+//	curl -X POST localhost:7070/offer -d '{"offers":[{"assignment":1,"key":"a","weight":3}]}'
+//	curl -X POST localhost:7070/freeze
+//	curl 'localhost:7070/query?agg=L1'
+//	curl 'localhost:7070/query?agg=sum&b=0&prefix=192.168.'
+//	curl 'localhost:7070/sketch?b=0' > site.0.cws     # feed to cws-merge
+//	curl localhost:7070/healthz
+//	curl localhost:7070/debug/vars
+//
+// The sampling configuration (IPPS ranks, shared-seed coordination —
+// matching cws-sketch) must agree with every other site whose sketches
+// these are to be combined with: same -seed and -k.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"coordsample"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	assignments := flag.Int("assignments", 2, "number of weight assignments |W|")
+	k := flag.Int("k", 1024, "sketch size per assignment")
+	seed := flag.Uint64("seed", 1, "hash seed shared by all assignments (and all coordinating sites)")
+	shards := flag.Int("shards", 4, "per-assignment ingestion shards")
+	workers := flag.Int("workers", 0, "ingestion workers per assignment (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := coordsample.ServerConfig{
+		Sample:      coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: *seed, K: *k},
+		Assignments: *assignments,
+		Shards:      *shards,
+		Workers:     *workers,
+	}
+	srv, err := coordsample.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
+		os.Exit(2)
+	}
+	log.Printf("cws-serve: listening on %s (%d assignments, k=%d, seed=%d, %d shards/assignment)",
+		*addr, *assignments, *k, *seed, *shards)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	if err := httpSrv.ListenAndServe(); err != nil {
+		log.Fatalf("cws-serve: %v", err)
+	}
+}

@@ -45,8 +45,16 @@
 // Estimators are unbiased (Horvitz–Thompson on partitioned sample spaces);
 // coordination makes multiple-assignment estimates orders of magnitude
 // tighter than independent samples while keeping a valid weighted sample per
-// assignment. See DESIGN.md for the full system inventory and EXPERIMENTS.md
-// for the reproduced evaluation.
+// assignment.
+//
+// Beyond the batch pipelines, NewServer runs the whole stack as a resident
+// HTTP service (cmd/cws-serve): sharded concurrent ingestion into epochs,
+// freeze-and-swap snapshots, online queries bit-identical to the offline
+// pipeline, and wire-codec sketch export compatible with cws-merge.
+//
+// See DESIGN.md for the full system inventory, docs/paper-map.md for the
+// paper-section-to-symbol map, and EXPERIMENTS.md for the reproduced
+// evaluation.
 package coordsample
 
 import (
@@ -56,6 +64,7 @@ import (
 	"coordsample/internal/dataset"
 	"coordsample/internal/estimate"
 	"coordsample/internal/rank"
+	"coordsample/internal/server"
 	"coordsample/internal/sketch"
 )
 
@@ -312,6 +321,31 @@ func SummarizeDispersedPoisson(cfg Config, ds *Dataset) *Dispersed {
 // Poisson samples of expected size cfg.K per assignment.
 func SummarizeColocatedPoisson(cfg Config, ds *Dataset) *Colocated {
 	return core.SummarizeColocatedPoisson(cfg, ds)
+}
+
+// Online serving layer (cmd/cws-serve).
+type (
+	// Server is the resident sketch service: an http.Handler that ingests
+	// weighted observations into epochs of sharded concurrent sketchers
+	// and answers aggregate queries from immutable frozen snapshots. See
+	// the internal/server package documentation for the epoch lifecycle
+	// and memory model.
+	Server = server.Server
+	// ServerConfig configures a Server: the sampling Config shared with
+	// coordinating sites, the number of assignments, and the per-assignment
+	// ingestion shard and worker counts.
+	ServerConfig = server.Config
+	// ServerOffer is one weighted observation as carried by POST /offer.
+	ServerOffer = server.Offer
+)
+
+// NewServer creates the online sketch server. After any freeze, its query
+// answers are bit-identical to running the offline dispersed pipeline over
+// every offer so far, and GET /sketch exports wire-codec files that
+// cws-merge combines like any other site's. A discarded Server must be
+// Closed to release its ingestion workers.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	return server.New(cfg)
 }
 
 // Aggregate-function constructors.

@@ -74,3 +74,82 @@ func ExamplePoissonTau() {
 	// Output:
 	// 0.01220
 }
+
+// ExampleSummarizeDispersed shows the main query entry point end to end:
+// summarize an in-memory two-period dataset through the dispersed
+// pipeline, then ask single- and multiple-assignment subpopulation
+// questions of the one summary. With k ≥ |I| every estimate is exact,
+// making the AW-summary contract visible: Σ w1, max-dominance, and the L1
+// change between the periods.
+func ExampleSummarizeDispersed() {
+	b := coordsample.NewDatasetBuilder("yesterday", "today")
+	for key, w := range map[string][2]float64{
+		"alpha": {10, 14}, "beta": {6, 2}, "gamma": {0, 5}, "delta": {3, 3},
+	} {
+		if w[0] > 0 {
+			b.Add(0, key, w[0])
+		}
+		if w[1] > 0 {
+			b.Add(1, key, w[1])
+		}
+	}
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 16}
+	summary := coordsample.SummarizeDispersed(cfg, b.Build())
+
+	fmt.Printf("yesterday total: %.0f\n", summary.Single(0).Estimate(nil))
+	fmt.Printf("max-dominance:   %.0f\n", summary.Max(nil).Estimate(nil))
+	fmt.Printf("change (L1):     %.0f\n", summary.RangeLSet(nil).Estimate(nil))
+	// A predicate chosen after summarization selects a subpopulation.
+	notDelta := func(key string) bool { return key != "delta" }
+	fmt.Printf("change w/o delta: %.0f\n", summary.RangeLSet(nil).Estimate(notDelta))
+	// Output:
+	// yesterday total: 19
+	// max-dominance:   28
+	// change (L1):     13
+	// change w/o delta: 13
+}
+
+// ExampleMergeSketches shows the distributed pattern the merge lemma
+// enables: two sites sketch disjoint shards of one assignment under the
+// same Config, and the verified merge is the exact bottom-k sketch of the
+// union — here with k ≥ |I|, the exact total proves it.
+func ExampleMergeSketches() {
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 9, K: 8}
+	siteA := coordsample.NewAssignmentSketcher(cfg, 0)
+	siteB := coordsample.NewAssignmentSketcher(cfg, 0)
+	siteA.Offer("a1", 4)
+	siteA.Offer("a2", 6)
+	siteB.Offer("b1", 5)
+
+	merged, err := coordsample.MergeSketches(siteA.Sketch(), siteB.Sketch())
+	if err != nil {
+		panic(err) // different Config at one site ⇒ *FingerprintMismatchError
+	}
+	sum, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{merged})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("union total: %.0f from %d keys\n", sum.Single(0).Estimate(nil), merged.Size())
+	// Output:
+	// union total: 15 from 3 keys
+}
+
+// ExampleAWSummary_EstimateWithStdErr queries with an error bar: the
+// per-key variance estimates carried by every AW-summary sum to an
+// estimated standard error alongside the point estimate. With k ≥ |I| the
+// sample is the whole set, so the estimate is exact and the error is 0.
+func ExampleAWSummary_EstimateWithStdErr() {
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 2, K: 8}
+	s := coordsample.NewAssignmentSketcher(cfg, 0)
+	for key, w := range map[string]float64{"x": 7, "y": 1, "z": 4} {
+		s.Offer(key, w)
+	}
+	sum, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{s.Sketch()})
+	if err != nil {
+		panic(err)
+	}
+	est, stderr := sum.Single(0).EstimateWithStdErr(nil)
+	fmt.Printf("%.0f ± %.0f\n", est, stderr)
+	// Output:
+	// 12 ± 0
+}

@@ -1,8 +1,17 @@
-// Package cliquery dispatches the query vocabulary shared by the
-// cws-sketch and cws-merge command-line tools onto a dispersed summary, so
-// both binaries answer identically-named queries identically — which is
-// what makes "query at the site" and "query shipped files at the
-// combiner" directly comparable.
+// Package cliquery dispatches the query vocabulary shared by every query
+// front end — the cws-sketch and cws-merge command-line tools and the
+// cws-serve HTTP server — onto a dispersed summary, so all of them answer
+// identically-named queries identically. That single dispatch path is what
+// makes "query at the site", "query shipped files at the combiner", and
+// "query the live server" directly comparable: the same query over the
+// same sketches yields the bit-identical estimate everywhere.
+//
+// Answering a query has two phases with very different costs: building the
+// AW-summary for the aggregate (runs an estimator over the union of the
+// sketches' keys) and evaluating the subpopulation sum over it (a cached,
+// deterministic summation). The SummaryBuilder hook separates them so a
+// resident process can memoize phase one per frozen snapshot — every
+// front end still funnels through AnswerVia, keeping one query path.
 package cliquery
 
 import (
@@ -18,20 +27,63 @@ import (
 const Queries = "sum, min, max, L1, lth, jaccard"
 
 // ParseR parses a comma-separated assignment subset against n assignments;
-// the empty string selects all (nil).
+// the empty string selects all (nil). Duplicate indices are rejected here —
+// the estimators treat R as a set and panic on duplicates, which must
+// surface as a parse error, not a crash, when R comes from a CLI flag or a
+// query parameter.
 func ParseR(s string, n int) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
 	var R []int
+	seen := make(map[int]bool)
 	for _, part := range strings.Split(s, ",") {
 		b, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || b < 0 || b >= n {
 			return nil, fmt.Errorf("invalid assignment index %q", part)
 		}
+		if seen[b] {
+			return nil, fmt.Errorf("duplicate assignment index %d in %q", b, s)
+		}
+		seen[b] = true
 		R = append(R, b)
 	}
 	return R, nil
+}
+
+// SummaryBuilder supplies the AW-summary for one aggregate. key canonically
+// identifies the aggregate (query name plus its b/R/ℓ parameters — never the
+// subpopulation predicate, which is applied later); build constructs the
+// summary from the dispersed estimators. The pass-through builder is Direct;
+// a resident server installs a snapshot-scoped memo instead, so repeated
+// queries against one frozen snapshot rebuild nothing.
+type SummaryBuilder func(key string, build func() estimate.AWSummary) estimate.AWSummary
+
+// Direct is the memoization-free SummaryBuilder: it builds the summary on
+// every call. The one-shot command-line tools use it.
+func Direct(key string, build func() estimate.AWSummary) estimate.AWSummary { return build() }
+
+// aggKey canonicalizes an aggregate identity for SummaryBuilder memoization.
+// A nil R and an explicitly enumerated all-assignments R select the same
+// estimator, but callers pass one form consistently per process, so the
+// textual form is canonical enough — a conservative key can only cause an
+// extra build, never a wrong reuse.
+func aggKey(query string, R []int, extra int) string {
+	var sb strings.Builder
+	sb.WriteString(query)
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(extra))
+	sb.WriteString("/R=")
+	for i, b := range R {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(b))
+	}
+	if R == nil {
+		sb.WriteString("all")
+	}
+	return sb.String()
 }
 
 // Answer evaluates the named query over the summary restricted to pred
@@ -40,6 +92,15 @@ func ParseR(s string, n int) ([]int, error) {
 // (clamped min/max ratio, 1 by convention for an empty subpopulation). It
 // returns a human-readable label alongside the estimate.
 func Answer(d *estimate.Dispersed, query string, b int, R []int, l int, pred dataset.Pred) (string, float64, error) {
+	return AnswerVia(d, query, b, R, l, pred, Direct)
+}
+
+// AnswerVia is Answer with an explicit SummaryBuilder: every AW-summary the
+// query needs is obtained through via, letting the caller cache summaries
+// across calls that share a frozen snapshot. The estimate for a given
+// summary and predicate is deterministic (sorted-order Neumaier summation),
+// so memoizing the summary cannot change any answer.
+func AnswerVia(d *estimate.Dispersed, query string, b int, R []int, l int, pred dataset.Pred, via SummaryBuilder) (string, float64, error) {
 	nR := len(R)
 	if R == nil {
 		nR = d.NumAssignments()
@@ -49,25 +110,33 @@ func Answer(d *estimate.Dispersed, query string, b int, R []int, l int, pred dat
 		if b < 0 || b >= d.NumAssignments() {
 			return "", 0, fmt.Errorf("assignment index %d out of range (have %d assignments)", b, d.NumAssignments())
 		}
-		return fmt.Sprintf("sum b=%d", b), d.Single(b).Estimate(pred), nil
+		aw := via(aggKey("sum", nil, b), func() estimate.AWSummary { return d.Single(b) })
+		return fmt.Sprintf("sum b=%d", b), aw.Estimate(pred), nil
 	case "min":
-		return "min-dominance", d.MinLSet(R).Estimate(pred), nil
+		aw := via(aggKey("min", R, 0), func() estimate.AWSummary { return d.MinLSet(R) })
+		return "min-dominance", aw.Estimate(pred), nil
 	case "max":
-		return "max-dominance", d.Max(R).Estimate(pred), nil
+		aw := via(aggKey("max", R, 0), func() estimate.AWSummary { return d.Max(R) })
+		return "max-dominance", aw.Estimate(pred), nil
 	case "L1":
-		return "L1 difference", d.RangeLSet(R).Estimate(pred), nil
+		aw := via(aggKey("L1", R, 0), func() estimate.AWSummary { return d.RangeLSet(R) })
+		return "L1 difference", aw.Estimate(pred), nil
 	case "lth":
 		if l < 1 || l > nR {
 			return "", 0, fmt.Errorf("-l %d out of range for |R|=%d", l, nR)
 		}
-		return fmt.Sprintf("%d-th largest", l), d.LthLargest(R, l).Estimate(pred), nil
+		aw := via(aggKey("lth", R, l), func() estimate.AWSummary { return d.LthLargest(R, l) })
+		return fmt.Sprintf("%d-th largest", l), aw.Estimate(pred), nil
 	case "jaccard":
-		mx := d.Max(R).Estimate(pred)
+		// Same max and min-l-set summaries the "max" and "min" queries use,
+		// so a memoizing builder shares them across all three.
+		mx := via(aggKey("max", R, 0), func() estimate.AWSummary { return d.Max(R) }).Estimate(pred)
 		if mx <= 0 {
 			// 0/0 convention: an empty subpopulation is identical to itself.
 			return "weighted Jaccard", 1, nil
 		}
-		j := d.MinLSet(R).Estimate(pred) / mx
+		mn := via(aggKey("min", R, 0), func() estimate.AWSummary { return d.MinLSet(R) }).Estimate(pred)
+		j := mn / mx
 		if j < 0 {
 			j = 0
 		} else if j > 1 {

@@ -71,6 +71,91 @@ func TestAnswerErrors(t *testing.T) {
 	}
 }
 
+// TestAnswerViaMemoization: AnswerVia obtains every summary through the
+// SummaryBuilder with a stable canonical key, never rebuilds what the
+// builder returns, and gives bit-identical answers whether or not the
+// builder memoizes. jaccard must share the max/min keys with the
+// same-named queries.
+func TestAnswerViaMemoization(t *testing.T) {
+	d := buildSummary(t)
+	cache := make(map[string]estimate.AWSummary)
+	builds := make(map[string]int)
+	memo := func(key string, build func() estimate.AWSummary) estimate.AWSummary {
+		if aw, ok := cache[key]; ok {
+			return aw
+		}
+		builds[key]++
+		aw := build()
+		cache[key] = aw
+		return aw
+	}
+
+	queries := []struct {
+		q string
+		l int
+	}{{"sum", 1}, {"min", 1}, {"max", 1}, {"L1", 1}, {"lth", 2}, {"jaccard", 1}}
+	// Two passes: pass 2 must hit the memo for everything.
+	for pass := 0; pass < 2; pass++ {
+		for _, tc := range queries {
+			_, got, err := AnswerVia(d, tc.q, 0, nil, tc.l, nil, memo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want, err := Answer(d, tc.q, 0, nil, tc.l, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s (pass %d): memoized %v != direct %v", tc.q, pass, got, want)
+			}
+		}
+	}
+	for key, n := range builds {
+		if n != 1 {
+			t.Errorf("aggregate %q built %d times, want 1", key, n)
+		}
+	}
+	// sum+min+max+L1+lth: jaccard reuses min and max, adding nothing.
+	if len(builds) != 5 {
+		t.Errorf("built %d distinct aggregates %v, want 5 (jaccard must share max/min)", len(builds), builds)
+	}
+}
+
+// TestAnswerViaKeyDistinguishesParameters: different b, R, or ℓ must not
+// collide in the memo key space.
+func TestAnswerViaKeyDistinguishesParameters(t *testing.T) {
+	d := buildSummary(t)
+	seen := make(map[string]bool)
+	record := func(key string, build func() estimate.AWSummary) estimate.AWSummary {
+		if seen[key] {
+			t.Errorf("memo key %q reused across different aggregates", key)
+		}
+		seen[key] = true
+		return build()
+	}
+	calls := []struct {
+		q    string
+		b, l int
+		R    []int
+	}{
+		{"sum", 0, 1, nil},
+		{"sum", 1, 1, nil},
+		{"min", 0, 1, nil},
+		{"min", 0, 1, []int{0}},
+		{"min", 0, 1, []int{1}},
+		{"lth", 0, 1, nil},
+		{"lth", 0, 2, nil},
+	}
+	for _, c := range calls {
+		if _, _, err := AnswerVia(d, c.q, c.b, c.R, c.l, nil, record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != len(calls) {
+		t.Fatalf("%d distinct keys for %d distinct aggregates: %v", len(seen), len(calls), seen)
+	}
+}
+
 func TestParseR(t *testing.T) {
 	if R, err := ParseR("", 3); err != nil || R != nil {
 		t.Fatalf("empty: %v %v", R, err)
@@ -79,7 +164,10 @@ func TestParseR(t *testing.T) {
 	if err != nil || len(R) != 2 || R[0] != 2 || R[1] != 0 {
 		t.Fatalf("parse: %v %v", R, err)
 	}
-	for _, bad := range []string{"x", "3", "-1", "1,,2"} {
+	// Duplicates must be a parse error: the estimators treat R as a set
+	// and panic on them, which a CLI flag or query parameter must never
+	// reach.
+	for _, bad := range []string{"x", "3", "-1", "1,,2", "0,0", "1,2,1"} {
 		if _, err := ParseR(bad, 3); err == nil {
 			t.Fatalf("%q: expected error", bad)
 		}

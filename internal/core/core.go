@@ -44,12 +44,33 @@ func (c Config) Assigner() rank.Assigner {
 	return rank.Assigner{Family: c.Family, Mode: c.Mode, Seed: c.Seed}
 }
 
-func (c Config) validate() {
+// Check reports whether the configuration is usable: k ≥ 1, a known rank
+// family and coordination mode, and independent-differences only paired
+// with EXP ranks (its construction is EXP-specific, Theorem 4.1). Library
+// pipelines panic on a bad Config (programming error); servers and CLIs
+// validating user input should call Check and fail gracefully.
+func (c Config) Check() error {
 	if c.K < 1 {
-		panic(fmt.Sprintf("core: invalid sample size k=%d", c.K))
+		return fmt.Errorf("core: invalid sample size k=%d", c.K)
 	}
-	if c.Mode == rank.IndependentDifferences && c.Family != rank.EXP {
-		panic("core: independent-differences coordination requires EXP ranks")
+	if c.Family != rank.IPPS && c.Family != rank.EXP {
+		return fmt.Errorf("core: unknown rank family %d", c.Family)
+	}
+	switch c.Mode {
+	case rank.SharedSeed, rank.Independent:
+	case rank.IndependentDifferences:
+		if c.Family != rank.EXP {
+			return fmt.Errorf("core: independent-differences coordination requires EXP ranks")
+		}
+	default:
+		return fmt.Errorf("core: unknown coordination mode %d", c.Mode)
+	}
+	return nil
+}
+
+func (c Config) validate() {
+	if err := c.Check(); err != nil {
+		panic(err.Error())
 	}
 }
 

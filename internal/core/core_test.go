@@ -231,6 +231,31 @@ func TestConfigValidation(t *testing.T) {
 	assertPanics(t, func() { FitDistinctBudget([]*sketch.BottomK{sk1}, 9) })
 }
 
+// TestConfigCheck: the non-panicking validation servers and CLIs use for
+// user-supplied configuration agrees with validate()'s rules.
+func TestConfigCheck(t *testing.T) {
+	for _, bad := range []Config{
+		{Family: rank.IPPS, K: 0},
+		{Family: rank.IPPS, K: -2},
+		{Family: 99, K: 4},
+		{Family: rank.IPPS, Mode: 99, K: 4},
+		{Family: rank.IPPS, Mode: rank.IndependentDifferences, K: 4},
+	} {
+		if err := bad.Check(); err == nil {
+			t.Errorf("Check accepted invalid %+v", bad)
+		}
+	}
+	for _, good := range []Config{
+		{Family: rank.IPPS, Mode: rank.SharedSeed, K: 1},
+		{Family: rank.EXP, Mode: rank.Independent, Seed: 7, K: 100},
+		{Family: rank.EXP, Mode: rank.IndependentDifferences, K: 8},
+	} {
+		if err := good.Check(); err != nil {
+			t.Errorf("Check rejected valid %+v: %v", good, err)
+		}
+	}
+}
+
 func assertPanics(t *testing.T, f func()) {
 	t.Helper()
 	defer func() {

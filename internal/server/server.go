@@ -1,0 +1,612 @@
+// Package server is the online serving layer: a long-running HTTP service
+// that ingests weighted observations and answers every multiple-assignment
+// aggregate query of the library online — the paper's promise ("answer
+// aggregate queries from tiny coordinated summaries instead of the data")
+// turned from a batch pipeline into a resident process.
+//
+// # Epoch lifecycle
+//
+// Ingestion and querying never touch the same sketch. Offers stream into
+// the current *epoch*: one sharded, concurrent shard.Sketcher per weight
+// assignment, guarded by the ingest mutex (the sketchers are
+// single-producer; HTTP handlers serialize on the lock and amortize it
+// with batches). A freeze (POST /freeze) terminally freezes the epoch's
+// sketchers, merges each assignment's epoch sketch into the cumulative
+// sketch of all previous epochs with the exact sketch.Merge — the merge
+// lemma: bottom-k sketches of disjoint key sets merge into the bit-exact
+// bottom-k sketch of the union — and atomically swaps in a new immutable
+// snapshot. Fresh sketchers are armed for the next epoch before the lock
+// is released.
+//
+// Because per-assignment sketching requires pre-aggregated keys (each key
+// offered at most once per assignment — the same contract every builder in
+// this repository has), the epochs of one assignment are disjoint key
+// sets, and the cumulative merge is exact: after any freeze, the served
+// sketches are bit-identical to what a single offline pass over every
+// offer so far would have built, no matter how the stream was cut into
+// epochs or interleaved with freezes. A violation that leaves two copies
+// of a key in the merged sample is detected at freeze time and reported as
+// an HTTP error; the serving snapshot is left unchanged.
+//
+// # Freeze-and-swap memory model
+//
+// The snapshot is published through an atomic pointer. Queries load the
+// pointer once and answer entirely from the immutable snapshot — frozen
+// sketches, a frozen estimate.Dispersed summary, and a memo of the
+// AW-summaries built so far (estimates are deterministic, sorted-order
+// Neumaier sums, so memoization can never change an answer). Readers
+// therefore never take the ingest lock, writers never wait for readers,
+// and no query can ever observe a half-built sketch: the swap is a single
+// pointer store of a fully constructed snapshot, and Go's atomic.Pointer
+// gives the necessary happens-before edge between the freeze that built
+// the snapshot and every query that loads it.
+//
+// # Endpoints
+//
+//	POST /offer        ingest one offer or a batch (JSON)
+//	POST /freeze       advance the epoch: freeze, merge, swap
+//	GET  /query        answer an aggregate from the frozen snapshot
+//	GET  /sketch       export a frozen sketch in the wire codec
+//	GET  /healthz      liveness + epoch
+//	GET  /debug/vars   expvar-style counters (offers, queries, epoch, ...)
+//
+// Query dispatch goes through internal/cliquery, the same path cws-sketch
+// and cws-merge use, so a query answered by the server is bit-identical to
+// the same query answered offline over the same offers — and the sketches
+// exported by GET /sketch are fingerprinted wire-codec files that
+// cws-merge accepts, so a live server can participate in the distributed
+// combine workflow as just another site.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coordsample/internal/cliquery"
+	"coordsample/internal/core"
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+	"coordsample/internal/shard"
+	"coordsample/internal/sketch"
+)
+
+// Config configures the serving layer.
+type Config struct {
+	// Sample is the sampling configuration shared by every assignment
+	// (family, coordination mode, seed, per-assignment k). Sketches served
+	// and exported by this server coordinate with any site using the same
+	// Sample configuration.
+	Sample core.Config
+	// Assignments is |W|, the number of weight assignments ingested.
+	Assignments int
+	// Shards is the per-assignment shard count of the concurrent ingestion
+	// pipeline (≥ 1).
+	Shards int
+	// Workers is the per-assignment ingestion worker count; ≤ 0 selects
+	// GOMAXPROCS (capped at Shards by the sharded sketcher).
+	Workers int
+}
+
+// check validates user-supplied configuration without panicking.
+func (c Config) check() error {
+	if err := c.Sample.Check(); err != nil {
+		return err
+	}
+	if c.Sample.Mode == rank.IndependentDifferences {
+		return fmt.Errorf("server: independent-differences coordination requires colocated weights; the server ingests dispersed streams")
+	}
+	if c.Assignments < 1 {
+		return fmt.Errorf("server: need at least one assignment, got %d", c.Assignments)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("server: invalid shard count %d", c.Shards)
+	}
+	return nil
+}
+
+// snapshot is one immutable serving state: everything a query touches.
+// It is swapped in whole by freeze and only ever read afterwards, except
+// for the AW-summary memo, which is internally synchronized and
+// value-deterministic (racing builds produce identical summaries).
+type snapshot struct {
+	epoch    int
+	summary  *estimate.Dispersed
+	sketches []*sketch.BottomK
+
+	mu    sync.Mutex
+	cache map[string]estimate.AWSummary
+}
+
+// summaryFor is the snapshot-scoped cliquery.SummaryBuilder: the first
+// query needing an aggregate builds its AW-summary (the expensive phase —
+// an estimator pass over the union of the sketches), every later query
+// reuses it. The build runs outside the lock so a slow build never blocks
+// queries for other aggregates; two racing builds of the same aggregate
+// produce identical summaries (deterministic estimators), so storing
+// either is correct.
+func (s *snapshot) summaryFor(key string, build func() estimate.AWSummary) estimate.AWSummary {
+	s.mu.Lock()
+	aw, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return aw
+	}
+	aw = build()
+	s.mu.Lock()
+	if prior, ok := s.cache[key]; ok {
+		aw = prior
+	} else {
+		s.cache[key] = aw
+	}
+	s.mu.Unlock()
+	return aw
+}
+
+// Server is the resident sketch service. Create it with New; it implements
+// http.Handler.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	mu     sync.Mutex        // guards ingest, cum, epoch, closed
+	ingest []*shard.Sketcher // current epoch's per-assignment sketchers
+	cum    []*sketch.BottomK // exact merged sketches of all frozen epochs
+	epoch  int               // number of successful freezes
+	closed bool              // Close was called; ingestion is shut down
+
+	snap atomic.Pointer[snapshot]
+
+	// Counters use expvar types for their lock-free increments and expvar
+	// JSON rendering, but are deliberately not registered in the
+	// process-global expvar registry (which panics on duplicate names and
+	// would forbid two servers in one process — tests, embedded use). The
+	// /debug/vars handler serves them in the standard expvar format.
+	offers        expvar.Int
+	offerBatches  expvar.Int
+	queries       expvar.Int
+	freezes       expvar.Int
+	freezeErrors  expvar.Int
+	sketchExports expvar.Int
+}
+
+// New creates a Server with an empty epoch 0 snapshot: queries are
+// answerable immediately (estimating zero for every aggregate) and the
+// first freeze publishes whatever has been offered since.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, start: time.Now()}
+	s.cum = make([]*sketch.BottomK, cfg.Assignments)
+	assigner := cfg.Sample.Assigner()
+	for b := range s.cum {
+		// The empty frozen sketch of each assignment, fingerprinted so the
+		// first epoch merge (and any epoch-0 /sketch export) verifies.
+		s.cum[b] = sketch.NewBottomKBuilderWithFingerprint(cfg.Sample.K, assigner.Fingerprint(b, cfg.Sample.K)).Sketch()
+	}
+	s.ingest = newEpochSketchers(cfg)
+	s.snap.Store(s.newSnapshot(0, s.cum))
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/offer", s.handleOffer)
+	s.mux.HandleFunc("/freeze", s.handleFreeze)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/sketch", s.handleSketch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	return s, nil
+}
+
+// newEpochSketchers arms one sharded concurrent sketcher per assignment.
+func newEpochSketchers(cfg Config) []*shard.Sketcher {
+	ingest := make([]*shard.Sketcher, cfg.Assignments)
+	for b := range ingest {
+		ingest[b] = core.NewShardedSketcher(cfg.Sample, b, cfg.Shards, cfg.Workers)
+	}
+	return ingest
+}
+
+// newSnapshot builds the immutable serving state for the given cumulative
+// sketches. The combine is fingerprint-verified; the sketches were built by
+// this server under its own configuration, so a failure is a programming
+// error.
+func (s *Server) newSnapshot(epoch int, cum []*sketch.BottomK) *snapshot {
+	summary, err := core.CombineDispersed(s.cfg.Sample, cum)
+	if err != nil {
+		panic(fmt.Sprintf("server: %v", err))
+	}
+	return &snapshot{
+		epoch:    epoch,
+		summary:  summary,
+		sketches: cum,
+		cache:    make(map[string]estimate.AWSummary),
+	}
+}
+
+// ServeHTTP dispatches to the server's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Epoch returns the number of successful freezes (the epoch the serving
+// snapshot was published at).
+func (s *Server) Epoch() int { return s.snap.Load().epoch }
+
+// errClosed reports ingestion attempted after Close.
+var errClosed = errors.New("server: closed")
+
+// Close shuts the ingest pipeline down: the current epoch's sketchers are
+// terminally frozen, releasing their worker goroutines. Offers of the
+// unfrozen epoch are discarded (freeze first to publish them); subsequent
+// offers and freezes fail with 503, while queries, sketch export, and the
+// health/counter endpoints keep serving the last snapshot. Embedders that
+// create servers dynamically (tests, per-tenant setups, the serve bench)
+// must Close discarded instances or their epoch workers leak. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sk := range s.ingest {
+		func() {
+			// The freeze result is discarded, so a duplicate-key panic is
+			// irrelevant here — only the worker shutdown matters.
+			defer func() { _ = recover() }()
+			sk.Sketch()
+		}()
+	}
+}
+
+// --- ingestion ---
+
+// Offer is one weighted observation of one assignment, as carried by
+// POST /offer.
+type Offer struct {
+	Assignment int     `json:"assignment"`
+	Key        string  `json:"key"`
+	Weight     float64 `json:"weight"`
+}
+
+// offerRequest is the POST /offer body: either a single offer object or a
+// batch under "offers" (both at once is accepted; the batch is processed
+// first).
+type offerRequest struct {
+	Offer
+	Offers []Offer `json:"offers"`
+}
+
+// maxOfferBody caps the POST /offer body (8 MiB ≈ 10^5 offers): the
+// decoder materializes the whole batch before validation, so without a
+// cap one request could exhaust the resident process's memory. Clients
+// with more data send more batches — ingestion is cumulative anyway.
+const maxOfferBody = 8 << 20
+
+func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req offerRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxOfferBody))
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "offer body exceeds %d bytes; split the batch", int64(maxOfferBody))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding offer body: %v", err)
+		return
+	}
+	batch := req.Offers
+	if req.Key != "" {
+		batch = append(batch, req.Offer)
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty offer body (want an offer object or a nonempty \"offers\" array)")
+		return
+	}
+	// Validate everything before ingesting anything, so a rejected request
+	// never half-applies.
+	for i, o := range batch {
+		if o.Assignment < 0 || o.Assignment >= s.cfg.Assignments {
+			writeError(w, http.StatusBadRequest, "offer %d: assignment %d out of range (have %d assignments)", i, o.Assignment, s.cfg.Assignments)
+			return
+		}
+		if o.Key == "" {
+			writeError(w, http.StatusBadRequest, "offer %d: empty key", i)
+			return
+		}
+		if math.IsNaN(o.Weight) || math.IsInf(o.Weight, 0) || o.Weight < 0 {
+			writeError(w, http.StatusBadRequest, "offer %d: invalid weight %v", i, o.Weight)
+			return
+		}
+	}
+	// Group by assignment so each sketcher sees one amortized batch.
+	perAssignment := make([][]shard.Observation, s.cfg.Assignments)
+	accepted := 0
+	for _, o := range batch {
+		if o.Weight == 0 {
+			continue // never sampled; skip before taking the lock
+		}
+		perAssignment[o.Assignment] = append(perAssignment[o.Assignment], shard.Observation{Key: o.Key, Weight: o.Weight})
+		accepted++
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "%v", errClosed)
+		return
+	}
+	for b, obs := range perAssignment {
+		if len(obs) > 0 {
+			s.ingest[b].OfferBatch(obs)
+		}
+	}
+	epoch := s.epoch
+	s.mu.Unlock()
+	s.offers.Add(int64(accepted))
+	s.offerBatches.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "epoch": epoch})
+}
+
+// --- freeze ---
+
+func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	snap, err := s.freeze()
+	if errors.Is(err, errClosed) {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if err != nil {
+		s.freezeErrors.Add(1)
+		// The pre-aggregation contract was violated by the ingested data;
+		// 409 Conflict distinguishes it from a malformed request.
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.freezes.Add(1)
+	entries := make([]int, len(snap.sketches))
+	for b, sk := range snap.sketches {
+		entries[b] = sk.Size()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": snap.epoch, "assignments": s.cfg.Assignments, "entries": entries})
+}
+
+// freeze advances the epoch: terminally freeze the current sketchers,
+// merge each assignment's epoch sketch into the cumulative sketch (exact,
+// by the merge lemma — epochs are disjoint key sets under the
+// pre-aggregation contract), publish the new snapshot, and arm fresh
+// sketchers. On error (a duplicate key surviving the merge, i.e. a
+// contract violation in the ingested data) the serving snapshot and the
+// cumulative sketches are left unchanged, the poisoned epoch's data is
+// discarded, and ingestion continues in a fresh epoch.
+func (s *Server) freeze() (*snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	merged, err := freezeAndMerge(s.ingest, s.cum)
+	// The old sketchers are terminally frozen either way; always re-arm.
+	s.ingest = newEpochSketchers(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.epoch++
+	s.cum = merged
+	snap := s.newSnapshot(s.epoch, merged)
+	s.snap.Store(snap)
+	return snap, nil
+}
+
+// freezeAndMerge freezes every epoch sketcher and merges into the
+// cumulative sketches, converting the duplicate-key freeze panic (the
+// library's detection of pre-aggregation violations) into an error a
+// server can survive. Every sketcher is frozen even when one fails:
+// Sketch() is what shuts a sketcher's worker goroutines down, so
+// abandoning the rest on the first failure would leak their workers on
+// every failed freeze — unbounded growth in a server designed to ride
+// failed freezes out indefinitely.
+func freezeAndMerge(ingest []*shard.Sketcher, cum []*sketch.BottomK) ([]*sketch.BottomK, error) {
+	out := make([]*sketch.BottomK, len(ingest))
+	var firstErr error
+	for b, sk := range ingest {
+		merged, err := freezeOne(sk, cum[b])
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[b] = merged
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// freezeOne terminally freezes one assignment's epoch sketcher and merges
+// it into that assignment's cumulative sketch, recovering the panic the
+// sketch layer raises when a key was offered more than once (within the
+// epoch, in sk.Sketch(); across epochs, in the Merge freeze).
+func freezeOne(sk *shard.Sketcher, cum *sketch.BottomK) (out *sketch.BottomK, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("freezing epoch: %v (each key may be offered at most once per assignment across the server's lifetime; the epoch's data is discarded and the serving snapshot is unchanged)", r)
+		}
+	}()
+	epochSketch := sk.Sketch()
+	merged, mergeErr := sketch.Merge(cum, epochSketch)
+	if mergeErr != nil {
+		return nil, mergeErr // impossible: both sides carry this server's fingerprint
+	}
+	return merged, nil
+}
+
+// --- queries ---
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	agg := q.Get("agg")
+	if agg == "" {
+		writeError(w, http.StatusBadRequest, "missing agg parameter (want one of %s)", cliquery.Queries)
+		return
+	}
+	b, err := intParam(q.Get("b"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad b parameter: %v", err)
+		return
+	}
+	l, err := intParam(q.Get("l"), 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad l parameter: %v", err)
+		return
+	}
+	snap := s.snap.Load()
+	R, err := cliquery.ParseR(q.Get("R"), snap.summary.NumAssignments())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad R parameter: %v", err)
+		return
+	}
+	var pred dataset.Pred
+	if prefix := q.Get("prefix"); prefix != "" {
+		pred = func(key string) bool { return strings.HasPrefix(key, prefix) }
+	}
+	label, v, err := cliquery.AnswerVia(snap.summary, agg, b, R, l, pred, snap.summaryFor)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.queries.Add(1)
+	// The estimate travels as a JSON number; encoding/json emits the
+	// shortest representation that parses back to the identical float64,
+	// so the bit-identity guarantee survives the HTTP boundary.
+	writeJSON(w, http.StatusOK, map[string]any{"agg": agg, "label": label, "estimate": v, "epoch": snap.epoch})
+}
+
+// --- sketch export ---
+
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("b") == "" {
+		writeError(w, http.StatusBadRequest, "missing b parameter (assignment index 0..%d)", s.cfg.Assignments-1)
+		return
+	}
+	b, err := intParam(q.Get("b"), 0)
+	if err != nil || b < 0 || b >= s.cfg.Assignments {
+		writeError(w, http.StatusBadRequest, "bad b parameter %q (assignment index 0..%d)", q.Get("b"), s.cfg.Assignments-1)
+		return
+	}
+	codec := sketch.CodecBinary
+	if f := q.Get("format"); f != "" {
+		if codec, err = sketch.ParseCodec(f); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	snap := s.snap.Load()
+	meta := sketch.WireMeta{Family: s.cfg.Sample.Family, Mode: s.cfg.Sample.Mode, Seed: s.cfg.Sample.Seed, Assignment: b}
+	// Encode into memory first (sketches are bounded at k entries) so an
+	// encoding failure yields a clean 500 instead of a 200 with a
+	// truncated payload the client would save as a corrupt sketch file.
+	var buf bytes.Buffer
+	if err := sketch.EncodeBottomK(&buf, codec, meta, snap.sketches[b]); err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding sketch: %v", err)
+		return
+	}
+	name := fmt.Sprintf("epoch-%d.%d.cws", snap.epoch, b)
+	if codec == sketch.CodecJSON {
+		w.Header().Set("Content-Type", "application/json")
+		name += ".json"
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name))
+	w.Header().Set("X-CWS-Epoch", strconv.Itoa(snap.epoch))
+	_, _ = w.Write(buf.Bytes())
+	s.sketchExports.Add(1)
+}
+
+// --- health and counters ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"epoch":       snap.epoch,
+		"assignments": s.cfg.Assignments,
+		"k":           s.cfg.Sample.K,
+		"uptime_sec":  time.Since(s.start).Seconds(),
+	})
+}
+
+// handleVars serves the counters in the standard expvar JSON shape. The
+// offers/sec rate is computed over the process uptime; scrapers wanting
+// windowed rates difference cws.offers themselves.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	servingEntries := 0
+	for _, sk := range snap.sketches {
+		servingEntries += sk.Size()
+	}
+	uptime := time.Since(s.start).Seconds()
+	offersPerSec := 0.0
+	if uptime > 0 {
+		offersPerSec = float64(s.offers.Value()) / uptime
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	fmt.Fprintf(w, "%q: %s,\n", "cws.offers", s.offers.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.offer_batches", s.offerBatches.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.queries", s.queries.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.freezes", s.freezes.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.freeze_errors", s.freezeErrors.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.sketch_exports", s.sketchExports.String())
+	fmt.Fprintf(w, "%q: %d,\n", "cws.epoch", snap.epoch)
+	fmt.Fprintf(w, "%q: %d,\n", "cws.serving_entries", servingEntries)
+	fmt.Fprintf(w, "%q: %g,\n", "cws.offers_per_sec", offersPerSec)
+	fmt.Fprintf(w, "%q: %g\n", "cws.uptime_sec", uptime)
+	fmt.Fprintf(w, "}\n")
+}
+
+// --- helpers ---
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

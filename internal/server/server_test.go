@@ -1,0 +1,604 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"coordsample/internal/cliquery"
+	"coordsample/internal/core"
+	"coordsample/internal/estimate"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// testStream is a deterministic two-assignment weighted stream with key
+// churn: some keys live in only one assignment.
+func testStream(n int, seed int64) []Offer {
+	rng := rand.New(rand.NewSource(seed))
+	var offers []Offer
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("host-%05d", i)
+		base := math.Exp(rng.NormFloat64() * 2)
+		if rng.Float64() < 0.9 {
+			offers = append(offers, Offer{Assignment: 0, Key: key, Weight: base * (0.5 + rng.Float64())})
+		}
+		if rng.Float64() < 0.9 {
+			offers = append(offers, Offer{Assignment: 1, Key: key, Weight: base * (0.5 + rng.Float64())})
+		}
+	}
+	return offers
+}
+
+// offlineSummary runs the in-process dispersed pipeline over the stream.
+func offlineSummary(t *testing.T, cfg core.Config, offers []Offer, assignments int) *estimate.Dispersed {
+	t.Helper()
+	sketchers := make([]*core.AssignmentSketcher, assignments)
+	for b := range sketchers {
+		sketchers[b] = core.NewAssignmentSketcher(cfg, b)
+	}
+	for _, o := range offers {
+		sketchers[o.Assignment].Offer(o.Key, o.Weight)
+	}
+	sketches := make([]*sketch.BottomK, assignments)
+	for b, sk := range sketchers {
+		sketches[b] = sk.Sketch()
+	}
+	d, err := core.CombineDispersed(cfg, sketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// tryPostJSON posts and reports failure as an error: safe to use from
+// non-test goroutines, where t.Fatal (FailNow) is not allowed.
+func tryPostJSON(url string, body any) (map[string]any, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("POST %s: status %d: %v", url, resp.StatusCode, out)
+	}
+	return out, nil
+}
+
+func postJSON(t *testing.T, url string, body any) map[string]any {
+	t.Helper()
+	out, err := tryPostJSON(url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func decodeJSONBody(t *testing.T, r io.Reader) map[string]any {
+	t.Helper()
+	var out map[string]any
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// queryHTTP runs GET /query and returns the estimate exactly as the JSON
+// number parsed back to float64 (shortest-representation round-trip, so ==
+// means bit-identity).
+func queryHTTP(t *testing.T, base, params string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/query?" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := decodeJSONBody(t, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /query?%s: status %d: %v", params, resp.StatusCode, out)
+	}
+	v, ok := out["estimate"].(float64)
+	if !ok {
+		t.Fatalf("GET /query?%s: no numeric estimate in %v", params, out)
+	}
+	return v
+}
+
+// TestBitIdenticalAcrossConcurrentFreezes is the acceptance criterion: the
+// server answers every cliquery aggregate over HTTP bit-identically to the
+// offline pipeline on the same stream, with offers arriving from concurrent
+// clients and freezes racing them mid-stream. Run under -race in CI.
+func TestBitIdenticalAcrossConcurrentFreezes(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 7, K: 128},
+		Assignments: 2,
+		Shards:      4,
+		Workers:     2,
+	}
+	offers := testStream(3000, 11)
+	offline := offlineSummary(t, cfg.Sample, offers, cfg.Assignments)
+
+	_, ts := newTestServer(t, cfg)
+
+	// Four concurrent producers over disjoint chunks, racing two freezes.
+	// However the stream is cut into epochs, the cumulative merge must
+	// reproduce the offline sketch exactly.
+	const producers = 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for lo := p * len(offers) / producers; lo < (p+1)*len(offers)/producers; lo += 100 {
+				hi := lo + 100
+				if max := (p + 1) * len(offers) / producers; hi > max {
+					hi = max
+				}
+				if _, err := tryPostJSON(ts.URL+"/offer", map[string]any{"offers": offers[lo:hi]}); err != nil {
+					t.Error(err) // t.Fatal is not allowed off the test goroutine
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			if _, err := tryPostJSON(ts.URL+"/freeze", nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("concurrent ingest failed; skipping bit-identity checks")
+	}
+	postJSON(t, ts.URL+"/freeze", nil) // publish everything still in flight
+
+	pred := func(key string) bool { return strings.HasPrefix(key, "host-0") }
+	checks := []struct {
+		params string
+		query  string
+		b, l   int
+		pred   func(string) bool
+	}{
+		{"agg=sum&b=0", "sum", 0, 1, nil},
+		{"agg=sum&b=1&prefix=host-0", "sum", 1, 1, pred},
+		{"agg=min", "min", 0, 1, nil},
+		{"agg=max", "max", 0, 1, nil},
+		{"agg=L1", "L1", 0, 1, nil},
+		{"agg=L1&R=0,1", "L1", 0, 1, nil},
+		{"agg=lth&l=2", "lth", 0, 2, nil},
+		{"agg=jaccard&prefix=host-0", "jaccard", 0, 1, pred},
+	}
+	for _, c := range checks {
+		var R []int
+		if strings.Contains(c.params, "R=0,1") {
+			R = []int{0, 1}
+		}
+		_, want, err := cliquery.Answer(offline, c.query, c.b, R, c.l, c.pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := queryHTTP(t, ts.URL, c.params)
+		if got != want {
+			t.Errorf("/query?%s = %v, offline pipeline = %v (must be bit-identical)", c.params, got, want)
+		}
+		// Second query exercises the snapshot's AW-summary cache; the
+		// answer must not move.
+		if again := queryHTTP(t, ts.URL, c.params); again != got {
+			t.Errorf("/query?%s cached answer %v != first answer %v", c.params, again, got)
+		}
+	}
+
+	// The served sketches themselves must be bit-identical to the offline
+	// ones: same entries, same conditioning ranks.
+	for b := 0; b < cfg.Assignments; b++ {
+		for _, format := range []string{"binary", "json"} {
+			resp, err := http.Get(fmt.Sprintf("%s/sketch?b=%d&format=%s", ts.URL, b, format))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := sketch.Decode(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("decoding /sketch?b=%d&format=%s: %v", b, format, err)
+			}
+			want := offline.Sketch(b).(*sketch.BottomK)
+			got := decoded.BottomK
+			if got == nil {
+				t.Fatalf("/sketch?b=%d: not a bottom-k file", b)
+			}
+			if got.KthRank() != want.KthRank() || got.Threshold() != want.Threshold() {
+				t.Fatalf("/sketch?b=%d (%s): conditioning ranks (%v, %v) != offline (%v, %v)",
+					b, format, got.KthRank(), got.Threshold(), want.KthRank(), want.Threshold())
+			}
+			ge, we := got.Entries(), want.Entries()
+			if len(ge) != len(we) {
+				t.Fatalf("/sketch?b=%d (%s): %d entries, offline has %d", b, format, len(ge), len(we))
+			}
+			for i := range ge {
+				if ge[i] != we[i] {
+					t.Fatalf("/sketch?b=%d (%s): entry %d = %+v, offline %+v", b, format, i, ge[i], we[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEpochVisibility: queries answer from the frozen snapshot only —
+// offers are invisible until a freeze, and each freeze advances the epoch
+// reported everywhere.
+func TestEpochVisibility(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 16},
+		Assignments: 1,
+		Shards:      2,
+	}
+	s, ts := newTestServer(t, cfg)
+
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "a", Weight: 5})
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0"); got != 0 {
+		t.Fatalf("pre-freeze query sees unfrozen data: %v", got)
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("epoch %d before first freeze", s.Epoch())
+	}
+	res := postJSON(t, ts.URL+"/freeze", nil)
+	if res["epoch"].(float64) != 1 {
+		t.Fatalf("freeze response epoch = %v, want 1", res["epoch"])
+	}
+	// k ≥ |I| makes the estimate exact.
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0"); got != 5 {
+		t.Fatalf("post-freeze sum = %v, want 5", got)
+	}
+	// Next epoch accumulates: a disjoint key joins the cumulative sketch.
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "b", Weight: 3})
+	postJSON(t, ts.URL+"/freeze", nil)
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0"); got != 8 {
+		t.Fatalf("cumulative sum after second epoch = %v, want 8", got)
+	}
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", s.Epoch())
+	}
+}
+
+// TestFreezeContractViolationKeepsServing: a key offered in two epochs
+// (violating pre-aggregation) fails the freeze loudly with 409, keeps the
+// previous snapshot serving, and lets later, clean epochs proceed.
+func TestFreezeContractViolationKeepsServing(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 16},
+		Assignments: 1,
+		Shards:      2,
+	}
+	s, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "dup", Weight: 5})
+	postJSON(t, ts.URL+"/freeze", nil)
+
+	// Same key again; with k ≥ |I| both copies survive the merge, so the
+	// violation is detected at the next freeze.
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "dup", Weight: 7})
+	resp, err := http.Post(ts.URL+"/freeze", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decodeJSONBody(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("freeze of duplicated key: status %d (%v), want 409", resp.StatusCode, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "at most once") {
+		t.Fatalf("freeze error does not explain the contract: %v", body)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("failed freeze advanced the epoch to %d", s.Epoch())
+	}
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0"); got != 5 {
+		t.Fatalf("serving snapshot changed after failed freeze: %v, want 5", got)
+	}
+	// The poisoned epoch is discarded; a fresh epoch works.
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "clean", Weight: 2})
+	postJSON(t, ts.URL+"/freeze", nil)
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0"); got != 7 {
+		t.Fatalf("post-recovery sum = %v, want 7", got)
+	}
+}
+
+// TestFailedFreezeDoesNotLeakWorkers: a failed freeze must still shut
+// down every assignment's epoch sketcher — the regression was abandoning
+// the not-yet-frozen sketchers on the first panic, leaking their worker
+// goroutines on every failed freeze of a server meant to survive them
+// indefinitely.
+func TestFailedFreezeDoesNotLeakWorkers(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 16},
+		Assignments: 3,
+		Shards:      8,
+		Workers:     4,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	offerAll := func(key string, w float64) {
+		s.mu.Lock()
+		for b := range s.ingest {
+			s.ingest[b].Offer(key, w)
+		}
+		s.mu.Unlock()
+	}
+	offerAll("dup", 1)
+	if _, err := s.freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	const failedFreezes = 10
+	for i := 0; i < failedFreezes; i++ {
+		offerAll("dup", 1) // violates the once-per-assignment contract
+		if _, err := s.freeze(); err == nil {
+			t.Fatal("freeze of duplicated key succeeded")
+		}
+	}
+	// Each epoch arms assignments×min(workers, shards) drain goroutines;
+	// leaking even one failed freeze's worth would exceed the slack.
+	if got := runtime.NumGoroutine(); got > baseline+6 {
+		t.Fatalf("goroutines grew from %d to %d across %d failed freezes (leaked epoch workers)",
+			baseline, got, failedFreezes)
+	}
+	// And the server still works.
+	offerAll("clean", 2)
+	if _, err := s.freeze(); err != nil {
+		t.Fatalf("clean freeze after failures: %v", err)
+	}
+}
+
+// TestCloseReleasesWorkersAndKeepsServing: Close frees the armed epoch's
+// worker goroutines; afterwards ingestion is refused with 503 while
+// queries and sketch export keep serving the last snapshot.
+func TestCloseReleasesWorkersAndKeepsServing(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 16},
+		Assignments: 2,
+		Shards:      8,
+		Workers:     4,
+	}
+	baseline := runtime.NumGoroutine()
+	s, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "a", Weight: 4})
+	postJSON(t, ts.URL+"/freeze", nil)
+
+	s.Close()
+	s.Close() // idempotent
+	// Give the released workers a beat to exit before counting.
+	for i := 0; i < 100 && runtime.NumGoroutine() > baseline+4; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline+4 {
+		t.Errorf("goroutines %d > baseline %d after Close (epoch workers not released)", got, baseline)
+	}
+
+	status := func(method, path string) int {
+		req, _ := http.NewRequest(method, ts.URL+path, strings.NewReader(`{"assignment":0,"key":"b","weight":1}`))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := status(http.MethodPost, "/offer"); code != http.StatusServiceUnavailable {
+		t.Errorf("offer after Close: status %d, want 503", code)
+	}
+	if code := status(http.MethodPost, "/freeze"); code != http.StatusServiceUnavailable {
+		t.Errorf("freeze after Close: status %d, want 503", code)
+	}
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0"); got != 4 {
+		t.Errorf("query after Close = %v, want 4 (last snapshot must keep serving)", got)
+	}
+	if code := status(http.MethodGet, "/sketch?b=0"); code != http.StatusOK {
+		t.Errorf("sketch export after Close: status %d, want 200", code)
+	}
+}
+
+// TestOfferBodyTooLarge: the ingest endpoint bounds its request body so a
+// single request cannot exhaust the resident process's memory.
+func TestOfferBodyTooLarge(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 8},
+		Assignments: 1,
+		Shards:      1,
+	}
+	_, ts := newTestServer(t, cfg)
+	huge := `{"offers":[{"assignment":0,"key":"` + strings.Repeat("x", maxOfferBody) + `","weight":1}]}`
+	resp, err := http.Post(ts.URL+"/offer", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestBadRequests: malformed input yields 4xx with a JSON error, never a
+// panic or a silent ingest.
+func TestBadRequests(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 8},
+		Assignments: 2,
+		Shards:      1,
+	}
+	_, ts := newTestServer(t, cfg)
+
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for name, tc := range map[string]struct{ got, want int }{
+		"offer garbage":           {post("/offer", "not json"), 400},
+		"offer empty":             {post("/offer", "{}"), 400},
+		"offer bad assignment":    {post("/offer", `{"assignment":9,"key":"a","weight":1}`), 400},
+		"offer negative weight":   {post("/offer", `{"assignment":0,"key":"a","weight":-1}`), 400},
+		"offer empty key":         {post("/offer", `{"offers":[{"assignment":0,"key":"","weight":1}]}`), 400},
+		"offer wrong method":      {get("/offer"), 405},
+		"freeze wrong method":     {get("/freeze"), 405},
+		"query missing agg":       {get("/query"), 400},
+		"query unknown agg":       {get("/query?agg=nope"), 400},
+		"query bad b":             {get("/query?agg=sum&b=7"), 400},
+		"query bad R":             {get("/query?agg=L1&R=0,9"), 400},
+		"query duplicate R":       {get("/query?agg=L1&R=0,0"), 400},
+		"query bad l":             {get("/query?agg=lth&l=9"), 400},
+		"sketch missing b":        {get("/sketch"), 400},
+		"sketch bad b":            {get("/sketch?b=9"), 400},
+		"sketch bad format":       {get("/sketch?b=0&format=xml"), 400},
+		"sketch wrong method":     {post("/sketch?b=0", ""), 405},
+		"healthz ok":              {get("/healthz"), 200},
+		"vars ok":                 {get("/debug/vars"), 200},
+		"query ok without freeze": {get("/query?agg=L1"), 200},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s: status %d, want %d", name, tc.got, tc.want)
+		}
+	}
+
+	// A rejected batch must not half-apply: the valid head of a batch with
+	// an invalid tail is not ingested.
+	if code := post("/offer", `{"offers":[{"assignment":0,"key":"good","weight":1},{"assignment":5,"key":"bad","weight":1}]}`); code != 400 {
+		t.Fatalf("mixed batch status %d, want 400", code)
+	}
+	postJSON(t, ts.URL+"/freeze", nil)
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0"); got != 0 {
+		t.Fatalf("rejected batch was partially ingested: sum = %v", got)
+	}
+}
+
+// TestCountersAndHealth: the expvar-style endpoint reports the ingest and
+// query activity.
+func TestCountersAndHealth(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 8},
+		Assignments: 1,
+		Shards:      1,
+	}
+	_, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", map[string]any{"offers": []Offer{
+		{Assignment: 0, Key: "a", Weight: 1},
+		{Assignment: 0, Key: "b", Weight: 2},
+		{Assignment: 0, Key: "zero", Weight: 0}, // skipped, never sampled
+	}})
+	postJSON(t, ts.URL+"/freeze", nil)
+	queryHTTP(t, ts.URL, "agg=sum&b=0")
+
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := decodeJSONBody(t, resp.Body)
+	resp.Body.Close()
+	for name, want := range map[string]float64{
+		"cws.offers":          2,
+		"cws.offer_batches":   1,
+		"cws.freezes":         1,
+		"cws.queries":         1,
+		"cws.epoch":           1,
+		"cws.serving_entries": 2,
+	} {
+		if got, _ := vars[name].(float64); got != want {
+			t.Errorf("%s = %v, want %v", name, vars[name], want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decodeJSONBody(t, resp.Body)
+	resp.Body.Close()
+	if health["status"] != "ok" || health["epoch"].(float64) != 1 {
+		t.Fatalf("healthz = %v", health)
+	}
+}
+
+// TestNewRejectsBadConfig: user-supplied configuration fails gracefully.
+func TestNewRejectsBadConfig(t *testing.T) {
+	base := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 8},
+		Assignments: 1,
+		Shards:      1,
+	}
+	for name, mutate := range map[string]func(*Config){
+		"k=0":          func(c *Config) { c.Sample.K = 0 },
+		"assignments":  func(c *Config) { c.Assignments = 0 },
+		"shards":       func(c *Config) { c.Shards = 0 },
+		"indep-diff":   func(c *Config) { c.Sample.Family = rank.EXP; c.Sample.Mode = rank.IndependentDifferences },
+		"bad family":   func(c *Config) { c.Sample.Family = 99 },
+		"bad mode":     func(c *Config) { c.Sample.Mode = 99 },
+		"ipps+indiff":  func(c *Config) { c.Sample.Mode = rank.IndependentDifferences },
+		"negative k":   func(c *Config) { c.Sample.K = -3 },
+		"neg. shards":  func(c *Config) { c.Shards = -1 },
+		"neg. assign.": func(c *Config) { c.Assignments = -2 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config %+v", name, cfg)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

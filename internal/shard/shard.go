@@ -144,6 +144,24 @@ func (s *Sketcher) Offer(key string, weight float64) {
 	}
 }
 
+// Observation is one aggregated (key, weight) stream element, as accepted
+// by OfferBatch.
+type Observation struct {
+	Key    string
+	Weight float64
+}
+
+// OfferBatch presents a batch of aggregated observations, equivalent to
+// calling Offer for each in order. Like Offer it must be called from a
+// single producer goroutine at a time; callers that serialize producers
+// behind a lock (the HTTP server's ingest path) use it to amortize the
+// lock acquisition and call overhead over the whole batch.
+func (s *Sketcher) OfferBatch(obs []Observation) {
+	for _, o := range obs {
+		s.Offer(o.Key, o.Weight)
+	}
+}
+
 // Sketch flushes the pipeline, waits for the workers, and merges the shard
 // sketches into the bottom-k sketch of the full assignment. Unlike the
 // single-stream builder this is terminal: the pipeline is shut down and

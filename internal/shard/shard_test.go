@@ -120,6 +120,27 @@ func TestShardedLargeStreamCrossesBatches(t *testing.T) {
 
 // TestSketchIsTerminal verifies the pipeline contract: Sketch freezes, a
 // repeated Sketch returns the same result, and Offer afterwards panics.
+// TestOfferBatchEquivalence: the batch entry point is exactly a sequence
+// of Offers — same frozen sketch as the single-stream construction.
+func TestOfferBatchEquivalence(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 31}
+	rng := rand.New(rand.NewSource(12))
+	keys, weights := randomStream(rng, 5000, "batch")
+	want := singleStream(a, 0, 64, keys, weights)
+
+	s := NewSketcher(a, 0, 64, 4, 2)
+	batch := make([]Observation, 0, 100)
+	for i, key := range keys {
+		batch = append(batch, Observation{Key: key, Weight: weights[i]})
+		if len(batch) == cap(batch) {
+			s.OfferBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	s.OfferBatch(batch)
+	requireIdentical(t, s.Sketch(), want, "OfferBatch")
+}
+
 func TestSketchIsTerminal(t *testing.T) {
 	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 9}
 	s := NewSketcher(a, 0, 4, 3, 2)

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Docs gate: the documentation must not drift from the tree.
+#
+#  1. Every relative markdown link in the top-level docs and docs/ must
+#     resolve to a file or directory in the repository.
+#  2. Every repository path named in docs/paper-map.md (the paper-to-code
+#     map) must exist — the map is only useful while it points at real
+#     files.
+#  3. Runnable doc examples must be gofmt-clean (they render verbatim in
+#     godoc).
+#
+# Run from the repository root: sh scripts/check_docs.sh
+set -u
+
+fail=0
+
+# --- 1. relative markdown links ---
+for doc in README.md DESIGN.md EXPERIMENTS.md PAPER.md ROADMAP.md CHANGES.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract (target) parts of [text](target) links; ignore URLs/anchors.
+    for target in $(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//'); do
+        case "$target" in
+        http://*|https://*|\#*|mailto:*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$doc: broken link -> $target"
+            fail=1
+        fi
+    done
+done
+
+# --- 2. paper-map file references ---
+if [ -f docs/paper-map.md ]; then
+    for path in $(grep -o '`[a-z][a-zA-Z0-9_/.-]*\.\(go\|md\)`' docs/paper-map.md | tr -d '\`' | sort -u); do
+        if [ ! -f "$path" ]; then
+            echo "docs/paper-map.md: references missing file $path"
+            fail=1
+        fi
+    done
+else
+    echo "docs/paper-map.md is missing"
+    fail=1
+fi
+
+# --- 3. doc examples are gofmt-clean ---
+examples=$(gofmt -l example_test.go 2>/dev/null)
+if [ -n "$examples" ]; then
+    echo "gofmt needed on doc examples: $examples"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs gate FAILED"
+    exit 1
+fi
+echo "docs gate OK"
