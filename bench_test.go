@@ -242,3 +242,36 @@ func BenchmarkKMinsJaccard(b *testing.B) {
 		coordsample.KMinsJaccard(cfg, ds, 0, 1)
 	}
 }
+
+// BenchmarkMultiSketcherOfferVector measures the hash-once vector front-end:
+// one key hashed once, fanned to every assignment's threshold-pruned
+// builders. Compare against numAsg × BenchmarkShardedOffer for the ×B → ×1
+// hash collapse.
+func BenchmarkMultiSketcherOfferVector(b *testing.B) {
+	const n = 1 << 15
+	for _, numAsg := range []int{2, 8} {
+		b.Run(fmt.Sprintf("assignments=%d", numAsg), func(b *testing.B) {
+			cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 1024}
+			keys := make([]string, n)
+			vecs := make([][]float64, n)
+			rng := rand.New(rand.NewSource(4))
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%06d", i)
+				vecs[i] = make([]float64, numAsg)
+				for a := range vecs[i] {
+					vecs[i][a] = math.Exp(rng.NormFloat64() * 2)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := coordsample.NewMultiSketcher(cfg, numAsg, 4, 0)
+				for j := range keys {
+					m.OfferVector(keys[j], vecs[j])
+				}
+				m.Sketches()
+			}
+			b.ReportMetric(float64(n)*float64(numAsg)*float64(b.N)/b.Elapsed().Seconds(), "offers/s")
+		})
+	}
+}

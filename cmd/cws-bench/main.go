@@ -7,6 +7,8 @@
 //	cws-bench -run fig3 [-scale 1.0] [-runs 25] [-ks 10,100,1000] [-seed 1]
 //	cws-bench -run all
 //	cws-bench -run serve -json BENCH_serve.json
+//	cws-bench -run ingest -json BENCH_ingest.json
+//	cws-bench -run ingest -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment prints plain-text tables with the same rows/series the
 // paper plots; see DESIGN.md for the experiment index and EXPERIMENTS.md for
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -54,9 +57,11 @@ func main() {
 	runs := flag.Int("runs", 25, "sampling repetitions per measured point")
 	ks := flag.String("ks", "", "comma-separated k sweep (default per experiment)")
 	seed := flag.Uint64("seed", 0xC0FFEE, "hash seed")
-	shards := flag.Int("shards", 0, "shard count for the sharding/serve experiments (0 = sweep defaults)")
+	shards := flag.Int("shards", 0, "shard count for the sharding/serve/ingest experiments (0 = sweep defaults)")
 	workers := flag.Int("workers", 0, "cap process parallelism and per-assignment ingestion workers (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file (the BENCH_*.json perf records)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	flag.Parse()
 	if *workers > 0 {
 		// Bounds every worker pool in the process: the parallel sampling
@@ -72,6 +77,8 @@ func main() {
 		}
 		return
 	}
+
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 
 	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Shards: *shards, Workers: *workers}
 	if *ks != "" {
@@ -98,11 +105,13 @@ func main() {
 	} else {
 		e, ok := experiments.Find(*run)
 		if !ok {
+			stopProfiles()
 			fmt.Fprintf(os.Stderr, "cws-bench: unknown experiment %q (use -list)\n", *run)
 			os.Exit(2)
 		}
 		report.Results = append(report.Results, execute(e, opts))
 	}
+	stopProfiles()
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -114,6 +123,49 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// startProfiles arms the optional -cpuprofile/-memprofile collection and
+// returns the idempotent stop function, which finalizes both files. It is
+// called explicitly (not deferred) so that profiles survive the os.Exit
+// error paths after the experiments have run.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cws-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cws-bench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cws-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows steady-state retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cws-bench: writing heap profile: %v\n", err)
+			}
+		}
 	}
 }
 

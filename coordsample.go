@@ -81,6 +81,10 @@ type (
 	// hash-partitioned shards sketched concurrently; the frozen sketch is
 	// bit-identical to AssignmentSketcher's.
 	ShardedSketcher = core.ShardedSketcher
+	// MultiSketcher fronts one ShardedSketcher per assignment, hashing each
+	// offered key once (shared-seed coordination hashes a whole weight
+	// vector once).
+	MultiSketcher = core.MultiSketcher
 	// PoissonSketcher sketches one assignment with a Poisson-τ sample.
 	PoissonSketcher = core.PoissonSketcher
 	// PoissonSketch is a Poisson-τ sketch of one weight assignment.
@@ -179,13 +183,23 @@ func SummarizeDispersed(cfg Config, ds *Dataset) *Dispersed {
 }
 
 // NewShardedSketcher creates a concurrent dispersed-model sketcher for
-// assignment b: keys are hash-partitioned across disjoint shards
-// (with a hash independent of the rank hash, so coordination is untouched),
-// each sketched by its own builder behind worker goroutines. Sketch() merges
-// the shard sketches into the exact single-stream result and shuts the
+// assignment b: each offered key is hashed once, with the raw hash reused
+// for shard routing, threshold pruning (items that certainly miss the
+// bottom-k are dropped at the producer with one multiply/compare), and the
+// rank of admitted items. Sketch() merges the shard sketches into the exact
+// single-stream result — bit-identical, pruning included — and shuts the
 // pipeline down. workers ≤ 0 selects GOMAXPROCS.
 func NewShardedSketcher(cfg Config, b, shards, workers int) *ShardedSketcher {
 	return core.NewShardedSketcher(cfg, b, shards, workers)
+}
+
+// NewMultiSketcher creates the multi-assignment ingest front-end: one
+// sharded sketcher per assignment index 0..assignments-1 under cfg. Offer
+// ingests dispersed (assignment, key, weight) observations; OfferVector
+// ingests a key's whole weight vector, hashing the key exactly once under
+// shared-seed coordination. Sketches() freezes all assignments.
+func NewMultiSketcher(cfg Config, assignments, shards, workers int) *MultiSketcher {
+	return core.NewMultiSketcher(cfg, assignments, shards, workers)
 }
 
 // SummarizeDispersedParallel runs the dispersed pipeline with all

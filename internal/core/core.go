@@ -20,7 +20,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"coordsample/internal/dataset"
 	"coordsample/internal/estimate"
@@ -313,12 +313,12 @@ func FitDistinctBudget(sketches []*sketch.BottomK, k int) (int, []*sketch.Bottom
 	for _, l := range firstInclusion {
 		positions = append(positions, l)
 	}
-	sort.Ints(positions)
+	slices.Sort(positions)
 	// unionSize(ℓ) = #positions ≤ ℓ is nondecreasing; find the largest ℓ ≤ m
 	// with unionSize(ℓ) ≤ budget.
 	ell := k
 	for l := k; l <= m; l++ {
-		n := sort.SearchInts(positions, l+1)
+		n, _ := slices.BinarySearch(positions, l+1)
 		if n > budget {
 			break
 		}

@@ -12,8 +12,14 @@ import (
 )
 
 // ShardedSketcher is the concurrent, hash-partitioned counterpart of
-// AssignmentSketcher: same stream contract, bit-identical frozen sketch.
+// AssignmentSketcher: same stream contract, bit-identical frozen sketch,
+// with the threshold-pruned producer fast path (see package shard).
 type ShardedSketcher = shard.Sketcher
+
+// MultiSketcher is the multi-assignment ingest front-end: one sharded
+// sketcher per assignment, hashing each key once per offer (and, under
+// SharedSeed coordination, once per weight vector).
+type MultiSketcher = shard.MultiSketcher
 
 // NewShardedSketcher creates a sharded dispersed-model sketcher for
 // assignment index assignment: keys are hash-partitioned across disjoint
@@ -26,6 +32,16 @@ func NewShardedSketcher(cfg Config, assignment, shards, workers int) *ShardedSke
 		panic("core: independent-differences coordination requires colocated weights")
 	}
 	return shard.NewSketcher(cfg.Assigner(), assignment, cfg.K, shards, workers)
+}
+
+// NewMultiSketcher creates the multi-assignment front-end over assignments
+// sharded sketchers under cfg — the ingest fan-in the online server uses.
+func NewMultiSketcher(cfg Config, assignments, shards, workers int) *MultiSketcher {
+	cfg.validate()
+	if cfg.Mode == rank.IndependentDifferences {
+		panic("core: independent-differences coordination requires colocated weights")
+	}
+	return shard.NewMultiSketcher(cfg.Assigner(), assignments, cfg.K, shards, workers)
 }
 
 // SummarizeDispersedParallel is the concurrent counterpart of

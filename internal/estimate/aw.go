@@ -15,7 +15,7 @@ package estimate
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"coordsample/internal/dataset"
 )
@@ -82,7 +82,7 @@ func (s AWSummary) Keys() []string {
 	for k := range s.weights {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return keys
 }
 
@@ -216,12 +216,20 @@ func (s AWSummary) TopKeys(n int) []string {
 	for k := range s.weights {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		wi, wj := s.weights[keys[i]], s.weights[keys[j]]
-		if wi != wj {
-			return wi > wj
+	slices.SortFunc(keys, func(a, b string) int {
+		wa, wb := s.weights[a], s.weights[b]
+		switch {
+		case wa > wb:
+			return -1
+		case wa < wb:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
 		}
-		return keys[i] < keys[j]
 	})
 	if len(keys) > n {
 		keys = keys[:n]

@@ -1,9 +1,10 @@
 package estimate
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"coordsample/internal/rank"
 	"coordsample/internal/sketch"
@@ -64,7 +65,7 @@ func NewColocatedFromSketches(assigner rank.Assigner, sketches []AssignmentSketc
 	for k := range set {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	c := &Colocated{
 		assigner: assigner,
 		sketches: sketches,
@@ -173,7 +174,7 @@ func indepDiffInclusion(family rank.Family, vec, taus []float64) float64 {
 	for j := range order {
 		order[j] = j
 	}
-	sort.Slice(order, func(x, y int) bool { return vec[order[x]] < vec[order[y]] })
+	slices.SortFunc(order, func(x, y int) int { return cmp.Compare(vec[x], vec[y]) })
 
 	// Suffix maxima of thresholds in sorted order.
 	M := make([]float64, h)

@@ -3,7 +3,7 @@ package estimate
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"coordsample/internal/rank"
 	"coordsample/internal/sketch"
@@ -95,7 +95,7 @@ func (d *Dispersed) unionKeys(R []int) []string {
 	for k := range set {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return keys
 }
 
@@ -226,11 +226,15 @@ func (d *Dispersed) SSetTopL(R []int, l int, f TopLFunc) AWSummary {
 		if len(prime) < l {
 			continue
 		}
-		sort.Slice(prime, func(i, j int) bool {
-			if prime[i].w != prime[j].w {
-				return prime[i].w > prime[j].w
+		slices.SortFunc(prime, func(x, y wb) int {
+			switch {
+			case x.w > y.w:
+				return -1
+			case x.w < y.w:
+				return 1
+			default:
+				return x.b - y.b
 			}
-			return prime[i].b < prime[j].b
 		})
 		topW := make([]float64, l)
 		topB := make([]int, l)
@@ -291,11 +295,15 @@ func (d *Dispersed) LSetTopL(R []int, l int, f TopLFunc) AWSummary {
 		if len(prime) < l {
 			continue
 		}
-		sort.Slice(prime, func(i, j int) bool {
-			if prime[i].w != prime[j].w {
-				return prime[i].w > prime[j].w
+		slices.SortFunc(prime, func(x, y wb) int {
+			switch {
+			case x.w > y.w:
+				return -1
+			case x.w < y.w:
+				return 1
+			default:
+				return x.b - y.b
 			}
-			return prime[i].b < prime[j].b
 		})
 		topW := make([]float64, l)
 		topB := make([]int, l)

@@ -10,7 +10,7 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -133,7 +133,7 @@ func register(e Experiment) {
 // Registry lists all experiments sorted by ID.
 func Registry() []Experiment {
 	out := append([]Experiment(nil), registry...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b Experiment) int { return strings.Compare(a.ID, b.ID) })
 	return out
 }
 

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"coordsample/internal/core"
+	"coordsample/internal/hashing"
+	"coordsample/internal/rank"
+	"coordsample/internal/server"
+	"coordsample/internal/sketch"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ingest",
+		Paper: "not from the paper",
+		Desc:  "threshold-pruned ingest fast path: offers/s and allocs/offer vs shards, against the single-stream per-offer baseline; frozen sketches verified bit-identical",
+		Run:   runIngest,
+	})
+}
+
+// ingestRuns caps the measurement repetitions: each repetition streams the
+// whole workload through fresh (terminal) sketchers, so the sweep cost
+// grows linearly and a handful of passes already gives a stable best-of.
+func ingestRuns(opts Options) int {
+	if opts.Runs < 5 {
+		return opts.Runs
+	}
+	return 5
+}
+
+// ingestColumn is one assignment's aggregated stream, flattened out of the
+// dataset so the measured loops pay no accessor overhead.
+type ingestColumn struct {
+	keys    []string
+	weights []float64
+}
+
+// legacySketcher reimplements the PR-3 sharded ingest path, preserved here
+// as the experiment's "before" measurement: a second hash per offer for
+// seed-free shard routing, every offer shipped through the batched channels
+// in a freshly allocated batch, and the full rank computation (key hash +
+// quantile) in the worker. The threshold-pruned fast path in package shard
+// replaced it; this copy keeps the before/after comparison honest and
+// reproducible.
+type legacySketcher struct {
+	assigner   rank.Assigner
+	assignment int
+	shards     int
+	builders   []*sketch.BottomKBuilder
+	chans      []chan []legacyItem
+	pending    [][]legacyItem
+	wg         sync.WaitGroup
+}
+
+type legacyItem struct {
+	key    string
+	weight float64
+	shard  int32
+}
+
+const legacyBatch = 256
+
+func newLegacySketcher(cfg core.Config, assignment, shards, workers int) *legacySketcher {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	a := cfg.Assigner()
+	s := &legacySketcher{
+		assigner:   a,
+		assignment: assignment,
+		shards:     shards,
+		builders:   make([]*sketch.BottomKBuilder, shards),
+		chans:      make([]chan []legacyItem, workers),
+		pending:    make([][]legacyItem, workers),
+	}
+	fp := a.Fingerprint(assignment, cfg.K)
+	for i := range s.builders {
+		s.builders[i] = sketch.NewBottomKBuilderWithFingerprint(cfg.K, fp)
+	}
+	for w := range s.chans {
+		s.chans[w] = make(chan []legacyItem, 4)
+		s.pending[w] = make([]legacyItem, 0, legacyBatch)
+	}
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		ch := s.chans[w]
+		go func() {
+			defer s.wg.Done()
+			for batch := range ch {
+				for _, it := range batch {
+					r := s.assigner.Rank(it.key, s.assignment, it.weight)
+					s.builders[it.shard].Offer(it.key, r, it.weight)
+				}
+			}
+		}()
+	}
+	return s
+}
+
+func (s *legacySketcher) Offer(key string, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	sh := int(hashing.ShardHash(key) % uint64(s.shards))
+	w := sh % len(s.chans)
+	s.pending[w] = append(s.pending[w], legacyItem{key: key, weight: weight, shard: int32(sh)})
+	if len(s.pending[w]) == legacyBatch {
+		s.chans[w] <- s.pending[w]
+		s.pending[w] = make([]legacyItem, 0, legacyBatch)
+	}
+}
+
+func (s *legacySketcher) Sketch() *sketch.BottomK {
+	for w, batch := range s.pending {
+		if len(batch) > 0 {
+			s.chans[w] <- batch
+		}
+		s.pending[w] = nil
+		close(s.chans[w])
+	}
+	s.wg.Wait()
+	parts := make([]*sketch.BottomK, s.shards)
+	for i, b := range s.builders {
+		parts[i] = b.Sketch()
+	}
+	merged, err := sketch.Merge(parts...)
+	if err != nil {
+		panic(err)
+	}
+	return merged
+}
+
+// runIngest measures the producer-side cost of bottom-k ingestion on the
+// serve benchmark workload: the PR-3 per-offer baseline (hash + quantile +
+// builder call for every offer, via the single-stream AssignmentSketcher)
+// against the threshold-pruned sharded fast path (hash once, admission
+// bound, pooled batches) and the hash-once-per-key vector front-end. Every
+// fast-path configuration's frozen sketches are verified bit-identical —
+// entries, r_k, r_{k+1} — to the single-stream builder's, for both
+// dispersed coordination modes.
+func runIngest(opts Options) Result {
+	opts = opts.WithDefaults()
+	ds := serveDataset(opts)
+	k := 1024
+	if m := ds.NumKeys() / 4; k > m && m >= 1 {
+		k = m
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shardSweep := []int{1, 2, 7, 16}
+	if opts.Shards > 0 {
+		shardSweep = []int{opts.Shards}
+	}
+	runs := ingestRuns(opts)
+
+	numAsg := ds.NumAssignments()
+	cols := make([]ingestColumn, numAsg)
+	offered := 0
+	for b := 0; b < numAsg; b++ {
+		col := ds.Column(b)
+		for i := 0; i < ds.NumKeys(); i++ {
+			if col[i] > 0 {
+				cols[b].keys = append(cols[b].keys, ds.Key(i))
+				cols[b].weights = append(cols[b].weights, col[i])
+				offered++
+			}
+		}
+	}
+	// The vector path offers whole rows; precompute them once.
+	vecKeys := make([]string, ds.NumKeys())
+	vecs := make([][]float64, ds.NumKeys())
+	for i := range vecKeys {
+		vecKeys[i] = ds.Key(i)
+		vecs[i] = make([]float64, numAsg)
+		ds.WeightVectorInto(vecs[i], i)
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("ingest fast path, %d offers (%d keys × %d assignments), k=%d, %d workers/assignment, best of %d runs; speedup is vs the PR-3 sharded path at the same shard count",
+			offered, ds.NumKeys(), numAsg, k, workers, runs),
+		Columns: []string{"mode", "path", "shards", "offers/s", "allocs/offer", "speedup", "identical"},
+	}
+
+	// measure streams the workload runs times through fresh sketchers (run
+	// constructs its own — sharded pipelines are terminal), returning the
+	// best throughput, the minimum allocations per offer across runs (the
+	// first pass pays pool and stack warmup), and one run's frozen sketches.
+	measure := func(run func() []*sketch.BottomK) (float64, float64, []*sketch.BottomK) {
+		best := time.Duration(1<<63 - 1)
+		minAllocs := float64(1 << 62)
+		var frozen []*sketch.BottomK
+		for r := 0; r < runs; r++ {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			sk := run()
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			if elapsed < best {
+				best = elapsed
+			}
+			if a := float64(m1.Mallocs-m0.Mallocs) / float64(offered); a < minAllocs {
+				minAllocs = a
+			}
+			frozen = sk
+		}
+		return float64(offered) / best.Seconds(), minAllocs, frozen
+	}
+
+	identicalSketches := func(got, want []*sketch.BottomK) bool {
+		for b := range want {
+			g, w := got[b], want[b]
+			if g.KthRank() != w.KthRank() || g.Threshold() != w.Threshold() || len(g.Entries()) != len(w.Entries()) {
+				return false
+			}
+			for i, e := range w.Entries() {
+				if g.Entries()[i] != e {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for _, mode := range []rank.Coordination{rank.SharedSeed, rank.Independent} {
+		cfg := core.Config{Family: rank.IPPS, Mode: mode, Seed: opts.Seed, K: k}
+
+		baseRate, baseAllocs, baseSketches := measure(func() []*sketch.BottomK {
+			frozen := make([]*sketch.BottomK, numAsg)
+			for b := 0; b < numAsg; b++ {
+				sk := core.NewAssignmentSketcher(cfg, b)
+				for i, key := range cols[b].keys {
+					sk.Offer(key, cols[b].weights[i])
+				}
+				frozen[b] = sk.Sketch()
+			}
+			return frozen
+		})
+		t.AddRow(mode.String(), "single-stream", "-", fsci(baseRate), fmt.Sprintf("%.3f", baseAllocs), "-", "ref")
+
+		for _, shards := range shardSweep {
+			legacyRate, legacyAllocs, legacyFrozen := measure(func() []*sketch.BottomK {
+				out := make([]*sketch.BottomK, numAsg)
+				for b := 0; b < numAsg; b++ {
+					sk := newLegacySketcher(cfg, b, shards, workers)
+					for i, key := range cols[b].keys {
+						sk.Offer(key, cols[b].weights[i])
+					}
+					out[b] = sk.Sketch()
+				}
+				return out
+			})
+			t.AddRow(mode.String(), "sharded-pr3", fmt.Sprintf("%d", shards), fsci(legacyRate),
+				fmt.Sprintf("%.3f", legacyAllocs), "1.00x",
+				fmt.Sprintf("%v", identicalSketches(legacyFrozen, baseSketches)))
+
+			rate, allocs, frozen := measure(func() []*sketch.BottomK {
+				out := make([]*sketch.BottomK, numAsg)
+				for b := 0; b < numAsg; b++ {
+					sk := core.NewShardedSketcher(cfg, b, shards, workers)
+					for i, key := range cols[b].keys {
+						sk.Offer(key, cols[b].weights[i])
+					}
+					out[b] = sk.Sketch()
+				}
+				return out
+			})
+			t.AddRow(mode.String(), "sharded-pruned", fmt.Sprintf("%d", shards), fsci(rate),
+				fmt.Sprintf("%.3f", allocs), fmt.Sprintf("%.2fx", rate/legacyRate),
+				fmt.Sprintf("%v", identicalSketches(frozen, baseSketches)))
+
+			vrate, vallocs, vfrozen := measure(func() []*sketch.BottomK {
+				m := core.NewMultiSketcher(cfg, numAsg, shards, workers)
+				for i, key := range vecKeys {
+					m.OfferVector(key, vecs[i])
+				}
+				return m.Sketches()
+			})
+			t.AddRow(mode.String(), "vector-hash-once", fmt.Sprintf("%d", shards), fsci(vrate),
+				fmt.Sprintf("%.3f", vallocs), fmt.Sprintf("%.2fx", vrate/legacyRate),
+				fmt.Sprintf("%v", identicalSketches(vfrozen, baseSketches)))
+		}
+	}
+	return Result{Tables: []Table{t, runIngestServer(opts, cols, offered, k, workers, shardSweep, runs)}}
+}
+
+// runIngestServer measures the serving system's ingest lanes end to end
+// through the HTTP handler: the PR-3 baseline path (POST /offer JSON
+// batches — the lane BENCH_serve.json recorded at ~0.8M offers/s) against
+// the streaming POST /ingest lanes (NDJSON and the binary framing), which
+// decode into reused observation buffers and feed the hash-once,
+// threshold-pruned sketchers. After each measured stream the epoch is
+// frozen and an L1 query must equal the offline pipeline's answer exactly.
+func runIngestServer(opts Options, cols []ingestColumn, offered, k, workers int, shardSweep []int, runs int) Table {
+	cfg := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: opts.Seed, K: k}
+
+	// Pre-encode each lane's request bodies once; encoding cost belongs to
+	// the client, not the measured server.
+	const jsonBatch = 512
+	var jsonBodies [][]byte
+	batch := make([]server.Offer, 0, jsonBatch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		body, err := json.Marshal(map[string]any{"offers": batch})
+		if err != nil {
+			panic(err)
+		}
+		jsonBodies = append(jsonBodies, body)
+		batch = batch[:0]
+	}
+	var ndjson bytes.Buffer
+	enc := json.NewEncoder(&ndjson)
+	var binBody []byte
+	for b := 0; b < len(cols); b++ {
+		for i, key := range cols[b].keys {
+			o := server.Offer{Assignment: b, Key: key, Weight: cols[b].weights[i]}
+			batch = append(batch, o)
+			if len(batch) == jsonBatch {
+				flush()
+			}
+			if err := enc.Encode(o); err != nil {
+				panic(err)
+			}
+			binBody = server.AppendBinaryOffer(binBody, o.Assignment, o.Key, o.Weight)
+		}
+	}
+	flush()
+
+	type lane struct {
+		name        string
+		run         func(srv *server.Server)
+		contentType string
+	}
+	post := func(srv *server.Server, path, contentType string, body []byte) {
+		req, _ := http.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		srv.ServeHTTP(newDiscardWriter(false), req)
+	}
+	lanes := []lane{
+		{name: "http-offer-json (pr3)", run: func(srv *server.Server) {
+			for _, body := range jsonBodies {
+				post(srv, "/offer", "application/json", body)
+			}
+		}},
+		{name: "http-ingest-ndjson", run: func(srv *server.Server) {
+			post(srv, "/ingest", "application/x-ndjson", ndjson.Bytes())
+		}},
+		{name: "http-ingest-binary", run: func(srv *server.Server) {
+			post(srv, "/ingest", server.ContentTypeBinaryIngest, binBody)
+		}},
+	}
+
+	refL1 := func() float64 {
+		sketches := make([]*sketch.BottomK, len(cols))
+		for b := range cols {
+			sk := core.NewAssignmentSketcher(cfg, b)
+			for i, key := range cols[b].keys {
+				sk.Offer(key, cols[b].weights[i])
+			}
+			sketches[b] = sk.Sketch()
+		}
+		d, err := core.CombineDispersed(cfg, sketches)
+		if err != nil {
+			panic(err)
+		}
+		return d.RangeLSet(nil).Estimate(nil)
+	}()
+
+	t := Table{
+		Title: fmt.Sprintf("server ingest lanes (HTTP handler end to end), %d offers, k=%d, %d workers/assignment, best of %d runs; speedup is vs the PR-3 /offer JSON lane at the same shard count",
+			offered, k, workers, runs),
+		Columns: []string{"shards", "lane", "offers/s", "allocs/offer", "speedup", "identical"},
+	}
+	for _, shards := range shardSweep {
+		var jsonRate float64
+		for _, ln := range lanes {
+			best := time.Duration(1<<63 - 1)
+			minAllocs := float64(1 << 62)
+			identical := true
+			for r := 0; r < runs; r++ {
+				srv, err := server.New(server.Config{Sample: cfg, Assignments: len(cols), Shards: shards, Workers: workers})
+				if err != nil {
+					panic(err)
+				}
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				start := time.Now()
+				ln.run(srv)
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&m1)
+				post(srv, "/freeze", "", nil)
+				req, _ := http.NewRequest(http.MethodGet, "/query?agg=L1", nil)
+				w := newDiscardWriter(true)
+				srv.ServeHTTP(w, req)
+				var resp struct {
+					Estimate float64 `json:"estimate"`
+				}
+				if err := json.Unmarshal(w.body.Bytes(), &resp); err != nil {
+					panic(fmt.Sprintf("ingest experiment: bad query response %q: %v", w.body.String(), err))
+				}
+				identical = identical && resp.Estimate == refL1
+				srv.Close()
+				if elapsed < best {
+					best = elapsed
+				}
+				if a := float64(m1.Mallocs-m0.Mallocs) / float64(offered); a < minAllocs {
+					minAllocs = a
+				}
+			}
+			rate := float64(offered) / best.Seconds()
+			if ln.name == lanes[0].name {
+				jsonRate = rate
+			}
+			t.AddRow(fmt.Sprintf("%d", shards), ln.name, fsci(rate), fmt.Sprintf("%.3f", minAllocs),
+				fmt.Sprintf("%.2fx", rate/jsonRate), fmt.Sprintf("%v", identical))
+		}
+	}
+	return t
+}

@@ -64,11 +64,20 @@ func KeySeed(seed uint64, key string) float64 {
 	return Unit(Hash64(seed, key))
 }
 
+// AssignmentHashSeed derives the per-assignment hash seed behind
+// AssignmentSeed: Hash64(AssignmentHashSeed(seed, b), key) is the raw 64-bit
+// hash whose Unit mapping AssignmentSeed returns. Exposed so ingest fast
+// paths can hash a key once per assignment and reuse the word for shard
+// routing, threshold pruning, and the rank seed.
+func AssignmentHashSeed(seed uint64, assignment int) uint64 {
+	return Mix64(seed ^ (uint64(assignment) + 0x9e3779b97f4a7c15))
+}
+
 // AssignmentSeed returns a seed in (0,1) for key that is independent across
 // assignment indexes: mixing the assignment into the salt decorrelates the
 // per-assignment hashes, yielding independent rank assignments.
 func AssignmentSeed(seed uint64, assignment int, key string) float64 {
-	return Unit(Hash64(Mix64(seed^(uint64(assignment)+0x9e3779b97f4a7c15)), key))
+	return Unit(Hash64(AssignmentHashSeed(seed, assignment), key))
 }
 
 // shardSalt decorrelates ShardHash from Hash64: the rank hash mixes the

@@ -22,9 +22,10 @@
 package rank
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"coordsample/internal/hashing"
 )
@@ -89,6 +90,45 @@ func (f Family) Quantile(w, u float64) float64 {
 	default:
 		panic("rank: unknown family")
 	}
+}
+
+// The admission-bound primitive.
+//
+// Bottom-k ingestion rejects almost every offered item once the sample has
+// filled: an item is admitted only when its rank is below the k-th smallest
+// rank so far. Both implemented families satisfy F_w(x) ≤ w·x (IPPS with
+// equality below saturation; EXP because 1−e^{−wx} ≤ wx), and ranks are
+// strictly increasing in the seed wherever F_w is below 1. Therefore
+//
+//	u > w·T  ⇒  u > F_w(T)  ⇒  Quantile(w, u) > T,
+//
+// which turns "certainly rejected against threshold T" into one multiply
+// and one compare on the raw unit seed — no quantile evaluation (no log for
+// EXP, no divide for IPPS) for the overwhelming majority of the stream. The
+// comparison is strict so that rank == T ties (which bottom-k breaks by
+// key, possibly in the item's favour) are never pruned. For IPPS the test
+// is exact below saturation; for EXP it is conservative — some items with
+// F_w(T) < u ≤ wT pass through to the builder, which rejects them exactly.
+
+// RejectsSeed reports whether an item with unit seed u and weight w > 0
+// certainly has rank strictly greater than threshold: a true return
+// guarantees Quantile(w, u) > threshold, so a bottom-k builder whose
+// admission threshold was at most threshold at any point after the item was
+// drawn is guaranteed to reject it. threshold = +Inf (sample not yet full)
+// never rejects.
+func (f Family) RejectsSeed(u, w, threshold float64) bool {
+	return u > w*threshold
+}
+
+// SeedMayRankBelow reports whether an item with unit seed u and weight
+// w > 0 could have rank strictly below bound: a false return guarantees
+// Quantile(w, u) ≥ bound. Producers tracking the exact minimum rank among
+// pruned items (the candidate r_{k+1} they owe the builder via
+// NoteRejected) use it to skip the quantile evaluation for pruned items
+// that cannot improve the running minimum — the running minimum of a
+// sequence of random ranks improves only O(log n) times.
+func (f Family) SeedMayRankBelow(u, w, bound float64) bool {
+	return u < w*bound
 }
 
 // Coordination identifies the joint distribution of the per-assignment rank
@@ -220,6 +260,30 @@ func (a Assigner) Seed01(key string, assignment int) float64 {
 	}
 }
 
+// RankHashSeed returns the hash seed s such that
+//
+//	hashing.Unit(hashing.Hash64(s, key)) == Seed01(key, assignment)
+//
+// — the raw Hash64→unit pipeline behind Rank, exposed so ingest fast paths
+// hash a key exactly once and reuse the 64-bit word for shard routing,
+// admission-bound pruning, and (via Family.Quantile of its Unit mapping)
+// the exact rank of admitted items. For SharedSeed the result is the
+// configured seed itself, independent of the assignment: one hash drives
+// every assignment, which is Section 4's shared seed u(i) made literal.
+// IndependentDifferences has no per-assignment seed and panics.
+func (a Assigner) RankHashSeed(assignment int) uint64 {
+	switch a.Mode {
+	case SharedSeed:
+		return a.Seed
+	case Independent:
+		return hashing.AssignmentHashSeed(a.Seed, assignment)
+	case IndependentDifferences:
+		panic("rank: independent-differences ranks have no per-assignment seeds")
+	default:
+		panic("rank: unknown coordination mode")
+	}
+}
+
 // RankVector returns the full rank vector r^(W)(i) for a key with colocated
 // weight vector weights. The result has one rank per assignment, +Inf where
 // the weight is zero.
@@ -267,7 +331,7 @@ func (a Assigner) independentDifferencesInto(dst []float64, key string, weights 
 	for j := range order {
 		order[j] = j
 	}
-	sort.Slice(order, func(x, y int) bool { return weights[order[x]] < weights[order[y]] })
+	slices.SortFunc(order, func(x, y int) int { return cmp.Compare(weights[x], weights[y]) })
 
 	prev := 0.0
 	running := math.Inf(1)

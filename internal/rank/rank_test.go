@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"coordsample/internal/hashing"
 )
 
 func TestFamilyString(t *testing.T) {
@@ -371,5 +373,99 @@ func TestFingerprintStableAcrossReleases(t *testing.T) {
 	if got != want {
 		t.Fatalf("fingerprint derivation changed: got %#016x, want %#016x; "+
 			"if intentional, bump FingerprintVersion and update this golden value", got, want)
+	}
+}
+
+// TestAdmissionBoundSound: the one-multiply admission bound is sound for
+// both families — whenever RejectsSeed reports true the exact rank really
+// exceeds the threshold, and whenever SeedMayRankBelow reports false the
+// exact rank really is at least the bound. (Both follow from F_w(x) ≤ w·x;
+// a new family violating that inequality must not reuse these bounds.)
+func TestAdmissionBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for _, f := range []Family{IPPS, EXP} {
+		rejected, below := 0, 0
+		for i := 0; i < 200000; i++ {
+			u := rng.Float64()
+			if u == 0 {
+				continue
+			}
+			w := math.Exp(rng.NormFloat64() * 3)
+			T := math.Exp(rng.NormFloat64() * 3)
+			r := f.Quantile(w, u)
+			if f.RejectsSeed(u, w, T) {
+				rejected++
+				if !(r > T) {
+					t.Fatalf("%v: RejectsSeed(u=%v,w=%v,T=%v) but rank %v <= T", f, u, w, T, r)
+				}
+			}
+			if !f.SeedMayRankBelow(u, w, T) {
+				below++
+				if r < T {
+					t.Fatalf("%v: !SeedMayRankBelow(u=%v,w=%v,T=%v) but rank %v < T", f, u, w, T, r)
+				}
+			}
+			// +Inf threshold never rejects; +Inf bound always may-rank-below.
+			if f.RejectsSeed(u, w, math.Inf(1)) {
+				t.Fatalf("%v: RejectsSeed with +Inf threshold", f)
+			}
+			if !f.SeedMayRankBelow(u, w, math.Inf(1)) {
+				t.Fatalf("%v: !SeedMayRankBelow with +Inf bound", f)
+			}
+		}
+		if rejected == 0 || below == 0 {
+			t.Fatalf("%v: degenerate sweep (rejected=%d, below=%d)", f, rejected, below)
+		}
+	}
+}
+
+// TestAdmissionBoundExactForIPPS: for IPPS ranks below saturation the bound
+// is not just sound but exact — every item whose rank strictly exceeds the
+// threshold is pruned (no false pass-throughs), which is what makes the
+// fast path reject ~all of the stream.
+func TestAdmissionBoundExactForIPPS(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for i := 0; i < 100000; i++ {
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		w := math.Exp(rng.NormFloat64() * 3)
+		T := math.Exp(rng.NormFloat64() * 3)
+		if r := IPPS.Quantile(w, u); r > T && !IPPS.RejectsSeed(u, w, T) {
+			t.Fatalf("IPPS: rank %v > T=%v not rejected (u=%v, w=%v)", r, T, u, w)
+		}
+	}
+}
+
+// TestRankHashSeedMatchesSeed01: the raw Hash64→unit pipeline exposed to
+// producers reproduces Seed01 (and hence Rank) bit for bit, for both
+// dispersed modes; SharedSeed's hash seed is assignment-independent.
+func TestRankHashSeedMatchesSeed01(t *testing.T) {
+	keys := []string{"a", "flow-1", "10.0.0.1", "GOOG", ""}
+	for _, a := range []Assigner{
+		{Family: IPPS, Mode: SharedSeed, Seed: 7},
+		{Family: EXP, Mode: Independent, Seed: 99},
+	} {
+		for b := 0; b < 3; b++ {
+			for _, key := range keys {
+				u := hashing.Unit(hashing.Hash64(a.RankHashSeed(b), key))
+				if got := a.Seed01(key, b); got != u {
+					t.Fatalf("%v: Seed01(%q,%d)=%v, raw pipeline %v", a, key, b, got, u)
+				}
+				w := 3.25
+				if got, want := a.Family.Quantile(w, u), a.Rank(key, b, w); got != want {
+					t.Fatalf("%v: rank via raw hash %v, want %v", a, got, want)
+				}
+			}
+		}
+	}
+	shared := Assigner{Family: IPPS, Mode: SharedSeed, Seed: 7}
+	if shared.RankHashSeed(0) != shared.RankHashSeed(5) {
+		t.Fatal("SharedSeed rank hash seed must be assignment-independent")
+	}
+	indep := Assigner{Family: IPPS, Mode: Independent, Seed: 7}
+	if indep.RankHashSeed(0) == indep.RankHashSeed(1) {
+		t.Fatal("Independent rank hash seeds must differ across assignments")
 	}
 }

@@ -41,9 +41,23 @@
 // gives the necessary happens-before edge between the freeze that built
 // the snapshot and every query that loads it.
 //
+// # Ingest fast path
+//
+// The epoch sketchers sit behind a shard.MultiSketcher, so every offer is
+// hashed exactly once, with the raw hash reused for shard routing,
+// admission-bound pruning (items that certainly miss the bottom-k are
+// dropped at the producer with one multiply/compare — almost all of a
+// steady-state stream), and the rank of admitted items. POST /offer keeps
+// the validate-everything-first JSON batch contract; POST /ingest is the
+// high-throughput lane — a streaming NDJSON or binary body decoded into
+// pooled, reused Observation buffers and flushed to the sketchers in large
+// locked batches, so per-offer ingest cost is dominated by decoding, not
+// by allocation or lock traffic.
+//
 // # Endpoints
 //
 //	POST /offer        ingest one offer or a batch (JSON)
+//	POST /ingest       ingest a stream of offers (NDJSON or binary)
 //	POST /freeze       advance the epoch: freeze, merge, swap
 //	GET  /query        answer an aggregate from the frozen snapshot
 //	GET  /sketch       export a frozen sketch in the wire codec
@@ -59,12 +73,16 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"math"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -160,13 +178,17 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu     sync.Mutex        // guards ingest, cum, epoch, closed
-	ingest []*shard.Sketcher // current epoch's per-assignment sketchers
-	cum    []*sketch.BottomK // exact merged sketches of all frozen epochs
-	epoch  int               // number of successful freezes
-	closed bool              // Close was called; ingestion is shut down
+	mu     sync.Mutex           // guards ingest, cum, epoch, closed
+	ingest *shard.MultiSketcher // current epoch's sketchers behind the hash-once front-end
+	cum    []*sketch.BottomK    // exact merged sketches of all frozen epochs
+	epoch  int                  // number of successful freezes
+	closed bool                 // Close was called; ingestion is shut down
 
 	snap atomic.Pointer[snapshot]
+
+	// obsBufs recycles the per-assignment Observation buffers of the
+	// streaming /ingest decoder across requests.
+	obsBufs sync.Pool
 
 	// Counters use expvar types for their lock-free increments and expvar
 	// JSON rendering, but are deliberately not registered in the
@@ -175,6 +197,7 @@ type Server struct {
 	// /debug/vars handler serves them in the standard expvar format.
 	offers        expvar.Int
 	offerBatches  expvar.Int
+	ingestStreams expvar.Int
 	queries       expvar.Int
 	freezes       expvar.Int
 	freezeErrors  expvar.Int
@@ -198,9 +221,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.ingest = newEpochSketchers(cfg)
 	s.snap.Store(s.newSnapshot(0, s.cum))
+	s.obsBufs.New = func() any {
+		per := make([][]shard.Observation, cfg.Assignments)
+		return &per
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/offer", s.handleOffer)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/freeze", s.handleFreeze)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/sketch", s.handleSketch)
@@ -209,13 +237,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// newEpochSketchers arms one sharded concurrent sketcher per assignment.
-func newEpochSketchers(cfg Config) []*shard.Sketcher {
-	ingest := make([]*shard.Sketcher, cfg.Assignments)
-	for b := range ingest {
-		ingest[b] = core.NewShardedSketcher(cfg.Sample, b, cfg.Shards, cfg.Workers)
-	}
-	return ingest
+// newEpochSketchers arms one sharded concurrent sketcher per assignment,
+// behind the hash-once multi-assignment front-end.
+func newEpochSketchers(cfg Config) *shard.MultiSketcher {
+	return core.NewMultiSketcher(cfg.Sample, cfg.Assignments, cfg.Shards, cfg.Workers)
 }
 
 // newSnapshot builds the immutable serving state for the given cumulative
@@ -259,7 +284,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	for _, sk := range s.ingest {
+	for _, sk := range s.ingest.Sketchers() {
 		func() {
 			// The freeze result is discarded, so a duplicate-key panic is
 			// irrelevant here — only the worker shutdown matters.
@@ -351,7 +376,7 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 	}
 	for b, obs := range perAssignment {
 		if len(obs) > 0 {
-			s.ingest[b].OfferBatch(obs)
+			s.ingest.OfferBatch(b, obs)
 		}
 	}
 	epoch := s.epoch
@@ -359,6 +384,252 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 	s.offers.Add(int64(accepted))
 	s.offerBatches.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "epoch": epoch})
+}
+
+// --- streaming ingest ---
+
+// ingestFlushEvery is how many buffered observations the streaming /ingest
+// decoder accumulates before taking the ingest lock once and flushing them
+// to the sketchers. Large enough to amortize the lock far below per-offer
+// cost, small enough to keep the per-request buffer memory trivial.
+const ingestFlushEvery = 4096
+
+// maxIngestKeyLen bounds a single key in both /ingest framings, so a
+// corrupt or malicious length prefix (binary) or oversized JSON string
+// (NDJSON) cannot put an arbitrarily large key into the retained sample.
+const maxIngestKeyLen = 1 << 16
+
+// maxIngestBody caps one streaming NDJSON /ingest request. The decoder
+// buffers one JSON token at a time, so without a cap a single multi-GB
+// token could exhaust memory before validation runs. The binary framing
+// needs no stream cap — every record is already length-bounded. Clients
+// with more data send more requests; ingestion is cumulative anyway.
+const maxIngestBody = 256 << 20
+
+// ContentTypeBinaryIngest selects the binary framing of POST /ingest:
+// records of (uvarint assignment, uvarint key length, key bytes, 8-byte
+// little-endian IEEE-754 weight), concatenated until EOF. Any other
+// content type is decoded as a stream of JSON offer objects (NDJSON —
+// whitespace between objects, one per line by convention).
+const ContentTypeBinaryIngest = "application/x-cws-ingest"
+
+// ingestState is the reusable decode target of one /ingest request: the
+// per-assignment observation buffers are pooled across requests and reused
+// across flushes, so steady-state ingest does not grow the heap.
+type ingestState struct {
+	srv      *Server
+	per      *[][]shard.Observation
+	buffered int
+	accepted int
+	epoch    int
+}
+
+func (s *Server) newIngestState() *ingestState {
+	st := &ingestState{srv: s, per: s.obsBufs.Get().(*[][]shard.Observation)}
+	// Seed the reported epoch with the current one so a request whose
+	// records are all skipped (or empty) still reports a real epoch.
+	s.mu.Lock()
+	st.epoch = s.epoch
+	s.mu.Unlock()
+	return st
+}
+
+// add buffers one validated observation and flushes when the batch is full.
+func (st *ingestState) add(assignment int, key string, weight float64) error {
+	per := *st.per
+	per[assignment] = append(per[assignment], shard.Observation{Key: key, Weight: weight})
+	st.buffered++
+	if st.buffered >= ingestFlushEvery {
+		return st.flush()
+	}
+	return nil
+}
+
+// flush hands the buffered observations to the epoch sketchers under one
+// lock acquisition and resets the buffers for reuse.
+func (st *ingestState) flush() error {
+	if st.buffered == 0 {
+		return nil
+	}
+	s := st.srv
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	per := *st.per
+	for b, obs := range per {
+		if len(obs) > 0 {
+			s.ingest.OfferBatch(b, obs)
+		}
+	}
+	st.epoch = s.epoch
+	s.mu.Unlock()
+	s.offers.Add(int64(st.buffered))
+	st.accepted += st.buffered
+	st.buffered = 0
+	for b := range per {
+		per[b] = per[b][:0]
+	}
+	return nil
+}
+
+// release returns the buffers to the pool.
+func (st *ingestState) release() {
+	per := *st.per
+	for b := range per {
+		per[b] = per[b][:0]
+	}
+	st.srv.obsBufs.Put(st.per)
+}
+
+// handleIngest is the high-throughput ingest lane: a streaming request
+// body — NDJSON offer objects, or the binary framing under
+// ContentTypeBinaryIngest — decoded record by record into reused
+// observation buffers and flushed to the sketchers in large batches.
+// Unlike POST /offer there is no whole-body validation pass: records
+// preceding a malformed one are already ingested when the 400 is returned
+// (the error response carries the accepted count). Zero weights are
+// skipped; they are never sampled.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	st := s.newIngestState()
+	defer st.release()
+	var err error
+	// Parse the media type so parameters ("; charset=utf-8") and casing
+	// do not silently reroute a binary body to the JSON decoder.
+	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mediaType == ContentTypeBinaryIngest {
+		err = s.ingestBinary(st, r)
+	} else {
+		err = s.ingestNDJSON(st, r, w)
+	}
+	if err == nil {
+		err = st.flush()
+	}
+	if errors.Is(err, errClosed) {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, map[string]any{"error": err.Error(), "accepted": st.accepted})
+		return
+	}
+	s.ingestStreams.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": st.accepted, "epoch": st.epoch})
+}
+
+// checkOffer validates one streamed record against the server configuration.
+func (s *Server) checkOffer(n, assignment int, key string, weight float64) error {
+	if assignment < 0 || assignment >= s.cfg.Assignments {
+		return fmt.Errorf("record %d: assignment %d out of range (have %d assignments)", n, assignment, s.cfg.Assignments)
+	}
+	if key == "" {
+		return fmt.Errorf("record %d: empty key", n)
+	}
+	if len(key) > maxIngestKeyLen {
+		return fmt.Errorf("record %d: key length %d exceeds %d", n, len(key), maxIngestKeyLen)
+	}
+	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight < 0 {
+		return fmt.Errorf("record %d: invalid weight %v", n, weight)
+	}
+	return nil
+}
+
+// ingestNDJSON decodes a stream of JSON offer objects. json.Decoder
+// tolerates any whitespace between objects, so both NDJSON and
+// concatenated JSON work; the decode target is reused across records.
+func (s *Server) ingestNDJSON(st *ingestState, r *http.Request, w http.ResponseWriter) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	var o Offer
+	for n := 0; ; n++ {
+		o = Offer{}
+		if err := dec.Decode(&o); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			// %w keeps the chain so the handler can map *http.MaxBytesError
+			// (stream cap exceeded) to 413 instead of a generic 400.
+			return fmt.Errorf("record %d: %w", n, err)
+		}
+		if err := s.checkOffer(n, o.Assignment, o.Key, o.Weight); err != nil {
+			return err
+		}
+		if o.Weight == 0 {
+			continue
+		}
+		if err := st.add(o.Assignment, o.Key, o.Weight); err != nil {
+			return err
+		}
+	}
+}
+
+// ingestBinary decodes the length-prefixed binary framing. The key buffer
+// is reused across records; only the key string itself is allocated (the
+// sketch layer retains sampled keys, so they cannot alias a shared buffer).
+func (s *Server) ingestBinary(st *ingestState, r *http.Request) error {
+	br := bufio.NewReaderSize(r.Body, 64<<10)
+	keyBuf := make([]byte, 0, 256)
+	wb := make([]byte, 8) // hoisted: a loop-local array would escape through io.ReadFull and allocate per record
+	for n := 0; ; n++ {
+		assignment, err := binary.ReadUvarint(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("record %d: reading assignment: %v", n, err)
+		}
+		keyLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("record %d: reading key length: %v", n, err)
+		}
+		if keyLen > maxIngestKeyLen {
+			return fmt.Errorf("record %d: key length %d exceeds %d", n, keyLen, maxIngestKeyLen)
+		}
+		if cap(keyBuf) < int(keyLen) {
+			keyBuf = make([]byte, 0, keyLen)
+		}
+		keyBuf = keyBuf[:keyLen]
+		if _, err := io.ReadFull(br, keyBuf); err != nil {
+			return fmt.Errorf("record %d: reading key: %v", n, err)
+		}
+		if _, err := io.ReadFull(br, wb); err != nil {
+			return fmt.Errorf("record %d: reading weight: %v", n, err)
+		}
+		weight := math.Float64frombits(binary.LittleEndian.Uint64(wb))
+		// Validate before materializing the key string: skipped and
+		// rejected records never allocate.
+		if keyLen == 0 {
+			return fmt.Errorf("record %d: empty key", n)
+		}
+		if err := s.checkOffer(n, int(assignment), "-", weight); err != nil {
+			return err
+		}
+		if weight == 0 {
+			continue
+		}
+		if err := st.add(int(assignment), string(keyBuf), weight); err != nil {
+			return err
+		}
+	}
+}
+
+// AppendBinaryOffer appends one offer in the POST /ingest binary framing —
+// the encoder counterpart of the server's decoder, shared by clients and
+// the ingest benchmark.
+func AppendBinaryOffer(dst []byte, assignment int, key string, weight float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(assignment))
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(weight))
 }
 
 // --- freeze ---
@@ -423,10 +694,11 @@ func (s *Server) freeze() (*snapshot, error) {
 // abandoning the rest on the first failure would leak their workers on
 // every failed freeze — unbounded growth in a server designed to ride
 // failed freezes out indefinitely.
-func freezeAndMerge(ingest []*shard.Sketcher, cum []*sketch.BottomK) ([]*sketch.BottomK, error) {
-	out := make([]*sketch.BottomK, len(ingest))
+func freezeAndMerge(ingest *shard.MultiSketcher, cum []*sketch.BottomK) ([]*sketch.BottomK, error) {
+	sketchers := ingest.Sketchers()
+	out := make([]*sketch.BottomK, len(sketchers))
 	var firstErr error
-	for b, sk := range ingest {
+	for b, sk := range sketchers {
 		merged, err := freezeOne(sk, cum[b])
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -580,6 +852,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\n")
 	fmt.Fprintf(w, "%q: %s,\n", "cws.offers", s.offers.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.offer_batches", s.offerBatches.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.ingest_streams", s.ingestStreams.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.queries", s.queries.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.freezes", s.freezes.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.freeze_errors", s.freezeErrors.String())

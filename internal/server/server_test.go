@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -358,8 +359,8 @@ func TestFailedFreezeDoesNotLeakWorkers(t *testing.T) {
 	t.Cleanup(s.Close)
 	offerAll := func(key string, w float64) {
 		s.mu.Lock()
-		for b := range s.ingest {
-			s.ingest[b].Offer(key, w)
+		for b := 0; b < s.ingest.NumAssignments(); b++ {
+			s.ingest.Offer(b, key, w)
 		}
 		s.mu.Unlock()
 	}
@@ -600,5 +601,154 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := New(base); err != nil {
 		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// postRaw posts a raw body with an explicit content type.
+func postRaw(t *testing.T, url, contentType string, body []byte) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, decodeJSONBody(t, resp.Body)
+}
+
+// TestStreamingIngestEquivalence: the NDJSON and binary /ingest lanes must
+// produce exactly the state that /offer batches would — same accepted
+// count, and bit-identical query answers after freeze.
+func TestStreamingIngestEquivalence(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 23, K: 128},
+		Assignments: 2,
+		Shards:      4,
+		Workers:     2,
+	}
+	offers := testStream(2500, 17)
+	ref := offlineSummary(t, cfg.Sample, offers, cfg.Assignments).RangeLSet(nil).Estimate(nil)
+
+	encodeNDJSON := func() []byte {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, o := range offers {
+			if err := enc.Encode(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	encodeBinary := func() []byte {
+		var body []byte
+		for _, o := range offers {
+			body = AppendBinaryOffer(body, o.Assignment, o.Key, o.Weight)
+		}
+		return body
+	}
+	cases := []struct {
+		name, contentType string
+		body              []byte
+	}{
+		{"ndjson", "application/x-ndjson", encodeNDJSON()},
+		{"binary", ContentTypeBinaryIngest, encodeBinary()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, cfg)
+			resp, out := postRaw(t, ts.URL+"/ingest", tc.contentType, tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /ingest: status %d: %v", resp.StatusCode, out)
+			}
+			if got := int(out["accepted"].(float64)); got != len(offers) {
+				t.Fatalf("accepted %d offers, want %d", got, len(offers))
+			}
+			postJSON(t, ts.URL+"/freeze", nil)
+			if got := queryHTTP(t, ts.URL, "agg=L1"); got != ref {
+				t.Fatalf("L1 after /ingest = %v, want offline %v", got, ref)
+			}
+		})
+	}
+}
+
+// TestStreamingIngestErrors: malformed records yield 400 with the count of
+// records already applied; a closed server yields 503; rejected weights
+// never reach the sketchers.
+func TestStreamingIngestErrors(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 5, K: 16},
+		Assignments: 2,
+		Shards:      2,
+		Workers:     1,
+	}
+	s, ts := newTestServer(t, cfg)
+
+	resp, out := postRaw(t, ts.URL+"/ingest", "application/x-ndjson",
+		[]byte(`{"assignment":0,"key":"a","weight":1}`+"\n"+`{"assignment":9,"key":"b","weight":1}`+"\n"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range assignment: status %d: %v", resp.StatusCode, out)
+	}
+	if _, ok := out["accepted"]; !ok {
+		t.Fatalf("400 response does not report the accepted count: %v", out)
+	}
+
+	resp, out = postRaw(t, ts.URL+"/ingest", "application/x-ndjson",
+		[]byte(`{"assignment":0,"key":"c","weight":-1}`+"\n"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative weight: status %d: %v", resp.StatusCode, out)
+	}
+
+	var bin []byte
+	bin = binary.AppendUvarint(bin, 0)
+	bin = binary.AppendUvarint(bin, maxIngestKeyLen+1)
+	resp, out = postRaw(t, ts.URL+"/ingest", ContentTypeBinaryIngest, bin)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized binary key: status %d: %v", resp.StatusCode, out)
+	}
+
+	s.Close()
+	resp, out = postRaw(t, ts.URL+"/ingest", "application/x-ndjson",
+		[]byte(`{"assignment":0,"key":"z","weight":1}`+"\n"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after Close: status %d: %v", resp.StatusCode, out)
+	}
+}
+
+// TestStreamingIngestEdgeCases: an all-skipped or empty stream still
+// reports the server's real epoch; media-type parameters do not reroute
+// the binary framing to the JSON decoder; oversized keys are rejected on
+// both lanes.
+func TestStreamingIngestEdgeCases(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 3, K: 8},
+		Assignments: 1,
+		Shards:      1,
+		Workers:     1,
+	}
+	_, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", map[string]any{"assignment": 0, "key": "seed", "weight": 1})
+	postJSON(t, ts.URL+"/freeze", nil)
+	postJSON(t, ts.URL+"/freeze", nil)
+
+	resp, out := postRaw(t, ts.URL+"/ingest", "application/x-ndjson",
+		[]byte(`{"assignment":0,"key":"zero","weight":0}`+"\n"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("all-skipped stream: status %d: %v", resp.StatusCode, out)
+	}
+	if got := int(out["epoch"].(float64)); got != 2 {
+		t.Fatalf("all-skipped stream reported epoch %d, want the real epoch 2", got)
+	}
+
+	var bin []byte
+	bin = AppendBinaryOffer(bin, 0, "param", 2)
+	resp, out = postRaw(t, ts.URL+"/ingest", ContentTypeBinaryIngest+"; charset=utf-8", bin)
+	if resp.StatusCode != http.StatusOK || int(out["accepted"].(float64)) != 1 {
+		t.Fatalf("binary lane with media-type parameter: status %d: %v", resp.StatusCode, out)
+	}
+
+	big := strings.Repeat("k", maxIngestKeyLen+1)
+	resp, out = postRaw(t, ts.URL+"/ingest", "application/x-ndjson",
+		[]byte(`{"assignment":0,"key":"`+big+`","weight":1}`+"\n"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized NDJSON key: status %d: %v", resp.StatusCode, out)
 	}
 }

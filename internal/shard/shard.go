@@ -1,25 +1,53 @@
 // Package shard implements sharded, concurrent ingestion of one weight
-// assignment's aggregated (key, weight) stream.
+// assignment's aggregated (key, weight) stream, with a threshold-pruned,
+// steady-state-zero-allocation producer fast path.
 //
-// The construction rests on two facts. First, per-assignment sketching is a
-// one-pass, O(k)-state operation (Section 3 of the paper), so a stream can be
-// split arbitrarily and each piece sketched independently. Second,
+// The construction rests on three facts. First, per-assignment sketching is
+// a one-pass, O(k)-state operation (Section 3 of the paper), so a stream can
+// be split arbitrarily and each piece sketched independently. Second,
 // sketch.Merge combines bottom-k sketches of *disjoint* key sets into the
-// exact bottom-k sketch of their union. A Sketcher therefore hash-partitions
-// keys across S disjoint shards, runs one BottomKBuilder per shard behind
-// batched channels drained by worker goroutines, and freezes via sketch.Merge
-// into a sketch that is bit-identical — same entries, same r_k(I), same
-// r_{k+1}(I) — to what a single-stream AssignmentSketcher would have built.
+// exact bottom-k sketch of their union. Third — the fast path — a bottom-k
+// builder admits an item only when its rank is below the k-th smallest rank
+// so far, a threshold that only ever decreases; because rank families are
+// monotone with F_w(x) ≤ w·x, a producer holding the item's raw hash can
+// prove "rank certainly above threshold" with one multiply and one compare
+// (rank.Family.RejectsSeed) and drop the item without evaluating a quantile,
+// without an allocation, and without a channel send. Once the samples fill,
+// that is almost every item of the stream.
 //
-// The shard router uses hashing.ShardHash, which takes no user seed: routing
-// is independent of the rank hash, so coordination across assignments is
-// untouched by how the stream happens to be partitioned. Ranks themselves are
-// computed inside the workers, moving the hash-and-quantile work off the
-// producer's goroutine — that is where the throughput win comes from.
+// A Sketcher therefore hashes each offered key once with the assignment's
+// rank hash (rank.Assigner.RankHashSeed) and reuses the 64-bit word three
+// ways: shard routing (h mod S), admission-bound pruning against the routed
+// shard builder's published threshold (sketch.BottomKBuilder.
+// AdmissionThreshold, a relaxed atomic), and — for the few admitted items —
+// the unit seed from which the receiving worker computes the exact rank.
+// Admitted items travel in sync.Pool-recycled batches through per-worker
+// channels, so the steady state allocates nothing.
+//
+// Exactness is preserved bit for bit. Pruning cannot change the retained
+// entries: thresholds only decrease, so an item whose rank provably exceeds
+// a stale threshold is rejected by every later Offer too. Pruning could
+// only lose the (k+1)-st smallest rank r_{k+1} (the frozen sketch's
+// Threshold, which the estimators condition on) — so the producer tracks
+// the exact minimum rank among the items it pruned per shard (lazily: the
+// quantile is evaluated only when the one-multiply bound says the item
+// might improve the running minimum, which happens O(log n) times) and
+// feeds it to the builder at freeze via NoteRejected. The frozen sketch is
+// therefore bit-identical — same entries, same r_k(I), same r_{k+1}(I) —
+// to the single-stream construction, for every shard count and both
+// dispersed coordination modes; the shard tests and the ingest experiment
+// enforce this.
+//
+// Routing reuses the rank hash rather than a separate shard hash: one FNV
+// pass per offer instead of two. Which shard a key lands on can therefore
+// correlate with its rank, but that is harmless — the merge lemma makes the
+// frozen sketch independent of how the key space was partitioned, so
+// routing correlation can never affect what the coordinated samples retain.
 package shard
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -28,43 +56,58 @@ import (
 	"coordsample/internal/sketch"
 )
 
-// batchSize is the number of items buffered per worker before a channel
-// send. Batching amortizes channel synchronization over many keys; 256 keeps
-// the per-batch memory small (a few KiB) while making sends rare.
+// batchSize is the number of admitted items buffered per worker before a
+// channel send. Batching amortizes channel synchronization over many keys;
+// 256 keeps the per-batch memory small (a few KiB) while making sends rare.
+// With pruning, a batch also bounds how stale the producer's view of a
+// shard's threshold can get: at most 256 admissions happen between the
+// flush that carries threshold-lowering items to the builder and the next.
 const batchSize = 256
 
-// item is one routed stream element. The rank is computed by the receiving
-// worker, not the producer.
+// item is one routed stream element that survived producer-side pruning.
+// The unit seed is already computed (from the single rank hash); the
+// receiving worker evaluates only the quantile.
 type item struct {
 	key    string
+	u      float64 // unit seed Unit(Hash64(rankHashSeed, key))
 	weight float64
 	shard  int32
 }
 
-// ShardOf returns the shard index of key under a partition into shards
-// disjoint pieces. The assignment is deterministic and seed-free, so every
-// site partitions identically and independently of the rank hash.
+// batchPool recycles item batches between producers and workers; steady
+// state ingestion allocates nothing. Batches are stored by pointer so
+// Put/Get do not box the slice header.
+var batchPool = sync.Pool{New: func() any { b := make([]item, 0, batchSize); return &b }}
+
+// ShardOf returns the shard index of key under a seed-free partition into
+// shards disjoint pieces. Retained for callers partitioning key spaces
+// outside a Sketcher (distributed sites agreeing on a partition); the
+// Sketcher itself routes on the rank hash to avoid a second hash pass.
 func ShardOf(key string, shards int) int {
 	return int(hashing.ShardHash(key) % uint64(shards))
 }
 
 // Sketcher builds the bottom-k sketch of one weight assignment by
-// hash-partitioning its stream across disjoint shards sketched concurrently.
-// It is a drop-in replacement for a single-stream sketcher: the frozen
-// sketch is bit-identical to the one-builder construction.
+// hash-partitioning its stream across disjoint shards sketched concurrently,
+// pruning certainly-rejected items on the producer. It is a drop-in
+// replacement for a single-stream sketcher: the frozen sketch is
+// bit-identical to the one-builder construction.
 //
 // Offer must be called from a single goroutine (the producer); the
 // concurrency is internal. Sketch terminates the pipeline: it flushes
 // pending batches, waits for the workers, and merges — Offer must not be
 // called afterwards.
 type Sketcher struct {
-	assigner   rank.Assigner
+	family     rank.Family
 	assignment int
-	shards     int
+	hashSeed   uint64 // rank.Assigner.RankHashSeed(assignment)
+	shards     uint64
 	workers    int
+	direct     bool                     // no worker goroutines: producer offers admitted items synchronously
 	builders   []*sketch.BottomKBuilder // one per shard; builders[s] is owned by worker s % workers
-	chans      []chan []item            // one per worker
-	pending    [][]item                 // producer-side batch per worker
+	chans      []chan *[]item           // one per worker (nil in direct mode)
+	pending    []*[]item                // producer-side batch per worker (nil in direct mode)
+	prunedMin  []float64                // per shard: exact min rank among producer-pruned items
 	wg         sync.WaitGroup
 	closed     bool
 }
@@ -72,7 +115,9 @@ type Sketcher struct {
 // NewSketcher creates a sharded sketcher for assignment index assignment
 // with per-assignment sample size k. shards must be ≥ 1; workers ≤ 0 selects
 // GOMAXPROCS, and the worker count is capped at the shard count (shard s is
-// owned by worker s mod workers, so extra workers would idle).
+// owned by worker s mod workers, so extra workers would idle). The assigner
+// must be a dispersed mode (SharedSeed or Independent);
+// IndependentDifferences requires colocated weights and panics.
 func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sketcher {
 	if shards < 1 {
 		panic(fmt.Sprintf("shard: invalid shard count %d", shards))
@@ -83,14 +128,22 @@ func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sk
 	if workers > shards {
 		workers = shards
 	}
+	// With one worker and one schedulable core there is no parallelism for
+	// the channel hop to buy — producer and worker would just take turns on
+	// the same CPU — so admitted items are offered synchronously instead:
+	// no goroutines, no batches, and the producer sees threshold updates
+	// immediately, which makes pruning strictly more effective. The frozen
+	// sketch is identical either way.
+	direct := workers == 1 && runtime.GOMAXPROCS(0) == 1
 	s := &Sketcher{
-		assigner:   assigner,
+		family:     assigner.Family,
 		assignment: assignment,
-		shards:     shards,
+		hashSeed:   assigner.RankHashSeed(assignment),
+		shards:     uint64(shards),
 		workers:    workers,
+		direct:     direct,
 		builders:   make([]*sketch.BottomKBuilder, shards),
-		chans:      make([]chan []item, workers),
-		pending:    make([][]item, workers),
+		prunedMin:  make([]float64, shards),
 	}
 	// Every shard builder carries the assignment's configuration
 	// fingerprint: the shard sketches are bottom-k sketches of (disjoint
@@ -100,10 +153,16 @@ func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sk
 	fp := assigner.Fingerprint(assignment, k)
 	for i := range s.builders {
 		s.builders[i] = sketch.NewBottomKBuilderWithFingerprint(k, fp)
+		s.prunedMin[i] = math.Inf(1)
 	}
+	if direct {
+		return s
+	}
+	s.chans = make([]chan *[]item, workers)
+	s.pending = make([]*[]item, workers)
 	for w := range s.chans {
-		s.chans[w] = make(chan []item, 4)
-		s.pending[w] = make([]item, 0, batchSize)
+		s.chans[w] = make(chan *[]item, 4)
+		s.pending[w] = batchPool.Get().(*[]item)
 	}
 	s.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -112,35 +171,64 @@ func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sk
 	return s
 }
 
-// drain consumes batches, computing each item's rank and offering it to its
-// shard's builder. The fixed shard→worker ownership means no builder is ever
-// touched by two goroutines.
-func (s *Sketcher) drain(ch <-chan []item) {
+// drain consumes batches, computing each item's rank from its precomputed
+// unit seed and offering it to its shard's builder, then recycles the batch.
+// The fixed shard→worker ownership means no builder is ever touched by two
+// goroutines.
+func (s *Sketcher) drain(ch <-chan *[]item) {
 	defer s.wg.Done()
-	for batch := range ch {
-		for _, it := range batch {
-			r := s.assigner.Rank(it.key, s.assignment, it.weight)
-			s.builders[it.shard].Offer(it.key, r, it.weight)
+	for bp := range ch {
+		for _, it := range *bp {
+			s.builders[it.shard].Offer(it.key, s.family.Quantile(it.weight, it.u), it.weight)
 		}
+		*bp = (*bp)[:0]
+		batchPool.Put(bp)
 	}
 }
 
 // Offer presents one aggregated key with its weight in this assignment.
 // Keys must be pre-aggregated (each key offered at most once), exactly as
-// for the single-stream sketcher.
+// for the single-stream sketcher. Nonpositive, NaN, and +Inf weights are
+// never sampled and are rejected here, before any hashing or routing cost.
 func (s *Sketcher) Offer(key string, weight float64) {
+	if !(weight > 0) || math.IsInf(weight, 1) {
+		return
+	}
+	s.offerHashed(key, hashing.Hash64(s.hashSeed, key), weight)
+}
+
+// offerHashed is the post-hash fast path: route, prune against the routed
+// shard's published admission threshold, and batch the survivors. h must be
+// Hash64(s.hashSeed, key) — MultiSketcher computes it once per key and fans
+// it to every assignment's sketcher under SharedSeed coordination.
+func (s *Sketcher) offerHashed(key string, h uint64, weight float64) {
 	if s.closed {
 		panic("shard: Offer after Sketch")
 	}
-	if weight <= 0 {
-		return // never sampled; skip before paying for routing
+	sh := h % s.shards
+	u := hashing.Unit(h)
+	if s.family.RejectsSeed(u, weight, s.builders[sh].AdmissionThreshold()) {
+		// Certainly not among the shard's bottom-k — but its rank may still
+		// be the shard's r_{k+1}, so keep the exact minimum pruned rank.
+		// The quantile is evaluated only when the one-multiply bound says
+		// the running minimum might improve.
+		if s.family.SeedMayRankBelow(u, weight, s.prunedMin[sh]) {
+			if r := s.family.Quantile(weight, u); r < s.prunedMin[sh] {
+				s.prunedMin[sh] = r
+			}
+		}
+		return
 	}
-	sh := ShardOf(key, s.shards)
-	w := sh % s.workers
-	s.pending[w] = append(s.pending[w], item{key: key, weight: weight, shard: int32(sh)})
-	if len(s.pending[w]) == batchSize {
-		s.chans[w] <- s.pending[w]
-		s.pending[w] = make([]item, 0, batchSize)
+	if s.direct {
+		s.builders[sh].Offer(key, s.family.Quantile(weight, u), weight)
+		return
+	}
+	w := int(sh) % s.workers
+	p := s.pending[w]
+	*p = append(*p, item{key: key, u: u, weight: weight, shard: int32(sh)})
+	if len(*p) == batchSize {
+		s.chans[w] <- p
+		s.pending[w] = batchPool.Get().(*[]item)
 	}
 }
 
@@ -162,14 +250,14 @@ func (s *Sketcher) OfferBatch(obs []Observation) {
 	}
 }
 
-// Sketch flushes the pipeline, waits for the workers, and merges the shard
-// sketches into the bottom-k sketch of the full assignment. Unlike the
-// single-stream builder this is terminal: the pipeline is shut down and
-// further Offers panic. Sketch may be called again; it returns the same
-// frozen result.
+// Sketch flushes the pipeline, waits for the workers, reports the pruned
+// rank minima, and merges the shard sketches into the bottom-k sketch of
+// the full assignment. Unlike the single-stream builder this is terminal:
+// the pipeline is shut down and further Offers panic. Sketch may be called
+// again; it returns the same frozen result.
 func (s *Sketcher) Sketch() *sketch.BottomK {
 	s.close()
-	parts := make([]*sketch.BottomK, s.shards)
+	parts := make([]*sketch.BottomK, len(s.builders))
 	for i, b := range s.builders {
 		parts[i] = b.Sketch()
 	}
@@ -182,25 +270,34 @@ func (s *Sketcher) Sketch() *sketch.BottomK {
 	return merged
 }
 
-// close flushes pending batches, closes the worker channels, and waits for
-// the drain goroutines to finish. Idempotent.
+// close flushes pending batches, closes the worker channels, waits for the
+// drain goroutines to finish, and merges the per-shard pruned-rank minima
+// into the now-quiescent builders (the step that keeps r_{k+1} exact under
+// producer-side pruning). Idempotent.
 func (s *Sketcher) close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
-	for w, batch := range s.pending {
-		if len(batch) > 0 {
-			s.chans[w] <- batch
+	if !s.direct {
+		for w, bp := range s.pending {
+			if len(*bp) > 0 {
+				s.chans[w] <- bp
+			} else {
+				batchPool.Put(bp)
+			}
+			s.pending[w] = nil
+			close(s.chans[w])
 		}
-		s.pending[w] = nil
-		close(s.chans[w])
+		s.wg.Wait()
 	}
-	s.wg.Wait()
+	for sh, r := range s.prunedMin {
+		s.builders[sh].NoteRejected(r)
+	}
 }
 
 // NumShards returns the shard count.
-func (s *Sketcher) NumShards() int { return s.shards }
+func (s *Sketcher) NumShards() int { return int(s.shards) }
 
 // NumWorkers returns the effective worker count (after clamping to the
 // shard count).
@@ -208,3 +305,88 @@ func (s *Sketcher) NumWorkers() int { return s.workers }
 
 // Assignment returns the assignment index this sketcher serves.
 func (s *Sketcher) Assignment() int { return s.assignment }
+
+// MultiSketcher fronts one Sketcher per weight assignment of a single
+// sampling configuration — the server's ingest fan-in. Under SharedSeed
+// coordination all sketchers share one rank hash seed (Section 4's shared
+// seed u(i)), so a key offered with its whole weight vector is hashed
+// exactly once and the raw 64-bit word fanned to every assignment's
+// builders: the per-assignment hash×B cost collapses to ×1.
+//
+// Like Sketcher, all Offer variants must be called from a single producer
+// goroutine; Sketches is terminal.
+type MultiSketcher struct {
+	shared    bool
+	sketchers []*Sketcher
+}
+
+// NewMultiSketcher creates one sharded sketcher per assignment index
+// 0..assignments-1, all under the given assigner and per-assignment sample
+// size k.
+func NewMultiSketcher(assigner rank.Assigner, assignments, k, shards, workers int) *MultiSketcher {
+	if assignments < 1 {
+		panic(fmt.Sprintf("shard: need at least one assignment, got %d", assignments))
+	}
+	sketchers := make([]*Sketcher, assignments)
+	for b := range sketchers {
+		sketchers[b] = NewSketcher(assigner, b, k, shards, workers)
+	}
+	return &MultiSketcher{shared: assigner.Mode == rank.SharedSeed, sketchers: sketchers}
+}
+
+// Offer presents one aggregated key with its weight in one assignment —
+// the dispersed-stream entry point.
+func (m *MultiSketcher) Offer(assignment int, key string, weight float64) {
+	m.sketchers[assignment].Offer(key, weight)
+}
+
+// OfferBatch presents a batch of observations for one assignment.
+func (m *MultiSketcher) OfferBatch(assignment int, obs []Observation) {
+	m.sketchers[assignment].OfferBatch(obs)
+}
+
+// OfferVector presents one key with its weight in every assignment at once
+// (colocated-style input). Under SharedSeed the key is hashed exactly once;
+// under Independent each assignment needs its own hash by definition.
+func (m *MultiSketcher) OfferVector(key string, weights []float64) {
+	if len(weights) != len(m.sketchers) {
+		panic("shard: weight vector length mismatch")
+	}
+	if !m.shared {
+		for b, w := range weights {
+			m.sketchers[b].Offer(key, w)
+		}
+		return
+	}
+	hashed := false
+	var h uint64
+	for b, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			continue
+		}
+		if !hashed {
+			// All sketchers share hashSeed under SharedSeed coordination.
+			h = hashing.Hash64(m.sketchers[b].hashSeed, key)
+			hashed = true
+		}
+		m.sketchers[b].offerHashed(key, h, w)
+	}
+}
+
+// Sketchers returns the per-assignment sketchers in assignment order (for
+// callers that freeze them individually, e.g. to isolate per-assignment
+// contract violations).
+func (m *MultiSketcher) Sketchers() []*Sketcher { return m.sketchers }
+
+// Sketches terminally freezes every assignment's pipeline and returns the
+// frozen sketches in assignment order.
+func (m *MultiSketcher) Sketches() []*sketch.BottomK {
+	out := make([]*sketch.BottomK, len(m.sketchers))
+	for b, s := range m.sketchers {
+		out[b] = s.Sketch()
+	}
+	return out
+}
+
+// NumAssignments returns the number of assignments ingested.
+func (m *MultiSketcher) NumAssignments() int { return len(m.sketchers) }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"slices"
 	"testing"
 
 	"coordsample/internal/rank"
@@ -70,6 +72,7 @@ func TestShardedEquivalence(t *testing.T) {
 		{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1},
 		{Family: rank.EXP, Mode: rank.SharedSeed, Seed: 42},
 		{Family: rank.IPPS, Mode: rank.Independent, Seed: 7},
+		{Family: rank.EXP, Mode: rank.Independent, Seed: 19},
 	}
 	for _, a := range cfgs {
 		for _, k := range []int{1, 64, 512} {
@@ -157,8 +160,171 @@ func TestSketchIsTerminal(t *testing.T) {
 	s.Offer("late", 1)
 }
 
-// TestShardOfPartitions checks the router is a total, deterministic
-// partition with every shard reachable.
+// TestAscendingRankOrderThreshold is the adversarial case for producer-side
+// pruning: keys are offered in ascending rank order, so once a shard's
+// sample fills, every later item is pruned — and the very first pruned item
+// of each shard carries that shard's exact r_{k+1}. If the pruned-rank
+// minimum were not reported back to the builder, the frozen Threshold (the
+// value the RC estimators condition on) would be +Inf instead of r_{k+1}.
+func TestAscendingRankOrderThreshold(t *testing.T) {
+	for _, a := range []rank.Assigner{
+		{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 13},
+		{Family: rank.EXP, Mode: rank.Independent, Seed: 14},
+	} {
+		n := 4000
+		keys := make([]string, n)
+		weights := make([]float64, n)
+		rng := rand.New(rand.NewSource(77))
+		for i := range keys {
+			keys[i] = fmt.Sprintf("asc-%05d", i)
+			weights[i] = math.Exp(rng.NormFloat64())
+		}
+		// Sort (key, weight) pairs by rank ascending.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		ranks := make([]float64, n)
+		for i := range ranks {
+			ranks[i] = a.Rank(keys[i], 0, weights[i])
+		}
+		slices.SortFunc(order, func(x, y int) int {
+			switch {
+			case ranks[x] < ranks[y]:
+				return -1
+			case ranks[x] > ranks[y]:
+				return 1
+			default:
+				return 0
+			}
+		})
+		for _, k := range []int{1, 16, 128} {
+			want := singleStream(a, 0, k, keys, weights)
+			for _, shards := range []int{1, 2, 7, 16} {
+				s := NewSketcher(a, 0, k, shards, 2)
+				for _, i := range order {
+					s.Offer(keys[i], weights[i])
+				}
+				label := fmt.Sprintf("ascending %v k=%d shards=%d", a, k, shards)
+				requireIdentical(t, s.Sketch(), want, label)
+			}
+		}
+	}
+}
+
+// TestNonFiniteWeightsRejectedAtProducer is the regression test for the
+// producer-side validity check: NaN and +Inf weights must be dropped before
+// routing (NaN used to ride the whole pipeline and die silently at the
+// builder; +Inf would have produced a rank-0 entry with infinite weight).
+func TestNonFiniteWeightsRejectedAtProducer(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 21}
+	rng := rand.New(rand.NewSource(33))
+	keys, weights := randomStream(rng, 2000, "fin")
+	want := singleStream(a, 0, 64, keys, weights)
+
+	s := NewSketcher(a, 0, 64, 4, 2)
+	for i, key := range keys {
+		s.Offer(key, weights[i])
+	}
+	s.Offer("poison-nan", math.NaN())
+	s.Offer("poison-posinf", math.Inf(1))
+	s.Offer("poison-neginf", math.Inf(-1))
+	requireIdentical(t, s.Sketch(), want, "non-finite weights")
+
+	m := NewMultiSketcher(a, 2, 64, 4, 2)
+	for i, key := range keys {
+		m.OfferVector(key, []float64{weights[i], weights[i]})
+	}
+	m.OfferVector("poison-vec", []float64{math.NaN(), math.Inf(1)})
+	for b, got := range m.Sketches() {
+		requireIdentical(t, got, want, fmt.Sprintf("non-finite vector, assignment %d", b))
+	}
+}
+
+// TestMultiSketcherEquivalence: every ingest form of the multi-assignment
+// front-end — per-assignment Offer, OfferBatch, and the hash-once
+// OfferVector — freezes bit-identical to the single-stream construction,
+// under both dispersed coordination modes.
+func TestMultiSketcherEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	const n, numAsg = 3000, 3
+	keys := make([]string, n)
+	cols := make([][]float64, numAsg)
+	for b := range cols {
+		cols[b] = make([]float64, n)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("multi-%05d", i)
+		for b := range cols {
+			if rng.Float64() < 0.2 {
+				continue // dispersed sparsity: key absent from this assignment
+			}
+			cols[b][i] = math.Exp(rng.NormFloat64() * 2)
+		}
+	}
+	for _, a := range []rank.Assigner{
+		{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 101},
+		{Family: rank.EXP, Mode: rank.Independent, Seed: 102},
+	} {
+		const k = 128
+		want := make([]*sketch.BottomK, numAsg)
+		for b := range want {
+			want[b] = singleStream(a, b, k, keys, cols[b])
+		}
+
+		vec := make([]float64, numAsg)
+		m := NewMultiSketcher(a, numAsg, k, 7, 2)
+		for i, key := range keys {
+			for b := range cols {
+				vec[b] = cols[b][i]
+			}
+			m.OfferVector(key, vec)
+		}
+		for b, got := range m.Sketches() {
+			requireIdentical(t, got, want[b], fmt.Sprintf("%v OfferVector assignment %d", a, b))
+		}
+
+		m = NewMultiSketcher(a, numAsg, k, 7, 2)
+		for b := range cols {
+			for i, key := range keys {
+				m.Offer(b, key, cols[b][i])
+			}
+		}
+		for b, got := range m.Sketches() {
+			requireIdentical(t, got, want[b], fmt.Sprintf("%v Offer assignment %d", a, b))
+		}
+	}
+}
+
+// TestProducerFastPathZeroAllocs is the allocation budget of the tentpole:
+// once a shard's sample has filled and its threshold is visible to the
+// producer, a pruned Offer — the steady-state overwhelming majority — must
+// not allocate at all.
+func TestProducerFastPathZeroAllocs(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 71}
+	s := NewSketcher(a, 0, 8, 1, 1)
+	for i := 0; i < 4096; i++ {
+		s.Offer(fmt.Sprintf("warm-%05d", i), 1)
+	}
+	// The threshold becomes visible once the worker has drained a batch
+	// containing the sample-filling admissions.
+	for i := 0; math.IsInf(s.builders[0].AdmissionThreshold(), 1); i++ {
+		if i > 1_000_000 {
+			t.Fatal("admission threshold never published")
+		}
+		runtime.Gosched()
+	}
+	// A vanishing weight makes w·T smaller than any unit seed, so the offer
+	// is pruned deterministically (and the first such prune exercises the
+	// pruned-minimum bookkeeping too).
+	allocs := testing.AllocsPerRun(500, func() {
+		s.Offer("pruned-key", 1e-300)
+	})
+	if allocs != 0 {
+		t.Fatalf("pruned fast-path Offer allocates %v per op, want 0", allocs)
+	}
+	s.Sketch()
+}
 func TestShardOfPartitions(t *testing.T) {
 	const shards = 8
 	hit := make([]int, shards)
@@ -204,4 +370,29 @@ func TestWorkerClamp(t *testing.T) {
 		t.Errorf("defaulted workers = %d, want in [1,2]", s.NumWorkers())
 	}
 	s.Sketch()
+}
+
+// TestDirectModeEquivalence pins down the synchronous single-core mode
+// (workers==1 with GOMAXPROCS==1 skips the channel pipeline entirely):
+// bit-identity must hold there too, on every shard count. GOMAXPROCS is
+// forced to 1 so the test is meaningful on multi-core CI machines as well.
+func TestDirectModeEquivalence(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 47}
+	rng := rand.New(rand.NewSource(61))
+	keys, weights := randomStream(rng, 5000, "direct")
+	for _, k := range []int{1, 64, 512} {
+		want := singleStream(a, 0, k, keys, weights)
+		for _, shards := range []int{1, 2, 7, 16} {
+			s := NewSketcher(a, 0, k, shards, 1)
+			if !s.direct {
+				t.Fatalf("workers=1 under GOMAXPROCS=1 did not select direct mode (shards=%d)", shards)
+			}
+			for i, key := range keys {
+				s.Offer(key, weights[i])
+			}
+			requireIdentical(t, s.Sketch(), want, fmt.Sprintf("direct k=%d shards=%d", k, shards))
+		}
+	}
 }

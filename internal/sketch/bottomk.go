@@ -14,7 +14,8 @@ package sketch
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync/atomic"
 )
 
 // Entry is a sampled key together with its rank and weight in the sketched
@@ -33,6 +34,30 @@ func entryLess(a, b Entry) bool {
 		return a.Rank < b.Rank
 	}
 	return a.Key < b.Key
+}
+
+// entryCompare is entryLess as a three-way comparison for slices.SortFunc.
+// Ranks are never NaN inside a sketch (Offer rejects them), so float
+// comparison is a total order here.
+func entryCompare(a, b Entry) int {
+	switch {
+	case a.Rank < b.Rank:
+		return -1
+	case a.Rank > b.Rank:
+		return 1
+	case a.Key < b.Key:
+		return -1
+	case a.Key > b.Key:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortEntries sorts entries into ascending (rank, key) order — the
+// non-reflective freeze-path sort shared by every sketch constructor.
+func sortEntries(entries []Entry) {
+	slices.SortFunc(entries, entryCompare)
 }
 
 // BottomK is an immutable bottom-k sketch: the (at most) k keys of smallest
@@ -109,6 +134,15 @@ type BottomKBuilder struct {
 	fingerprint uint64
 	heap        []Entry // max-heap on (rank, key)
 	next        float64 // min rank among rejected/evicted items = r_{k+1} so far
+
+	// admission publishes the builder's current admission threshold — the
+	// Float64bits of r_k so far (heap root rank once the heap is full, +Inf
+	// before) — for concurrent producers running the threshold-pruned fast
+	// path. It only ever decreases, so a stale read is conservative: an item
+	// whose rank exceeds any past value of the threshold is certain to be
+	// rejected by Offer. Plain atomic load/store suffice; no ordering beyond
+	// the value itself is needed (see AdmissionThreshold).
+	admission atomic.Uint64
 }
 
 // NewBottomKBuilder returns a builder for bottom-k sketches. k must be ≥ 1.
@@ -129,7 +163,37 @@ func NewBottomKBuilderWithFingerprint(k int, fingerprint uint64) *BottomKBuilder
 	if k < 1 {
 		panic(fmt.Sprintf("sketch: invalid bottom-k size %d", k))
 	}
-	return &BottomKBuilder{k: k, fingerprint: fingerprint, heap: make([]Entry, 0, k), next: math.Inf(1)}
+	b := &BottomKBuilder{k: k, fingerprint: fingerprint, heap: make([]Entry, 0, k), next: math.Inf(1)}
+	b.admission.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// AdmissionThreshold returns the builder's current admission threshold: the
+// k-th smallest rank seen so far, or +Inf while fewer than k items have been
+// admitted. The value is monotonically non-increasing over the builder's
+// lifetime, which is what makes producer-side pruning exact: any item whose
+// rank is strictly greater than a value read here — no matter how stale —
+// is guaranteed to be rejected by every later Offer, so skipping the Offer
+// entirely cannot change the frozen sketch's entries. (The skipped item's
+// rank may still be the stream's r_{k+1}; producers report the minimum rank
+// among their pruned items via NoteRejected to keep the frozen Threshold
+// bit-exact.)
+//
+// Safe to call concurrently with Offer from any goroutine.
+func (b *BottomKBuilder) AdmissionThreshold() float64 {
+	return math.Float64frombits(b.admission.Load())
+}
+
+// NoteRejected merges the rank of an item that was pruned before reaching
+// Offer into the builder's r_{k+1} tracking. The caller asserts the item
+// would certainly have been rejected — its rank strictly exceeds a value
+// AdmissionThreshold returned at or after the item was drawn. Feeding only
+// the minimum rank over all pruned items is equivalent to offering each of
+// them. +Inf (no items pruned) is a no-op. Not safe concurrently with Offer.
+func (b *BottomKBuilder) NoteRejected(rank float64) {
+	if rank < b.next {
+		b.next = rank
+	}
 }
 
 // Offer presents one aggregated key with its rank and weight. Keys with
@@ -166,7 +230,7 @@ func (b *BottomKBuilder) Offer(key string, rankValue, weight float64) {
 func (b *BottomKBuilder) Sketch() *BottomK {
 	entries := make([]Entry, len(b.heap))
 	copy(entries, b.heap)
-	sort.Slice(entries, func(i, j int) bool { return entryLess(entries[i], entries[j]) })
+	sortEntries(entries)
 	kth := math.Inf(1)
 	if len(entries) == b.k {
 		kth = entries[len(entries)-1].Rank
@@ -192,6 +256,11 @@ func (b *BottomKBuilder) push(e Entry) {
 		b.heap[parent], b.heap[i] = b.heap[i], b.heap[parent]
 		i = parent
 	}
+	if len(b.heap) == b.k {
+		// The heap just filled: the admission threshold drops from +Inf to
+		// the current k-th smallest rank.
+		b.admission.Store(math.Float64bits(b.heap[0].Rank))
+	}
 }
 
 func (b *BottomKBuilder) replaceTop(e Entry) {
@@ -208,11 +277,14 @@ func (b *BottomKBuilder) replaceTop(e Entry) {
 			largest = r
 		}
 		if largest == i {
-			return
+			break
 		}
 		b.heap[i], b.heap[largest] = b.heap[largest], b.heap[i]
 		i = largest
 	}
+	// Every replacement lowers (or keeps) the root rank, so the published
+	// admission threshold is monotone non-increasing.
+	b.admission.Store(math.Float64bits(b.heap[0].Rank))
 }
 
 // Prefix returns the bottom-l sketch embedded in s (l ≤ s.K()): the l
@@ -394,7 +466,7 @@ func UnionBottomK(k int, sketches []*BottomK) []Entry {
 	for key, r := range minRank {
 		entries = append(entries, Entry{Key: key, Rank: r})
 	}
-	sort.Slice(entries, func(i, j int) bool { return entryLess(entries[i], entries[j]) })
+	sortEntries(entries)
 	if len(entries) > k {
 		entries = entries[:k]
 	}

@@ -549,3 +549,91 @@ func TestMergeSingleSketchIdentity(t *testing.T) {
 	s := b.Sketch()
 	compareSketches(t, MergeUnchecked(s), s)
 }
+
+// TestAdmissionThresholdTracksKth: the published admission threshold is
+// +Inf until the sample fills, then equals the current k-th smallest rank
+// and only ever decreases.
+func TestAdmissionThresholdTracksKth(t *testing.T) {
+	b := NewBottomKBuilder(3)
+	if !math.IsInf(b.AdmissionThreshold(), 1) {
+		t.Fatalf("empty builder threshold = %v, want +Inf", b.AdmissionThreshold())
+	}
+	b.Offer("a", 0.5, 1)
+	b.Offer("b", 0.9, 1)
+	if !math.IsInf(b.AdmissionThreshold(), 1) {
+		t.Fatalf("under-full builder threshold = %v, want +Inf", b.AdmissionThreshold())
+	}
+	b.Offer("c", 0.7, 1)
+	if got := b.AdmissionThreshold(); got != 0.9 {
+		t.Fatalf("threshold after fill = %v, want 0.9", got)
+	}
+	prev := b.AdmissionThreshold()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		b.Offer("t"+itoa(i), rng.Float64(), 1)
+		cur := b.AdmissionThreshold()
+		if cur > prev {
+			t.Fatalf("threshold rose from %v to %v at offer %d", prev, cur, i)
+		}
+		prev = cur
+	}
+	if got, want := b.AdmissionThreshold(), b.Sketch().KthRank(); got != want {
+		t.Fatalf("final threshold %v != frozen KthRank %v", got, want)
+	}
+}
+
+// TestNoteRejectedEquivalentToOffering: reporting only the minimum rank of
+// a batch of certainly-rejected items yields the same frozen sketch as
+// offering each of them.
+func TestNoteRejectedEquivalentToOffering(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	low := make([]float64, 64)
+	for i := range low {
+		low[i] = rng.Float64()
+	}
+	build := func(prune bool) *BottomK {
+		b := NewBottomKBuilder(8)
+		for i, r := range low {
+			b.Offer("low"+itoa(i), r, 1)
+		}
+		minRejected := math.Inf(1)
+		for i := 0; i < 200; i++ {
+			r := 1 + rng.Float64() // certainly above every retained rank
+			if prune {
+				if r < minRejected {
+					minRejected = r
+				}
+			} else {
+				b.Offer("high"+itoa(i), r, 1)
+			}
+		}
+		if prune {
+			b.NoteRejected(minRejected)
+		}
+		return b.Sketch()
+	}
+	rng = rand.New(rand.NewSource(41))
+	want := build(false)
+	rng = rand.New(rand.NewSource(41))
+	compareSketches(t, build(true), want)
+}
+
+// TestOfferSteadyStateZeroAllocs is the allocation budget of the builder:
+// with a full heap, neither a rejected nor an admitted Offer allocates.
+func TestOfferSteadyStateZeroAllocs(t *testing.T) {
+	b := NewBottomKBuilder(64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4096; i++ {
+		b.Offer("warm"+itoa(i), rng.Float64(), 1)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		b.Offer("rejected", 2, 1) // above every retained rank
+	}); allocs != 0 {
+		t.Fatalf("rejected Offer allocates %v per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		b.Offer("admitted", 1e-9, 1) // below every retained rank: replaces the root
+	}); allocs != 0 {
+		t.Fatalf("admitted Offer allocates %v per op, want 0", allocs)
+	}
+}

@@ -107,15 +107,6 @@ func (b *PoissonBuilder) Sketch() *Poisson {
 	return &Poisson{tau: b.tau, fingerprint: b.fingerprint, entries: entries, index: index}
 }
 
-func sortEntries(entries []Entry) {
-	// Insertion into ascending (rank, key) order; sketches are small.
-	for i := 1; i < len(entries); i++ {
-		for j := i; j > 0 && entryLess(entries[j], entries[j-1]); j-- {
-			entries[j], entries[j-1] = entries[j-1], entries[j]
-		}
-	}
-}
-
 // SolveTau returns the threshold τ for which a Poisson sketch of the given
 // weights has expected size k: Σ_i F_{w_i}(τ) = k (Figure 1 computes
 // τ = k/82 this way for IPPS ranks and total weight 82). When k is at least
