@@ -1,7 +1,7 @@
 // Command cws-merge is the paper's distributed combiner as a separate OS
-// process: it reads sketch files written by cws-sketch -out (or any
-// EncodeSketch caller), verifies each file's configuration fingerprint,
-// merges shard sketches of the same assignment, and answers
+// process: it reads sketch files written by cws-sketch -out (or exported
+// by cws-serve's GET /sketch), verifies each file's configuration
+// fingerprint, merges shard sketches of the same assignment, and answers
 // multiple-assignment aggregate queries from the files alone — no access
 // to the original data or to the sketching sites.
 //
@@ -9,24 +9,37 @@
 // summed deterministically, a query answered here is bit-identical to the
 // same query answered in-process at the site that held all the data.
 //
+// Inputs may be named as files, directories (every *.cws / *.cws.json
+// inside), or shell-style globs. Alternatively, -store reads a cws-serve
+// durable epoch store directory directly: the cumulative sketches by
+// default, or any retained epoch window with -epochs (the same time-travel
+// selector as the server's GET /query?epochs=lo..hi), so the server's
+// history is queryable offline — even while the server is down.
+//
 // Mixing files built under different configurations (Family, Mode, Seed,
-// or, for shard sketches, K) fails loudly with a typed error instead of
-// silently producing corrupt estimates.
+// or, for shard sketches, K) fails loudly with a typed error naming the
+// offending file instead of silently producing corrupt estimates.
 //
 // Usage:
 //
 //	cws-sketch -in siteA.csv -k 1024 -out siteA -query none   # at site A
 //	cws-sketch -in siteB.csv -k 1024 -out siteB -query none   # at site B
 //	cws-merge -query L1 siteA.0.cws siteA.1.cws siteB.0.cws siteB.1.cws
+//	cws-merge -query L1 sketchdir/                            # a directory of sketch files
 //	cws-merge -query lth -l 2 -R 0,1 *.cws
 //	cws-merge -query sum -b 0 -prefix "192.168." *.cws
+//	cws-merge -store /var/lib/cws -query L1                   # a server's durable store
+//	cws-merge -store /var/lib/cws -epochs 3..7 -query jaccard # a retained time window
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"coordsample"
@@ -49,30 +62,27 @@ func run(args []string, stdout io.Writer) error {
 	l := fs.Int("l", 1, "ℓ for -query lth (1 = largest)")
 	rFlag := fs.String("R", "", "comma-separated assignment subset (default all)")
 	prefix := fs.String("prefix", "", "restrict to keys with this prefix (subpopulation)")
-	verbose := fs.Bool("v", false, "describe each loaded sketch file")
+	storeDir := fs.String("store", "", "read a cws-serve durable epoch store directory instead of sketch files")
+	epochsFlag := fs.String("epochs", "", "with -store: restrict to the retained epoch window lo..hi (default: all epochs)")
+	verbose := fs.Bool("v", false, "describe each loaded sketch file (or the opened store)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	files := fs.Args()
-	if len(files) == 0 {
-		return fmt.Errorf("no sketch files given (write them with cws-sketch -out)")
-	}
 
-	decoded := make([]*coordsample.DecodedSketch, len(files))
-	for i, path := range files {
-		d, err := readSketchFile(path)
-		if err != nil {
-			return err
+	var summary *coordsample.Dispersed
+	var source string
+	var err error
+	if *storeDir != "" {
+		if len(fs.Args()) > 0 {
+			return fmt.Errorf("-store and sketch-file arguments are mutually exclusive")
 		}
-		decoded[i] = d
-		if *verbose {
-			fmt.Fprintf(stdout, "loaded %s: assignment %d, %v/%v/seed=%d, k=%d, %d entries, fingerprint %#016x\n",
-				path, d.Meta.Assignment, d.Meta.Family, d.Meta.Mode, d.Meta.Seed,
-				d.BottomK.K(), d.BottomK.Size(), d.Fingerprint())
+		summary, source, err = summarizeStore(*storeDir, *epochsFlag, *verbose, stdout)
+	} else {
+		if *epochsFlag != "" {
+			return fmt.Errorf("-epochs requires -store (sketch files carry no epoch history)")
 		}
+		summary, source, err = summarizeFiles(fs.Args(), *verbose, stdout)
 	}
-
-	summary, err := coordsample.CombineDecoded(decoded)
 	if err != nil {
 		return err
 	}
@@ -92,9 +102,169 @@ func run(args []string, stdout io.Writer) error {
 	}
 	// Full float64 precision: answers here are bit-identical to the
 	// in-process pipeline, and the output should prove it.
-	fmt.Fprintf(stdout, "%s = %v (from %d sketch files, %d assignments)\n",
-		label, v, len(files), summary.NumAssignments())
+	fmt.Fprintf(stdout, "%s = %v (from %s, %d assignments)\n",
+		label, v, source, summary.NumAssignments())
 	return nil
+}
+
+// summarizeStore opens a durable epoch store read-only and combines its
+// cumulative sketches — or, with an epoch range, the exact merge of that
+// retained time window.
+func summarizeStore(dir, epochsSel string, verbose bool, stdout io.Writer) (*coordsample.Dispersed, string, error) {
+	st, err := coordsample.OpenStore(coordsample.StoreConfig{Dir: dir})
+	if err != nil {
+		return nil, "", err
+	}
+	defer st.Close()
+	if st.Epoch() == 0 {
+		return nil, "", fmt.Errorf("%s: store holds no epochs", dir)
+	}
+	cfg, ok := st.SampleConfig()
+	if !ok {
+		return nil, "", fmt.Errorf("%s: store holds no sketches", dir)
+	}
+	sketches := st.Cumulative()
+	source := fmt.Sprintf("store %s, epochs 1..%d", dir, st.Epoch())
+	if epochsSel != "" {
+		lo, hi, err := cliquery.ParseEpochRange(epochsSel)
+		if err != nil {
+			return nil, "", err
+		}
+		if sketches, err = st.Range(lo, hi); err != nil {
+			return nil, "", err
+		}
+		source = fmt.Sprintf("store %s, epochs %d..%d", dir, lo, hi)
+	}
+	if verbose {
+		fmt.Fprintf(stdout, "opened %s: %d epochs (%d retained from %d), %d assignments, %v/%v/seed=%d, k=%d, %d bytes on disk\n",
+			dir, st.Epoch(), len(st.Retained()), st.CompactedThrough()+1, st.Assignments(),
+			cfg.Family, cfg.Mode, cfg.Seed, cfg.K, st.DiskBytes())
+	}
+	summary, err := coordsample.CombineDispersed(cfg, sketches)
+	if err != nil {
+		return nil, "", err
+	}
+	return summary, source, nil
+}
+
+// summarizeFiles expands the arguments (files, directories, globs) into
+// sketch files, decodes and verifies each, and combines them.
+func summarizeFiles(args []string, verbose bool, stdout io.Writer) (*coordsample.Dispersed, string, error) {
+	files, err := expandArgs(args)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(files) == 0 {
+		return nil, "", fmt.Errorf("no sketch files given (write them with cws-sketch -out, export them from cws-serve's GET /sketch, or pass -store)")
+	}
+	decoded := make([]*coordsample.DecodedSketch, len(files))
+	for i, path := range files {
+		d, err := readSketchFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		decoded[i] = d
+		if verbose {
+			fmt.Fprintf(stdout, "loaded %s: assignment %d, %v/%v/seed=%d, k=%d, %d entries, fingerprint %#016x\n",
+				path, d.Meta.Assignment, d.Meta.Family, d.Meta.Mode, d.Meta.Seed,
+				d.BottomK.K(), d.BottomK.Size(), d.Fingerprint())
+		}
+	}
+	if err := checkFingerprints(files, decoded); err != nil {
+		return nil, "", err
+	}
+	summary, err := coordsample.CombineDecoded(decoded)
+	if err != nil {
+		// The combiner's typed errors index the decoded inputs; translate
+		// the index back to the file that caused it.
+		var cm *coordsample.CoordinationMismatchError
+		if errors.As(err, &cm) && cm.Index >= 0 && cm.Index < len(files) {
+			return nil, "", fmt.Errorf("%s: %w", files[cm.Index], err)
+		}
+		return nil, "", err
+	}
+	return summary, fmt.Sprintf("%d sketch files", len(files)), nil
+}
+
+// checkFingerprints reports same-assignment fingerprint conflicts by file
+// name before the combiner's merge reports them by position: the classic
+// failure is one rogue file among dozens, and the error must say which.
+func checkFingerprints(files []string, decoded []*coordsample.DecodedSketch) error {
+	first := make(map[int]int) // assignment → index of first file holding it
+	for i, d := range decoded {
+		b := d.Meta.Assignment
+		j, ok := first[b]
+		if !ok {
+			first[b] = i
+			continue
+		}
+		if d.Fingerprint() != decoded[j].Fingerprint() {
+			return fmt.Errorf(
+				"%s: fingerprint %#016x conflicts with %s (%#016x) for assignment %d: shard sketches of one assignment must share Family, Mode, Seed, and K",
+				files[i], d.Fingerprint(), files[j], decoded[j].Fingerprint(), b)
+		}
+	}
+	return nil
+}
+
+// expandArgs resolves each argument to sketch files: a directory expands
+// to every *.cws / *.cws.json inside it (sorted); a path that does not
+// exist but contains glob metacharacters expands via filepath.Glob (an
+// existing file always wins, even when its name contains '*', '?', or
+// '['); anything else is taken as a literal file path.
+func expandArgs(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		if st, err := os.Stat(arg); err == nil {
+			if !st.IsDir() {
+				files = append(files, arg)
+				continue
+			}
+			inDir, err := sketchFilesInDir(arg)
+			if err != nil {
+				return nil, err
+			}
+			if len(inDir) == 0 {
+				return nil, fmt.Errorf("%s: directory contains no *.cws or *.cws.json sketch files", arg)
+			}
+			files = append(files, inDir...)
+			continue
+		}
+		if strings.ContainsAny(arg, "*?[") {
+			matches, err := filepath.Glob(arg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", arg, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("%s: glob matches no files", arg)
+			}
+			sort.Strings(matches)
+			files = append(files, matches...)
+			continue
+		}
+		files = append(files, arg)
+	}
+	return files, nil
+}
+
+// sketchFilesInDir lists the sketch files directly inside dir, sorted.
+func sketchFilesInDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".cws") || strings.HasSuffix(name, ".cws.json") {
+			files = append(files, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
 }
 
 func readSketchFile(path string) (*coordsample.DecodedSketch, error) {

@@ -208,3 +208,212 @@ func TestRunQueriesDecodedFiles(t *testing.T) {
 		t.Fatalf("unexpected output: %s", out)
 	}
 }
+
+// writeSketchFiles builds and encodes per-assignment sketch files for a
+// small deterministic dataset, returning the paths and the in-process
+// summary they must reproduce.
+func writeSketchFiles(t *testing.T, dir string, cfg coordsample.Config, seed int64) ([]string, *coordsample.Dispersed) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sketchers := []*coordsample.AssignmentSketcher{
+		coordsample.NewAssignmentSketcher(cfg, 0),
+		coordsample.NewAssignmentSketcher(cfg, 1),
+	}
+	for i := 0; i < 600; i++ {
+		key := fmt.Sprintf("host-%04d", i)
+		for b, sk := range sketchers {
+			sk.Offer(key, math.Exp(rng.NormFloat64())*float64(b+1))
+		}
+	}
+	sketches := []*coordsample.BottomK{sketchers[0].Sketch(), sketchers[1].Sketch()}
+	var files []string
+	for b, sk := range sketches {
+		path := filepath.Join(dir, fmt.Sprintf("site.%d.cws", b))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coordsample.EncodeSketch(f, coordsample.CodecBinary, cfg, b, sk); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		files = append(files, path)
+	}
+	summary, err := coordsample.CombineDispersed(cfg, sketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files, summary
+}
+
+// TestDirectoryAndGlobArguments: a directory argument expands to the
+// sketch files inside it, a glob expands to its matches, and both answer
+// bit-identically to listing the files explicitly.
+func TestDirectoryAndGlobArguments(t *testing.T) {
+	dir := t.TempDir()
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 5, K: 128}
+	_, summary := writeSketchFiles(t, dir, cfg, 31)
+	// A non-sketch file in the directory must be ignored by expansion.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("= %v ", summary.RangeLSet(nil).Estimate(nil))
+
+	for name, args := range map[string][]string{
+		"directory": {"-query", "L1", dir},
+		"glob":      {"-query", "L1", filepath.Join(dir, "site.*.cws")},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("%s: output %q does not contain bit-identical %q", name, buf.String(), want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{filepath.Join(dir, "none-*.cws")}, &buf); err == nil || !strings.Contains(err.Error(), "matches no files") {
+		t.Fatalf("empty glob: err = %v", err)
+	}
+	empty := t.TempDir()
+	if err := run([]string{empty}, &buf); err == nil || !strings.Contains(err.Error(), "no *.cws") {
+		t.Fatalf("empty directory: err = %v", err)
+	}
+}
+
+// TestFingerprintMismatchNamesTheFile: a rogue shard file (different K)
+// among healthy ones must be named in the error, not just indexed.
+func TestFingerprintMismatchNamesTheFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 5, K: 128}
+	files, _ := writeSketchFiles(t, dir, cfg, 31)
+
+	rogueDir := t.TempDir()
+	small := cfg
+	small.K = 64
+	rogueFiles, _ := writeSketchFiles(t, rogueDir, small, 32)
+
+	var buf bytes.Buffer
+	err := run([]string{"-query", "L1", files[0], files[1], rogueFiles[0]}, &buf)
+	if err == nil {
+		t.Fatal("mixed-K shard files accepted")
+	}
+	if !strings.Contains(err.Error(), rogueFiles[0]) {
+		t.Fatalf("error does not name the offending file %s: %v", rogueFiles[0], err)
+	}
+	if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("error does not mention the fingerprint: %v", err)
+	}
+
+	// A coordination mismatch (different seed) names its file too.
+	otherDir := t.TempDir()
+	rogueSeed := cfg
+	rogueSeed.Seed = 6
+	seedFiles, _ := writeSketchFiles(t, otherDir, rogueSeed, 33)
+	err = run([]string{"-query", "L1", files[0], seedFiles[1]}, &buf)
+	if err == nil {
+		t.Fatal("mixed-seed files accepted")
+	}
+	if !strings.Contains(err.Error(), seedFiles[1]) {
+		t.Fatalf("coordination error does not name the offending file: %v", err)
+	}
+}
+
+// TestStoreQueries: -store reads a durable epoch store directly —
+// cumulative by default, any retained window with -epochs — and answers
+// bit-identically to the summaries the store's sketches combine to.
+func TestStoreQueries(t *testing.T) {
+	dir := t.TempDir()
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 9, K: 64}
+	st, err := coordsample.OpenStore(coordsample.StoreConfig{Dir: dir, Retain: 8, Sample: cfg, Assignments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	var epochSketches [][]*coordsample.BottomK
+	key := 0
+	for e := 0; e < 3; e++ {
+		sketchers := []*coordsample.AssignmentSketcher{
+			coordsample.NewAssignmentSketcher(cfg, 0),
+			coordsample.NewAssignmentSketcher(cfg, 1),
+		}
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("key-%05d", key)
+			key++
+			for _, sk := range sketchers {
+				sk.Offer(k, math.Exp(rng.NormFloat64()))
+			}
+		}
+		set := []*coordsample.BottomK{sketchers[0].Sketch(), sketchers[1].Sketch()}
+		if _, err := st.AppendEpoch(set); err != nil {
+			t.Fatal(err)
+		}
+		epochSketches = append(epochSketches, set)
+	}
+	st.Close()
+
+	mergedWindow, err := coordsample.MergeSketches(epochSketches[1][0], epochSketches[2][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedWindow1, err := coordsample.MergeSketches(epochSketches[1][1], epochSketches[2][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowSummary, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{mergedWindow, mergedWindow1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-store", dir, "-epochs", "2..3", "-query", "L1", "-v"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("= %v ", windowSummary.RangeLSet(nil).Estimate(nil))
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("-store -epochs output %q does not contain bit-identical %q", buf.String(), want)
+	}
+	if !strings.Contains(buf.String(), "opened "+dir) {
+		t.Fatalf("-v did not describe the store: %q", buf.String())
+	}
+
+	// Error paths: compacted/evicted windows, files+store conflicts.
+	if err := run([]string{"-store", dir, "-epochs", "2..9"}, &buf); err == nil {
+		t.Fatal("out-of-range window accepted")
+	}
+	if err := run([]string{"-store", dir, "file.cws"}, &buf); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("store+files: err = %v", err)
+	}
+	if err := run([]string{"-epochs", "1..2", "x.cws"}, &buf); err == nil || !strings.Contains(err.Error(), "requires -store") {
+		t.Fatalf("epochs without store: err = %v", err)
+	}
+	if err := run([]string{"-store", t.TempDir()}, &buf); err == nil {
+		t.Fatal("empty dir accepted as store")
+	}
+}
+
+// TestLiteralFileWithGlobCharacters: an existing file whose name contains
+// glob metacharacters must be read literally, not glob-expanded away.
+func TestLiteralFileWithGlobCharacters(t *testing.T) {
+	dir := t.TempDir()
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 5, K: 64}
+	files, summary := writeSketchFiles(t, dir, cfg, 44)
+	weird := []string{
+		filepath.Join(dir, "site[A].0.cws"),
+		filepath.Join(dir, "site[A].1.cws"),
+	}
+	for i, f := range files {
+		if err := os.Rename(f, weird[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run(append([]string{"-query", "L1"}, weird...), &buf); err != nil {
+		t.Fatalf("literal file with glob chars: %v", err)
+	}
+	want := fmt.Sprintf("= %v ", summary.RangeLSet(nil).Estimate(nil))
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("output %q does not contain %q", buf.String(), want)
+	}
+}

@@ -12,30 +12,48 @@
 // same offers, and GET /sketch exports fingerprinted wire-codec files that
 // cws-merge accepts like any other site's.
 //
+// With -data-dir the server is durable: every freeze persists the epoch
+// through the epoch store before it is acknowledged, and a restart — clean
+// or SIGKILL — recovers every acknowledged epoch bit-identically. The
+// -retain most recent epochs stay individually queryable as time windows
+// (GET /query?epochs=3..7 answers any aggregate over exactly epochs 3–7);
+// older epochs are compacted into the cumulative segment so disk stays
+// bounded. On SIGINT/SIGTERM the server drains in-flight requests,
+// auto-freezes the open epoch (persisting it when durable), and exits
+// cleanly — offers acknowledged before the signal survive the restart.
+//
 // Usage:
 //
-//	cws-serve -assignments 2 -k 1024 -seed 1 -addr :7070
+//	cws-serve -assignments 2 -k 1024 -seed 1 -addr :7070 -data-dir /var/lib/cws -retain 8
 //
 //	curl -X POST localhost:7070/offer -d '{"assignment":0,"key":"a","weight":2}'
 //	curl -X POST localhost:7070/offer -d '{"offers":[{"assignment":1,"key":"a","weight":3}]}'
 //	curl -X POST localhost:7070/freeze
 //	curl 'localhost:7070/query?agg=L1'
+//	curl 'localhost:7070/query?agg=L1&epochs=3..7'     # time window
 //	curl 'localhost:7070/query?agg=sum&b=0&prefix=192.168.'
-//	curl 'localhost:7070/sketch?b=0' > site.0.cws     # feed to cws-merge
+//	curl 'localhost:7070/sketch?b=0' > site.0.cws      # feed to cws-merge
+//	curl 'localhost:7070/sketch?b=0&epochs=3..7' > win.0.cws
 //	curl localhost:7070/healthz
 //	curl localhost:7070/debug/vars
 //
 // The sampling configuration (IPPS ranks, shared-seed coordination —
 // matching cws-sketch) must agree with every other site whose sketches
-// these are to be combined with: same -seed and -k.
+// these are to be combined with: same -seed and -k. A -data-dir remembers
+// its configuration and refuses to open under a different one.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"coordsample"
@@ -48,6 +66,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "hash seed shared by all assignments (and all coordinating sites)")
 	shards := flag.Int("shards", 4, "per-assignment ingestion shards")
 	workers := flag.Int("workers", 0, "ingestion workers per assignment (0 = GOMAXPROCS)")
+	dataDir := flag.String("data-dir", "", "durable epoch store directory (empty = memory only; epochs are lost on exit)")
+	retain := flag.Int("retain", 8, "recent epochs kept individually for epoch-range queries (older ones are compacted)")
 	flag.Parse()
 
 	cfg := coordsample.ServerConfig{
@@ -55,16 +75,67 @@ func main() {
 		Assignments: *assignments,
 		Shards:      *shards,
 		Workers:     *workers,
+		Retain:      *retain,
+	}
+	var st *coordsample.EpochStore
+	if *dataDir != "" {
+		var err error
+		st, err = coordsample.OpenStore(coordsample.StoreConfig{
+			Dir: *dataDir, Retain: *retain, Sample: cfg.Sample, Assignments: *assignments,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
+			os.Exit(2)
+		}
+		defer st.Close()
+		cfg.Store = st
+		if st.Epoch() > 0 {
+			log.Printf("cws-serve: recovered %d epoch(s) from %s (%d bytes on disk)", st.Epoch(), *dataDir, st.DiskBytes())
+		}
 	}
 	srv, err := coordsample.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
 		os.Exit(2)
 	}
-	log.Printf("cws-serve: listening on %s (%d assignments, k=%d, seed=%d, %d shards/assignment)",
-		*addr, *assignments, *k, *seed, *shards)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
-	if err := httpSrv.ListenAndServe(); err != nil {
+
+	// Listen before logging so the printed address carries the real port
+	// (":0" resolves to an ephemeral one — the e2e tests depend on it).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
+		os.Exit(2)
+	}
+	durability := "memory only"
+	if st != nil {
+		durability = "durable in " + *dataDir
+	}
+	log.Printf("cws-serve: listening on %s (%d assignments, k=%d, seed=%d, %d shards/assignment, %s)",
+		ln.Addr(), *assignments, *k, *seed, *shards, durability)
+
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // restore default signal behavior: a second signal kills hard
+		log.Printf("cws-serve: signal received; draining requests")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("cws-serve: drain: %v", err)
+			httpSrv.Close()
+		}
+	}()
+
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("cws-serve: %v", err)
 	}
+	// Requests are drained: auto-freeze the open epoch (persisting it when
+	// durable) and release the ingestion workers.
+	if err := srv.Shutdown(); err != nil {
+		log.Printf("cws-serve: final freeze: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("cws-serve: shut down cleanly at epoch %d", srv.Epoch())
 }

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"coordsample"
+	"coordsample/internal/cliquery"
+)
+
+// buildBinaries compiles cws-serve and cws-merge once per test run.
+func buildBinaries(t *testing.T) (serveBin, mergeBin string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	serveBin = filepath.Join(dir, "cws-serve")
+	mergeBin = filepath.Join(dir, "cws-merge")
+	for bin, pkg := range map[string]string{serveBin: "coordsample/cmd/cws-serve", mergeBin: "coordsample/cmd/cws-merge"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return serveBin, mergeBin
+}
+
+// serveProc is one running cws-serve child process.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	logs *bytes.Buffer
+}
+
+// startServe launches cws-serve on an ephemeral port and waits until it
+// reports its listen address.
+func startServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, logs: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.logs.WriteString(line + "\n")
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr := strings.Fields(line[i+len("listening on "):])[0]
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p.base = "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatalf("cws-serve did not report a listen address; logs:\n%s", p.logs)
+	}
+	return p
+}
+
+// wait blocks until the process exits and returns whether it exited
+// cleanly (status 0).
+func (p *serveProc) wait(t *testing.T) bool {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err == nil
+	case <-time.After(20 * time.Second):
+		t.Fatalf("cws-serve did not exit; logs:\n%s", p.logs)
+		return false
+	}
+}
+
+func (p *serveProc) post(t *testing.T, path string, body any) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(p.base+path, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %v", path, resp.StatusCode, out)
+	}
+	return out
+}
+
+func (p *serveProc) query(t *testing.T, params string) float64 {
+	t.Helper()
+	resp, err := http.Get(p.base + "/query?" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /query?%s: status %d: %v", params, resp.StatusCode, out)
+	}
+	return out["estimate"].(float64)
+}
+
+// saveSketch downloads one exported sketch file.
+func (p *serveProc) saveSketch(t *testing.T, params, path string) {
+	t.Helper()
+	resp, err := http.Get(p.base + "/sketch?" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /sketch?%s: status %d: %s", params, resp.StatusCode, body)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// e2eStream is a deterministic two-assignment stream cut into epochs with
+// disjoint keys per epoch chunk.
+func e2eStream(n, epochs int, seed int64) [][]coordsample.ServerOffer {
+	rng := rand.New(rand.NewSource(seed))
+	chunks := make([][]coordsample.ServerOffer, epochs)
+	for i := 0; i < n; i++ {
+		e := i * epochs / n
+		key := fmt.Sprintf("host-%05d", i)
+		base := math.Exp(rng.NormFloat64() * 2)
+		if rng.Float64() < 0.9 {
+			chunks[e] = append(chunks[e], coordsample.ServerOffer{Assignment: 0, Key: key, Weight: base * (0.5 + rng.Float64())})
+		}
+		if rng.Float64() < 0.9 {
+			chunks[e] = append(chunks[e], coordsample.ServerOffer{Assignment: 1, Key: key, Weight: base * (0.5 + rng.Float64())})
+		}
+	}
+	return chunks
+}
+
+// offline runs the in-process dispersed pipeline over the given chunks.
+func offline(t *testing.T, cfg coordsample.Config, chunks [][]coordsample.ServerOffer) *coordsample.Dispersed {
+	t.Helper()
+	sketchers := []*coordsample.AssignmentSketcher{
+		coordsample.NewAssignmentSketcher(cfg, 0),
+		coordsample.NewAssignmentSketcher(cfg, 1),
+	}
+	for _, chunk := range chunks {
+		for _, o := range chunk {
+			sketchers[o.Assignment].Offer(o.Key, o.Weight)
+		}
+	}
+	d, err := coordsample.CombineDispersed(cfg,
+		[]*coordsample.BottomK{sketchers[0].Sketch(), sketchers[1].Sketch()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSIGKILLRecoveryBitIdentical is the restart acceptance criterion over
+// real OS processes: freeze epochs into a -data-dir, SIGKILL the server,
+// restart on the same directory, and every answer — cumulative and
+// per-epoch-window — is bit-identical to the pre-kill server and to the
+// offline pipeline; epoch-range answers additionally match cws-merge run
+// offline over the same epochs' exported per-epoch sketch files.
+func TestSIGKILLRecoveryBitIdentical(t *testing.T) {
+	serveBin, mergeBin := buildBinaries(t)
+	dataDir := t.TempDir()
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 256}
+	const epochs = 4
+	chunks := e2eStream(3000, epochs, 17)
+
+	args := []string{"-assignments", "2", "-k", "256", "-seed", "1", "-data-dir", dataDir, "-retain", "8"}
+	p1 := startServe(t, serveBin, args...)
+	for _, chunk := range chunks {
+		p1.post(t, "/offer", map[string]any{"offers": chunk})
+		p1.post(t, "/freeze", nil)
+	}
+
+	queries := []string{
+		"agg=L1", "agg=max", "agg=min", "agg=jaccard", "agg=sum&b=0", "agg=sum&b=1&prefix=host-0",
+		"agg=L1&epochs=2..4", "agg=L1&epochs=2..3", "agg=sum&b=0&epochs=3", "agg=jaccard&epochs=1..2",
+	}
+	preKill := make(map[string]float64)
+	for _, q := range queries {
+		preKill[q] = p1.query(t, q)
+	}
+	// Export the window's per-epoch sketch files for the offline cws-merge
+	// cross-check before killing the server.
+	exportDir := t.TempDir()
+	var windowFiles []string
+	for e := 2; e <= 3; e++ {
+		for b := 0; b < 2; b++ {
+			path := filepath.Join(exportDir, fmt.Sprintf("epoch%d.%d.cws", e, b))
+			p1.saveSketch(t, fmt.Sprintf("b=%d&epochs=%d", b, e), path)
+			windowFiles = append(windowFiles, path)
+		}
+	}
+
+	if err := p1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if clean := p1.wait(t); clean {
+		t.Fatal("SIGKILL produced a clean exit?")
+	}
+
+	p2 := startServe(t, serveBin, args...)
+	if !strings.Contains(p2.logs.String(), "recovered 4 epoch(s)") {
+		t.Fatalf("restart did not report recovery; logs:\n%s", p2.logs)
+	}
+	for _, q := range queries {
+		if got := p2.query(t, q); got != preKill[q] {
+			t.Errorf("/query?%s after SIGKILL restart = %v, pre-kill %v (must be bit-identical)", q, got, preKill[q])
+		}
+	}
+
+	// Offline pipeline agreement (cumulative and the 2..3 window).
+	offAll := offline(t, cfg, chunks)
+	if _, want, err := cliquery.Answer(offAll, "L1", 0, nil, 1, nil); err != nil || p2.query(t, "agg=L1") != want {
+		t.Errorf("recovered cumulative L1 != offline pipeline (%v)", err)
+	}
+	offWin := offline(t, cfg, chunks[1:3])
+	_, wantWin, err := cliquery.Answer(offWin, "L1", 0, nil, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.query(t, "agg=L1&epochs=2..3"); got != wantWin {
+		t.Errorf("recovered epochs=2..3 L1 = %v, offline = %v", got, wantWin)
+	}
+
+	// cws-merge over the exported per-epoch files: the files are disjoint
+	// shard-mergeable sketches of the same assignments, so the distributed
+	// combiner must reproduce the window answer bit-identically.
+	out, err := exec.Command(mergeBin, append([]string{"-query", "L1"}, windowFiles...)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cws-merge over exported epoch files: %v\n%s", err, out)
+	}
+	if want := fmt.Sprintf("= %v ", wantWin); !strings.Contains(string(out), want) {
+		t.Errorf("cws-merge window answer %q does not contain bit-identical %q", out, want)
+	}
+
+	// The recovered server keeps ingesting: disjoint keys, one more epoch.
+	p2.post(t, "/offer", map[string]any{"offers": []coordsample.ServerOffer{{Assignment: 0, Key: "post-restart", Weight: 1}}})
+	res := p2.post(t, "/freeze", nil)
+	if res["epoch"].(float64) != epochs+1 {
+		t.Errorf("post-recovery freeze epoch = %v, want %d", res["epoch"], epochs+1)
+	}
+}
+
+// TestGracefulShutdownAutoFreezes is the SIGTERM regression test: offers
+// ingested but never frozen must survive a graceful shutdown — the server
+// auto-freezes the open epoch, flushes it to the store, and exits 0; a
+// restart serves them.
+func TestGracefulShutdownAutoFreezes(t *testing.T) {
+	serveBin, _ := buildBinaries(t)
+	dataDir := t.TempDir()
+	args := []string{"-assignments", "1", "-k", "64", "-seed", "3", "-data-dir", dataDir, "-retain", "4"}
+
+	p1 := startServe(t, serveBin, args...)
+	p1.post(t, "/offer", map[string]any{"offers": []coordsample.ServerOffer{
+		{Assignment: 0, Key: "a", Weight: 5},
+		{Assignment: 0, Key: "b", Weight: 7},
+	}})
+	// No freeze: the data lives only in the open epoch.
+	if err := p1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if clean := p1.wait(t); !clean {
+		t.Fatalf("SIGTERM exit was not clean; logs:\n%s", p1.logs)
+	}
+	if !strings.Contains(p1.logs.String(), "shut down cleanly at epoch 1") {
+		t.Fatalf("shutdown did not freeze the open epoch; logs:\n%s", p1.logs)
+	}
+
+	p2 := startServe(t, serveBin, args...)
+	if got := p2.query(t, "agg=sum&b=0"); got != 12 {
+		t.Fatalf("restart after graceful shutdown: sum = %v, want 12 (auto-frozen offers lost)", got)
+	}
+	// The auto-frozen epoch is a normal epoch: range-queryable.
+	if got := p2.query(t, "agg=sum&b=0&epochs=1..1"); got != 12 {
+		t.Fatalf("epochs=1..1 sum = %v, want 12", got)
+	}
+}
+
+// TestServeRefusesMismatchedDataDir: restarting over a -data-dir with a
+// different seed must fail loudly instead of mixing incomparable samples.
+func TestServeRefusesMismatchedDataDir(t *testing.T) {
+	serveBin, _ := buildBinaries(t)
+	dataDir := t.TempDir()
+	p1 := startServe(t, serveBin, "-assignments", "1", "-k", "64", "-seed", "3", "-data-dir", dataDir)
+	p1.post(t, "/offer", map[string]any{"offers": []coordsample.ServerOffer{{Assignment: 0, Key: "a", Weight: 1}}})
+	p1.post(t, "/freeze", nil)
+	p1.cmd.Process.Signal(syscall.SIGTERM)
+	p1.wait(t)
+
+	cmd := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-assignments", "1", "-k", "64", "-seed", "4", "-data-dir", dataDir)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("mismatched seed over existing -data-dir accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "fingerprint") {
+		t.Fatalf("mismatch error does not explain the fingerprint conflict: %s", out)
+	}
+}

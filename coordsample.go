@@ -66,6 +66,7 @@ import (
 	"coordsample/internal/rank"
 	"coordsample/internal/server"
 	"coordsample/internal/sketch"
+	"coordsample/internal/store"
 )
 
 // Core configuration and pipeline types (see the package documentation).
@@ -351,15 +352,45 @@ type (
 	ServerConfig = server.Config
 	// ServerOffer is one weighted observation as carried by POST /offer.
 	ServerOffer = server.Offer
+	// EpochStore is the durable epoch store: it persists every frozen
+	// epoch's sketch set (atomic segment writes plus a checksummed
+	// manifest), recovers acknowledged epochs bit-identically after any
+	// crash, and retains a ring of recent epochs for epoch-range
+	// ("time-travel") queries, compacting older ones into a cumulative
+	// segment so disk stays bounded. See the internal/store package
+	// documentation for the layout and recovery invariants.
+	EpochStore = store.Store
+	// StoreConfig configures OpenStore: directory, retention ring size,
+	// and the sampling configuration the stored sketches must match.
+	StoreConfig = store.Config
+	// StoreCorruptError reports acknowledged store state that failed
+	// validation on recovery (the store refuses to open rather than serve
+	// corrupt sketches).
+	StoreCorruptError = store.CorruptError
+	// StoreMismatchError reports a store opened under a configuration that
+	// does not match its contents.
+	StoreMismatchError = store.MismatchError
 )
 
 // NewServer creates the online sketch server. After any freeze, its query
 // answers are bit-identical to running the offline dispersed pipeline over
 // every offer so far, and GET /sketch exports wire-codec files that
-// cws-merge combines like any other site's. A discarded Server must be
+// cws-merge combines like any other site's. With a StoreConfig-opened
+// EpochStore attached, freezes are durable and the server recovers every
+// acknowledged epoch on restart; GET /query?epochs=lo..hi answers any
+// aggregate over a retained window of epochs. A discarded Server must be
 // Closed to release its ingestion workers.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	return server.New(cfg)
+}
+
+// OpenStore opens (creating if absent) a durable epoch store, recovering
+// and strictly revalidating every acknowledged epoch. Attach it to a
+// server via ServerConfig.Store, or read it offline with cws-merge
+// -store. Opening with a zero Sample/Assignments is a read-only open that
+// accepts whatever configuration the store holds.
+func OpenStore(cfg StoreConfig) (*EpochStore, error) {
+	return store.Open(cfg)
 }
 
 // Aggregate-function constructors.

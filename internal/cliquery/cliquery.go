@@ -51,6 +51,25 @@ func ParseR(s string, n int) ([]int, error) {
 	return R, nil
 }
 
+// ParseEpochRange parses an epoch-range selector as accepted by the
+// server's ?epochs= query parameter and cws-merge's -epochs flag: "3..7"
+// selects epochs 3 through 7 inclusive, a bare "5" selects epoch 5 alone.
+// Epochs are 1-based (epoch n is published by the n-th freeze); whether
+// the range is still retained is the callee's check, not the parser's.
+func ParseEpochRange(s string) (lo, hi int, err error) {
+	first, second, ranged := strings.Cut(s, "..")
+	lo, err = strconv.Atoi(strings.TrimSpace(first))
+	if err == nil && ranged {
+		hi, err = strconv.Atoi(strings.TrimSpace(second))
+	} else if err == nil {
+		hi = lo
+	}
+	if err != nil || lo < 1 || hi < lo {
+		return 0, 0, fmt.Errorf("invalid epoch range %q (want \"lo..hi\" with 1 <= lo <= hi, or a single epoch)", s)
+	}
+	return lo, hi, nil
+}
+
 // SummaryBuilder supplies the AW-summary for one aggregate. key canonically
 // identifies the aggregate (query name plus its b/R/ℓ parameters — never the
 // subpopulation predicate, which is applied later); build constructs the

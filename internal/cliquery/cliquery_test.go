@@ -156,6 +156,28 @@ func TestAnswerViaKeyDistinguishesParameters(t *testing.T) {
 	}
 }
 
+func TestParseEpochRange(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		lo, hi int
+	}{
+		{"3..7", 3, 7},
+		{"5", 5, 5},
+		{"1..1", 1, 1},
+		{" 2 .. 4 ", 2, 4},
+	} {
+		lo, hi, err := ParseEpochRange(tc.in)
+		if err != nil || lo != tc.lo || hi != tc.hi {
+			t.Errorf("ParseEpochRange(%q) = %d..%d, %v; want %d..%d", tc.in, lo, hi, err, tc.lo, tc.hi)
+		}
+	}
+	for _, bad := range []string{"", "0", "7..3", "0..2", "a..b", "1..", "..4", "1..2..3", "-1"} {
+		if _, _, err := ParseEpochRange(bad); err == nil {
+			t.Errorf("ParseEpochRange(%q): expected error", bad)
+		}
+	}
+}
+
 func TestParseR(t *testing.T) {
 	if R, err := ParseR("", 3); err != nil || R != nil {
 		t.Fatalf("empty: %v %v", R, err)

@@ -41,6 +41,31 @@
 // gives the necessary happens-before edge between the freeze that built
 // the snapshot and every query that loads it.
 //
+// # Durability and time travel
+//
+// With a store attached (Config.Store, wired from cws-serve's -data-dir),
+// every freeze persists the epoch's sketch set through the durable epoch
+// store (internal/store) *before* the new snapshot is published: segment
+// write, fsync, rename, manifest append, fsync — only then is the freeze
+// acknowledged to the client. On startup the server recovers the store's
+// acknowledged epochs and serves them immediately, bit-identically to the
+// pre-crash process: same cumulative sketches, same retained epochs, same
+// query answers. A freeze whose persist fails returns 500 and leaves the
+// serving snapshot unchanged, exactly like a contract violation.
+//
+// Alongside the cumulative sketches, a ring of the most recent epochs is
+// retained individually (the store's retention ring when durable, an
+// in-memory ring otherwise). GET /query?epochs=3..7 answers any aggregate
+// over exactly that time window: the retained epoch sketches — disjoint
+// key sets by the pre-aggregation contract — merge on demand into the
+// exact sketch of the window (the same merge lemma that makes sharding
+// exact, applied to time), and per-range summaries and AW-summaries are
+// memoized on the snapshot. This is the paper's "snapshots of an evolving
+// database at multiple points in time" made queryable: each epoch is a
+// point-in-time snapshot, and any window of them is summarized without
+// touching the data again. GET /sketch?epochs=... exports the merged
+// window sketch as a wire-codec file cws-merge accepts.
+//
 // # Ingest fast path
 //
 // The epoch sketchers sit behind a shard.MultiSketcher, so every offer is
@@ -58,10 +83,12 @@
 //
 //	POST /offer        ingest one offer or a batch (JSON)
 //	POST /ingest       ingest a stream of offers (NDJSON or binary)
-//	POST /freeze       advance the epoch: freeze, merge, swap
+//	POST /freeze       advance the epoch: freeze, persist, merge, swap
 //	GET  /query        answer an aggregate from the frozen snapshot
+//	                   (?epochs=lo..hi restricts to a retained time window)
 //	GET  /sketch       export a frozen sketch in the wire codec
-//	GET  /healthz      liveness + epoch
+//	                   (?epochs=lo..hi exports the merged window sketch)
+//	GET  /healthz      liveness + epoch + retained window
 //	GET  /debug/vars   expvar-style counters (offers, queries, epoch, ...)
 //
 // Query dispatch goes through internal/cliquery, the same path cws-sketch
@@ -97,6 +124,7 @@ import (
 	"coordsample/internal/rank"
 	"coordsample/internal/shard"
 	"coordsample/internal/sketch"
+	"coordsample/internal/store"
 )
 
 // Config configures the serving layer.
@@ -114,6 +142,15 @@ type Config struct {
 	// Workers is the per-assignment ingestion worker count; ≤ 0 selects
 	// GOMAXPROCS (capped at Shards by the sharded sketcher).
 	Workers int
+	// Store, when non-nil, makes the server durable: every freeze persists
+	// the epoch through it before being acknowledged, and New recovers the
+	// store's epochs on startup. The store must be writable and opened
+	// under the same Sample configuration and assignment count.
+	Store *store.Store
+	// Retain is the ring of most recent epochs kept individually for
+	// epoch-range queries when no store is attached (with a store, the
+	// store's own retention governs and this field is ignored).
+	Retain int
 }
 
 // check validates user-supplied configuration without panicking.
@@ -130,45 +167,148 @@ func (c Config) check() error {
 	if c.Shards < 1 {
 		return fmt.Errorf("server: invalid shard count %d", c.Shards)
 	}
+	if c.Retain < 0 {
+		return fmt.Errorf("server: negative retain %d", c.Retain)
+	}
+	if c.Store != nil {
+		if !c.Store.Writable() {
+			return fmt.Errorf("server: store was opened read-only; open it with the server's sampling configuration")
+		}
+		if got := c.Store.Assignments(); got != c.Assignments {
+			return fmt.Errorf("server: store holds %d assignments, server configured for %d", got, c.Assignments)
+		}
+		if sc, ok := c.Store.SampleConfig(); !ok || sc != c.Sample {
+			return fmt.Errorf("server: store sampling configuration %+v does not match the server's %+v", sc, c.Sample)
+		}
+	}
 	return nil
 }
 
-// snapshot is one immutable serving state: everything a query touches.
-// It is swapped in whole by freeze and only ever read afterwards, except
-// for the AW-summary memo, which is internally synchronized and
-// value-deterministic (racing builds produce identical summaries).
-type snapshot struct {
-	epoch    int
-	summary  *estimate.Dispersed
-	sketches []*sketch.BottomK
-
+// awMemo is a synchronized, value-deterministic AW-summary memo: racing
+// builds of the same aggregate produce identical summaries (deterministic
+// estimators), so storing whichever finishes first is correct. The build
+// runs outside the lock so a slow build never blocks other aggregates.
+type awMemo struct {
 	mu    sync.Mutex
 	cache map[string]estimate.AWSummary
 }
 
-// summaryFor is the snapshot-scoped cliquery.SummaryBuilder: the first
-// query needing an aggregate builds its AW-summary (the expensive phase —
-// an estimator pass over the union of the sketches), every later query
-// reuses it. The build runs outside the lock so a slow build never blocks
-// queries for other aggregates; two racing builds of the same aggregate
-// produce identical summaries (deterministic estimators), so storing
-// either is correct.
-func (s *snapshot) summaryFor(key string, build func() estimate.AWSummary) estimate.AWSummary {
-	s.mu.Lock()
-	aw, ok := s.cache[key]
-	s.mu.Unlock()
+// summaryFor is the memo as a cliquery.SummaryBuilder: the first query
+// needing an aggregate builds its AW-summary (the expensive phase — an
+// estimator pass over the union of the sketches), every later query
+// reuses it.
+func (m *awMemo) summaryFor(key string, build func() estimate.AWSummary) estimate.AWSummary {
+	m.mu.Lock()
+	aw, ok := m.cache[key]
+	m.mu.Unlock()
 	if ok {
 		return aw
 	}
 	aw = build()
-	s.mu.Lock()
-	if prior, ok := s.cache[key]; ok {
+	m.mu.Lock()
+	if prior, ok := m.cache[key]; ok {
 		aw = prior
 	} else {
-		s.cache[key] = aw
+		m.cache[key] = aw
 	}
-	s.mu.Unlock()
+	m.mu.Unlock()
 	return aw
+}
+
+// epochSet is one retained epoch: its number and its frozen per-assignment
+// sketches.
+type epochSet struct {
+	epoch    int
+	sketches []*sketch.BottomK
+}
+
+// rangeState is the lazily built, memoized serving state of one epoch
+// window lo..hi: the merged per-assignment sketches of the window's
+// epochs, their dispersed summary, and the window's own AW-summary memo.
+type rangeState struct {
+	sketches []*sketch.BottomK
+	summary  *estimate.Dispersed
+	awMemo
+}
+
+// snapshot is one immutable serving state: everything a query touches.
+// It is swapped in whole by freeze and only ever read afterwards, except
+// for the internally synchronized memos (the cumulative AW-summary memo
+// and the per-range states), which are value-deterministic.
+type snapshot struct {
+	epoch    int
+	summary  *estimate.Dispersed
+	sketches []*sketch.BottomK
+	retained []epochSet // ascending epoch; the queryable time windows
+	awMemo
+
+	rangeMu sync.Mutex
+	ranges  map[string]*rangeState
+}
+
+// rangeFor returns the (memoized) serving state of the epoch window
+// lo..hi, building it on first use: the window's epoch sketches —
+// disjoint key sets under the pre-aggregation contract — merge into the
+// exact sketch of the window, by the same merge lemma that makes sharded
+// ingestion exact. sample is the server's sampling configuration (needed
+// to assemble the dispersed summary). Like summaryFor, racing builds of
+// the same window produce identical states, so either may be cached.
+func (s *snapshot) rangeFor(sample core.Config, lo, hi int) (*rangeState, error) {
+	if err := s.checkRange(lo, hi); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%d..%d", lo, hi)
+	s.rangeMu.Lock()
+	rs, ok := s.ranges[key]
+	s.rangeMu.Unlock()
+	if ok {
+		return rs, nil
+	}
+	parts := make([][]*sketch.BottomK, len(s.sketches))
+	for _, set := range s.retained {
+		if set.epoch < lo || set.epoch > hi {
+			continue
+		}
+		for b, sk := range set.sketches {
+			parts[b] = append(parts[b], sk)
+		}
+	}
+	merged := make([]*sketch.BottomK, len(parts))
+	for b, ps := range parts {
+		m, err := sketch.Merge(ps...)
+		if err != nil {
+			return nil, err // impossible: all epochs carry this server's fingerprint
+		}
+		merged[b] = m
+	}
+	summary, err := core.CombineDispersed(sample, merged)
+	if err != nil {
+		return nil, err
+	}
+	rs = &rangeState{sketches: merged, summary: summary}
+	rs.cache = make(map[string]estimate.AWSummary)
+	s.rangeMu.Lock()
+	if prior, ok := s.ranges[key]; ok {
+		rs = prior
+	} else {
+		s.ranges[key] = rs
+	}
+	s.rangeMu.Unlock()
+	return rs, nil
+}
+
+// checkRange validates an epoch window against what this snapshot retains.
+func (s *snapshot) checkRange(lo, hi int) error {
+	if hi > s.epoch {
+		return fmt.Errorf("epoch range %d..%d exceeds the current epoch %d", lo, hi, s.epoch)
+	}
+	if len(s.retained) == 0 {
+		return fmt.Errorf("no epochs are retained (configure -retain, or freeze first)")
+	}
+	if first := s.retained[0].epoch; lo < first {
+		return fmt.Errorf("epochs %d..%d are no longer retained (retained window is %d..%d); raise -retain to keep more history", lo, min(hi, first-1), first, s.epoch)
+	}
+	return nil
 }
 
 // Server is the resident sketch service. Create it with New; it implements
@@ -178,11 +318,16 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu     sync.Mutex           // guards ingest, cum, epoch, closed
-	ingest *shard.MultiSketcher // current epoch's sketchers behind the hash-once front-end
-	cum    []*sketch.BottomK    // exact merged sketches of all frozen epochs
-	epoch  int                  // number of successful freezes
-	closed bool                 // Close was called; ingestion is shut down
+	mu       sync.Mutex           // guards ingest, cum, epoch, retained, dirty, closed
+	ingest   *shard.MultiSketcher // current epoch's sketchers behind the hash-once front-end
+	cum      []*sketch.BottomK    // exact merged sketches of all frozen epochs
+	epoch    int                  // number of successful freezes (includes recovered epochs)
+	retained []epochSet           // ring of the most recent frozen epochs, ascending
+	retain   int                  // ring capacity (store's when durable, cfg.Retain otherwise)
+	dirty    bool                 // offers accepted since the last freeze
+	closed   bool                 // Close was called; ingestion is shut down
+
+	store *store.Store // nil = memory-only
 
 	snap atomic.Pointer[snapshot]
 
@@ -195,32 +340,51 @@ type Server struct {
 	// process-global expvar registry (which panics on duplicate names and
 	// would forbid two servers in one process — tests, embedded use). The
 	// /debug/vars handler serves them in the standard expvar format.
-	offers        expvar.Int
-	offerBatches  expvar.Int
-	ingestStreams expvar.Int
-	queries       expvar.Int
-	freezes       expvar.Int
-	freezeErrors  expvar.Int
-	sketchExports expvar.Int
+	offers           expvar.Int
+	offerBatches     expvar.Int
+	ingestStreams    expvar.Int
+	queries          expvar.Int
+	rangeQueries     expvar.Int
+	freezes          expvar.Int
+	freezeErrors     expvar.Int
+	sketchExports    expvar.Int
+	persists         expvar.Int
+	persistErrors    expvar.Int
+	compactionErrors expvar.Int
+	recoveredEpochs  expvar.Int
 }
 
-// New creates a Server with an empty epoch 0 snapshot: queries are
-// answerable immediately (estimating zero for every aggregate) and the
-// first freeze publishes whatever has been offered since.
+// New creates a Server. Without a store (or with an empty one) it starts
+// at an empty epoch 0 snapshot: queries are answerable immediately
+// (estimating zero for every aggregate) and the first freeze publishes
+// whatever has been offered since. With a non-empty store, New recovers
+// every acknowledged epoch and serves it from the first snapshot —
+// bit-identically to the pre-restart process.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.check(); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, start: time.Now()}
-	s.cum = make([]*sketch.BottomK, cfg.Assignments)
-	assigner := cfg.Sample.Assigner()
-	for b := range s.cum {
-		// The empty frozen sketch of each assignment, fingerprinted so the
-		// first epoch merge (and any epoch-0 /sketch export) verifies.
-		s.cum[b] = sketch.NewBottomKBuilderWithFingerprint(cfg.Sample.K, assigner.Fingerprint(b, cfg.Sample.K)).Sketch()
+	s := &Server{cfg: cfg, start: time.Now(), store: cfg.Store, retain: cfg.Retain}
+	if s.store != nil {
+		s.retain = s.store.Retain()
+		s.epoch = s.store.Epoch()
+		s.cum = s.store.Cumulative()
+		for _, rec := range s.store.Retained() {
+			s.retained = append(s.retained, epochSet{epoch: rec.Epoch, sketches: rec.Sketches})
+		}
+		s.recoveredEpochs.Set(int64(s.epoch))
+	}
+	if s.cum == nil {
+		s.cum = make([]*sketch.BottomK, cfg.Assignments)
+		assigner := cfg.Sample.Assigner()
+		for b := range s.cum {
+			// The empty frozen sketch of each assignment, fingerprinted so the
+			// first epoch merge (and any epoch-0 /sketch export) verifies.
+			s.cum[b] = sketch.NewBottomKBuilderWithFingerprint(cfg.Sample.K, assigner.Fingerprint(b, cfg.Sample.K)).Sketch()
+		}
 	}
 	s.ingest = newEpochSketchers(cfg)
-	s.snap.Store(s.newSnapshot(0, s.cum))
+	s.snap.Store(s.newSnapshot(s.epoch, s.cum, s.retained))
 	s.obsBufs.New = func() any {
 		per := make([][]shard.Observation, cfg.Assignments)
 		return &per
@@ -244,20 +408,23 @@ func newEpochSketchers(cfg Config) *shard.MultiSketcher {
 }
 
 // newSnapshot builds the immutable serving state for the given cumulative
-// sketches. The combine is fingerprint-verified; the sketches were built by
-// this server under its own configuration, so a failure is a programming
-// error.
-func (s *Server) newSnapshot(epoch int, cum []*sketch.BottomK) *snapshot {
+// sketches and retained-epoch ring. The combine is fingerprint-verified;
+// the sketches were built by this server under its own configuration, so a
+// failure is a programming error.
+func (s *Server) newSnapshot(epoch int, cum []*sketch.BottomK, retained []epochSet) *snapshot {
 	summary, err := core.CombineDispersed(s.cfg.Sample, cum)
 	if err != nil {
 		panic(fmt.Sprintf("server: %v", err))
 	}
-	return &snapshot{
+	snap := &snapshot{
 		epoch:    epoch,
 		summary:  summary,
 		sketches: cum,
-		cache:    make(map[string]estimate.AWSummary),
+		retained: retained,
+		ranges:   make(map[string]*rangeState),
 	}
+	snap.cache = make(map[string]estimate.AWSummary)
+	return snap
 }
 
 // ServeHTTP dispatches to the server's endpoints.
@@ -292,6 +459,25 @@ func (s *Server) Close() {
 			sk.Sketch()
 		}()
 	}
+}
+
+// Shutdown is the graceful counterpart of Close: if any offers arrived
+// since the last freeze, the open epoch is frozen first — persisted when a
+// store is attached — so acknowledged ingestion survives a planned
+// restart; then the ingest pipeline is shut down. The caller must have
+// stopped delivering requests (http.Server.Shutdown) first: offers racing
+// Shutdown may land after the final freeze and be discarded. Returns the
+// final freeze's error, if any (the shutdown itself proceeds regardless).
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	dirty := s.dirty && !s.closed
+	s.mu.Unlock()
+	var err error
+	if dirty {
+		_, err = s.freeze()
+	}
+	s.Close()
+	return err
 }
 
 // --- ingestion ---
@@ -379,6 +565,9 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 			s.ingest.OfferBatch(b, obs)
 		}
 	}
+	if accepted > 0 {
+		s.dirty = true
+	}
 	epoch := s.epoch
 	s.mu.Unlock()
 	s.offers.Add(int64(accepted))
@@ -463,6 +652,7 @@ func (st *ingestState) flush() error {
 			s.ingest.OfferBatch(b, obs)
 		}
 	}
+	s.dirty = true
 	st.epoch = s.epoch
 	s.mu.Unlock()
 	s.offers.Add(int64(st.buffered))
@@ -644,6 +834,15 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+	var pe *persistError
+	if errors.As(err, &pe) {
+		s.freezeErrors.Add(1)
+		// The epoch could not be made durable; nothing was acknowledged and
+		// the serving snapshot is unchanged. 500: the data was fine, the
+		// disk was not.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	if err != nil {
 		s.freezeErrors.Add(1)
 		// The pre-aggregation contract was violated by the ingested data;
@@ -659,12 +858,24 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"epoch": snap.epoch, "assignments": s.cfg.Assignments, "entries": entries})
 }
 
+// persistError wraps a store failure during freeze: the epoch was never
+// acknowledged. handleFreeze maps it to 500 (the data was valid; the disk
+// failed) instead of the contract-violation 409.
+type persistError struct{ err error }
+
+func (e *persistError) Error() string {
+	return fmt.Sprintf("persisting epoch: %v (the freeze was not acknowledged; the epoch's data is discarded and the serving snapshot is unchanged)", e.err)
+}
+func (e *persistError) Unwrap() error { return e.err }
+
 // freeze advances the epoch: terminally freeze the current sketchers,
-// merge each assignment's epoch sketch into the cumulative sketch (exact,
-// by the merge lemma — epochs are disjoint key sets under the
-// pre-aggregation contract), publish the new snapshot, and arm fresh
-// sketchers. On error (a duplicate key surviving the merge, i.e. a
-// contract violation in the ingested data) the serving snapshot and the
+// persist the epoch's sketch set through the store (when durable — the
+// acknowledgement point), merge each assignment's epoch sketch into the
+// cumulative sketch (exact, by the merge lemma — epochs are disjoint key
+// sets under the pre-aggregation contract), publish the new snapshot with
+// the refreshed retention ring, and arm fresh sketchers. On error (a
+// duplicate key surviving the merge — a contract violation in the
+// ingested data — or a persist failure) the serving snapshot and the
 // cumulative sketches are left unchanged, the poisoned epoch's data is
 // discarded, and ingestion continues in a fresh epoch.
 func (s *Server) freeze() (*snapshot, error) {
@@ -673,15 +884,41 @@ func (s *Server) freeze() (*snapshot, error) {
 	if s.closed {
 		return nil, errClosed
 	}
-	merged, err := freezeAndMerge(s.ingest, s.cum)
+	epochSketches, merged, err := freezeAndMerge(s.ingest, s.cum)
 	// The old sketchers are terminally frozen either way; always re-arm.
+	// The old epoch's offers are consumed on success and discarded on
+	// every failure path below, so the fresh epoch starts clean either
+	// way — a failed freeze must not leave dirty set, or Shutdown would
+	// later mint (and persist) a phantom empty epoch.
 	s.ingest = newEpochSketchers(s.cfg)
+	s.dirty = false
 	if err != nil {
 		return nil, err
 	}
+	if s.store != nil {
+		if _, perr := s.store.AppendEpoch(epochSketches); perr != nil {
+			var ce *store.CompactionError
+			if errors.As(perr, &ce) {
+				// The epoch itself is acknowledged; only the disk-bounding
+				// compaction failed (it retries on the next append).
+				s.compactionErrors.Add(1)
+			} else {
+				s.persistErrors.Add(1)
+				return nil, &persistError{err: perr}
+			}
+		}
+		s.persists.Add(1)
+	}
 	s.epoch++
 	s.cum = merged
-	snap := s.newSnapshot(s.epoch, merged)
+	// A fresh ring slice every freeze: published snapshots hold the old one.
+	retained := make([]epochSet, 0, len(s.retained)+1)
+	retained = append(append(retained, s.retained...), epochSet{epoch: s.epoch, sketches: epochSketches})
+	if len(retained) > s.retain {
+		retained = retained[len(retained)-s.retain:]
+	}
+	s.retained = retained
+	snap := s.newSnapshot(s.epoch, merged, retained)
 	s.snap.Store(snap)
 	return snap, nil
 }
@@ -689,44 +926,47 @@ func (s *Server) freeze() (*snapshot, error) {
 // freezeAndMerge freezes every epoch sketcher and merges into the
 // cumulative sketches, converting the duplicate-key freeze panic (the
 // library's detection of pre-aggregation violations) into an error a
-// server can survive. Every sketcher is frozen even when one fails:
-// Sketch() is what shuts a sketcher's worker goroutines down, so
-// abandoning the rest on the first failure would leak their workers on
-// every failed freeze — unbounded growth in a server designed to ride
-// failed freezes out indefinitely.
-func freezeAndMerge(ingest *shard.MultiSketcher, cum []*sketch.BottomK) ([]*sketch.BottomK, error) {
+// server can survive. It returns both the frozen epoch sketches (what the
+// store persists and the retention ring serves) and the merged cumulative
+// sketches. Every sketcher is frozen even when one fails: Sketch() is
+// what shuts a sketcher's worker goroutines down, so abandoning the rest
+// on the first failure would leak their workers on every failed freeze —
+// unbounded growth in a server designed to ride failed freezes out
+// indefinitely.
+func freezeAndMerge(ingest *shard.MultiSketcher, cum []*sketch.BottomK) ([]*sketch.BottomK, []*sketch.BottomK, error) {
 	sketchers := ingest.Sketchers()
+	epochs := make([]*sketch.BottomK, len(sketchers))
 	out := make([]*sketch.BottomK, len(sketchers))
 	var firstErr error
 	for b, sk := range sketchers {
-		merged, err := freezeOne(sk, cum[b])
+		epochSketch, merged, err := freezeOne(sk, cum[b])
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
-		out[b] = merged
+		epochs[b], out[b] = epochSketch, merged
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
-	return out, nil
+	return epochs, out, nil
 }
 
 // freezeOne terminally freezes one assignment's epoch sketcher and merges
 // it into that assignment's cumulative sketch, recovering the panic the
 // sketch layer raises when a key was offered more than once (within the
 // epoch, in sk.Sketch(); across epochs, in the Merge freeze).
-func freezeOne(sk *shard.Sketcher, cum *sketch.BottomK) (out *sketch.BottomK, err error) {
+func freezeOne(sk *shard.Sketcher, cum *sketch.BottomK) (epochSketch, out *sketch.BottomK, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("freezing epoch: %v (each key may be offered at most once per assignment across the server's lifetime; the epoch's data is discarded and the serving snapshot is unchanged)", r)
 		}
 	}()
-	epochSketch := sk.Sketch()
+	epochSketch = sk.Sketch()
 	merged, mergeErr := sketch.Merge(cum, epochSketch)
 	if mergeErr != nil {
-		return nil, mergeErr // impossible: both sides carry this server's fingerprint
+		return nil, nil, mergeErr // impossible: both sides carry this server's fingerprint
 	}
-	return merged, nil
+	return epochSketch, merged, nil
 }
 
 // --- queries ---
@@ -762,7 +1002,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if prefix := q.Get("prefix"); prefix != "" {
 		pred = func(key string) bool { return strings.HasPrefix(key, prefix) }
 	}
-	label, v, err := cliquery.AnswerVia(snap.summary, agg, b, R, l, pred, snap.summaryFor)
+	// Default: the cumulative snapshot (all epochs). ?epochs=lo..hi
+	// answers over exactly that retained time window instead.
+	summary, via := snap.summary, cliquery.SummaryBuilder(snap.summaryFor)
+	resp := map[string]any{"agg": agg, "epoch": snap.epoch}
+	if eq := q.Get("epochs"); eq != "" {
+		lo, hi, err := cliquery.ParseEpochRange(eq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad epochs parameter: %v", err)
+			return
+		}
+		rs, err := snap.rangeFor(s.cfg.Sample, lo, hi)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		summary, via = rs.summary, rs.summaryFor
+		resp["epochs"] = fmt.Sprintf("%d..%d", lo, hi)
+		s.rangeQueries.Add(1)
+	}
+	label, v, err := cliquery.AnswerVia(summary, agg, b, R, l, pred, via)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -771,7 +1030,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// The estimate travels as a JSON number; encoding/json emits the
 	// shortest representation that parses back to the identical float64,
 	// so the bit-identity guarantee survives the HTTP boundary.
-	writeJSON(w, http.StatusOK, map[string]any{"agg": agg, "label": label, "estimate": v, "epoch": snap.epoch})
+	resp["label"], resp["estimate"] = label, v
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- sketch export ---
@@ -799,16 +1059,34 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	snap := s.snap.Load()
+	// Default: the cumulative sketch. ?epochs=lo..hi exports the merged
+	// sketch of that retained time window instead — a wire-codec file
+	// cws-merge combines like any site's.
+	exported := snap.sketches[b]
+	name := fmt.Sprintf("epoch-%d.%d.cws", snap.epoch, b)
+	if eq := q.Get("epochs"); eq != "" {
+		lo, hi, err := cliquery.ParseEpochRange(eq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad epochs parameter: %v", err)
+			return
+		}
+		rs, err := snap.rangeFor(s.cfg.Sample, lo, hi)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		exported = rs.sketches[b]
+		name = fmt.Sprintf("epochs-%d-%d.%d.cws", lo, hi, b)
+	}
 	meta := sketch.WireMeta{Family: s.cfg.Sample.Family, Mode: s.cfg.Sample.Mode, Seed: s.cfg.Sample.Seed, Assignment: b}
 	// Encode into memory first (sketches are bounded at k entries) so an
 	// encoding failure yields a clean 500 instead of a 200 with a
 	// truncated payload the client would save as a corrupt sketch file.
 	var buf bytes.Buffer
-	if err := sketch.EncodeBottomK(&buf, codec, meta, snap.sketches[b]); err != nil {
+	if err := sketch.EncodeBottomK(&buf, codec, meta, exported); err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding sketch: %v", err)
 		return
 	}
-	name := fmt.Sprintf("epoch-%d.%d.cws", snap.epoch, b)
 	if codec == sketch.CodecJSON {
 		w.Header().Set("Content-Type", "application/json")
 		name += ".json"
@@ -825,13 +1103,18 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":      "ok",
 		"epoch":       snap.epoch,
 		"assignments": s.cfg.Assignments,
 		"k":           s.cfg.Sample.K,
+		"durable":     s.store != nil,
 		"uptime_sec":  time.Since(s.start).Seconds(),
-	})
+	}
+	if len(snap.retained) > 0 {
+		resp["retained_epochs"] = fmt.Sprintf("%d..%d", snap.retained[0].epoch, snap.retained[len(snap.retained)-1].epoch)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleVars serves the counters in the standard expvar JSON shape. The
@@ -854,9 +1137,18 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "%q: %s,\n", "cws.offer_batches", s.offerBatches.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.ingest_streams", s.ingestStreams.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.queries", s.queries.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.range_queries", s.rangeQueries.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.freezes", s.freezes.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.freeze_errors", s.freezeErrors.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.sketch_exports", s.sketchExports.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.store_persists", s.persists.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.store_persist_errors", s.persistErrors.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.store_compaction_errors", s.compactionErrors.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.store_recovered_epochs", s.recoveredEpochs.String())
+	if s.store != nil {
+		fmt.Fprintf(w, "%q: %d,\n", "cws.store_bytes", s.store.DiskBytes())
+	}
+	fmt.Fprintf(w, "%q: %d,\n", "cws.retained_epochs", len(snap.retained))
 	fmt.Fprintf(w, "%q: %d,\n", "cws.epoch", snap.epoch)
 	fmt.Fprintf(w, "%q: %d,\n", "cws.serving_entries", servingEntries)
 	fmt.Fprintf(w, "%q: %g,\n", "cws.offers_per_sec", offersPerSec)

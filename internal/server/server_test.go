@@ -21,6 +21,7 @@ import (
 	"coordsample/internal/estimate"
 	"coordsample/internal/rank"
 	"coordsample/internal/sketch"
+	"coordsample/internal/store"
 )
 
 // testStream is a deterministic two-assignment weighted stream with key
@@ -750,5 +751,382 @@ func TestStreamingIngestEdgeCases(t *testing.T) {
 		[]byte(`{"assignment":0,"key":"`+big+`","weight":1}`+"\n"))
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("oversized NDJSON key: status %d: %v", resp.StatusCode, out)
+	}
+}
+
+// chunkEpochs cuts a stream into n contiguous chunks — the per-epoch
+// ingest batches of the time-travel tests.
+func chunkEpochs(offers []Offer, n int) [][]Offer {
+	chunks := make([][]Offer, n)
+	for i := range chunks {
+		chunks[i] = offers[i*len(offers)/n : (i+1)*len(offers)/n]
+	}
+	return chunks
+}
+
+// queryHTTPWithStatus is queryHTTP without the success requirement.
+func queryHTTPStatus(t *testing.T, base, params string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(base + "/query?" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, decodeJSONBody(t, resp.Body)
+}
+
+// TestEpochRangeQueriesBitIdentical: ?epochs=lo..hi answers every
+// aggregate over exactly that time window, bit-identically to the offline
+// pipeline run over only those epochs' offers — including after ring
+// eviction, where out-of-window queries fail loudly.
+func TestEpochRangeQueriesBitIdentical(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 13, K: 64},
+		Assignments: 2,
+		Shards:      4,
+		Workers:     2,
+		Retain:      8,
+	}
+	const epochs = 4
+	chunks := chunkEpochs(testStream(2400, 29), epochs)
+
+	_, ts := newTestServer(t, cfg)
+	for _, chunk := range chunks {
+		postJSON(t, ts.URL+"/offer", map[string]any{"offers": chunk})
+		postJSON(t, ts.URL+"/freeze", nil)
+	}
+
+	for lo := 1; lo <= epochs; lo++ {
+		for hi := lo; hi <= epochs; hi++ {
+			var window []Offer
+			for e := lo; e <= hi; e++ {
+				window = append(window, chunks[e-1]...)
+			}
+			offline := offlineSummary(t, cfg.Sample, window, cfg.Assignments)
+			for _, check := range []struct {
+				params string
+				q      string
+			}{
+				{"agg=L1", "L1"}, {"agg=max", "max"}, {"agg=sum&b=0", "sum"}, {"agg=jaccard", "jaccard"},
+			} {
+				_, want, err := cliquery.Answer(offline, check.q, 0, nil, 1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				params := fmt.Sprintf("%s&epochs=%d..%d", check.params, lo, hi)
+				if got := queryHTTP(t, ts.URL, params); got != want {
+					t.Errorf("/query?%s = %v, offline over epochs %d..%d = %v (must be bit-identical)", params, got, lo, hi, want)
+				}
+				// Memoized second answer must not move.
+				if again := queryHTTP(t, ts.URL, params); again != queryHTTP(t, ts.URL, params) {
+					t.Errorf("/query?%s: memoized answer moved", params)
+				}
+			}
+			// The exported window sketch decodes to the offline epochs' merge.
+			for b := 0; b < cfg.Assignments; b++ {
+				resp, err := http.Get(fmt.Sprintf("%s/sketch?b=%d&epochs=%d..%d", ts.URL, b, lo, hi))
+				if err != nil {
+					t.Fatal(err)
+				}
+				decoded, err := sketch.Decode(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatalf("decoding /sketch?b=%d&epochs=%d..%d: %v", b, lo, hi, err)
+				}
+				want := offline.Sketch(b).(*sketch.BottomK)
+				if decoded.BottomK == nil || decoded.BottomK.KthRank() != want.KthRank() ||
+					decoded.BottomK.Threshold() != want.Threshold() || decoded.BottomK.Size() != want.Size() {
+					t.Fatalf("/sketch?b=%d&epochs=%d..%d does not match the offline window sketch", b, lo, hi)
+				}
+			}
+		}
+	}
+
+	// The full window equals the cumulative answer.
+	if full, cum := queryHTTP(t, ts.URL, fmt.Sprintf("agg=L1&epochs=1..%d", epochs)), queryHTTP(t, ts.URL, "agg=L1"); full != cum {
+		t.Errorf("epochs=1..%d L1 %v != cumulative L1 %v", epochs, full, cum)
+	}
+
+	// Out-of-window and malformed ranges fail loudly.
+	for name, params := range map[string]string{
+		"beyond current": fmt.Sprintf("agg=L1&epochs=2..%d", epochs+1),
+		"malformed":      "agg=L1&epochs=7..3",
+		"zero epoch":     "agg=L1&epochs=0..2",
+	} {
+		if code, body := queryHTTPStatus(t, ts.URL, params); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%v), want 400", name, code, body)
+		}
+	}
+}
+
+// TestEpochRangeEviction: a memory-only ring evicts old epochs; evicted
+// windows are refused with an explanation, retained ones keep answering.
+func TestEpochRangeEviction(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 3, K: 16},
+		Assignments: 1,
+		Shards:      1,
+		Retain:      2,
+	}
+	_, ts := newTestServer(t, cfg)
+	for i := 0; i < 4; i++ {
+		postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: fmt.Sprintf("k%d", i), Weight: float64(i + 1)})
+		postJSON(t, ts.URL+"/freeze", nil)
+	}
+	// Epochs 3..4 retained; k >= |I| makes estimates exact.
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0&epochs=3..4"); got != 3+4 {
+		t.Fatalf("epochs=3..4 sum = %v, want 7", got)
+	}
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0&epochs=4"); got != 4 {
+		t.Fatalf("epochs=4 sum = %v, want 4", got)
+	}
+	code, body := queryHTTPStatus(t, ts.URL, "agg=sum&b=0&epochs=2..3")
+	if code != http.StatusBadRequest {
+		t.Fatalf("evicted window: status %d, want 400", code)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "retained window is 3..4") {
+		t.Fatalf("evicted-window error does not name the retained window: %v", body)
+	}
+	// Retain=0 (the default) refuses range queries outright.
+	cfg.Retain = 0
+	_, ts0 := newTestServer(t, cfg)
+	postJSON(t, ts0.URL+"/offer", Offer{Assignment: 0, Key: "a", Weight: 1})
+	postJSON(t, ts0.URL+"/freeze", nil)
+	if code, _ := queryHTTPStatus(t, ts0.URL, "agg=sum&b=0&epochs=1"); code != http.StatusBadRequest {
+		t.Fatalf("retain=0 range query: status %d, want 400", code)
+	}
+}
+
+// openTestStore opens a writable store for the server configuration.
+func openTestStore(t *testing.T, dir string, cfg Config, retain int) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: dir, Retain: retain, Sample: cfg.Sample, Assignments: cfg.Assignments})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestStoreBackedRecoveryBitIdentical is the in-process half of the
+// restart acceptance criterion (the cmd/cws-serve e2e covers the real
+// SIGKILL): freeze epochs through a durable server, abandon it without any
+// shutdown, recover from the same directory, and every answer — cumulative,
+// per-window, and exported sketches — is bit-identical to both the
+// pre-crash server and the offline pipeline. Runs under -race in CI.
+func TestStoreBackedRecoveryBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 41, K: 64},
+		Assignments: 2,
+		Shards:      4,
+		Workers:     2,
+	}
+	const epochs = 4
+	chunks := chunkEpochs(testStream(2000, 37), epochs)
+
+	queries := []string{
+		"agg=L1", "agg=max", "agg=min", "agg=jaccard", "agg=sum&b=1",
+		"agg=L1&epochs=2..4", "agg=sum&b=0&epochs=3", "agg=jaccard&epochs=1..2",
+	}
+
+	cfg.Store = openTestStore(t, dir, cfg, 8)
+	s1, ts1 := newTestServer(t, cfg)
+	for _, chunk := range chunks {
+		postJSON(t, ts1.URL+"/offer", map[string]any{"offers": chunk})
+		postJSON(t, ts1.URL+"/freeze", nil)
+	}
+	preKill := make(map[string]float64)
+	for _, q := range queries {
+		preKill[q] = queryHTTP(t, ts1.URL, q)
+	}
+	// Simulated SIGKILL: no Server.Shutdown, no final freeze — recovery may
+	// rely only on what AppendEpoch acknowledged. Closing the store writes
+	// nothing (everything acknowledged is already fsynced); it only drops
+	// the writer flock, exactly as a killed process would.
+	_ = s1
+	cfg.Store.Close()
+
+	cfg2 := cfg
+	cfg2.Store = openTestStore(t, dir, cfg, 8)
+	s2, ts2 := newTestServer(t, cfg2)
+	if s2.Epoch() != epochs {
+		t.Fatalf("recovered epoch %d, want %d", s2.Epoch(), epochs)
+	}
+	for _, q := range queries {
+		if got := queryHTTP(t, ts2.URL, q); got != preKill[q] {
+			t.Errorf("/query?%s after recovery = %v, pre-kill %v (must be bit-identical)", q, got, preKill[q])
+		}
+	}
+	// And against the offline pipeline over all offers.
+	var all []Offer
+	for _, chunk := range chunks {
+		all = append(all, chunk...)
+	}
+	offline := offlineSummary(t, cfg.Sample, all, cfg.Assignments)
+	if want := offline.RangeLSet(nil).Estimate(nil); queryHTTP(t, ts2.URL, "agg=L1") != want {
+		t.Errorf("recovered L1 != offline pipeline")
+	}
+
+	// Life goes on: epoch numbering continues and new freezes accumulate.
+	extra := testStream(500, 91)
+	for i := range extra {
+		extra[i].Key = "post-" + extra[i].Key // disjoint from the recovered epochs
+	}
+	postJSON(t, ts2.URL+"/offer", map[string]any{"offers": extra})
+	res := postJSON(t, ts2.URL+"/freeze", nil)
+	if res["epoch"].(float64) != epochs+1 {
+		t.Fatalf("post-recovery freeze epoch = %v, want %d", res["epoch"], epochs+1)
+	}
+	offline = offlineSummary(t, cfg.Sample, append(all, extra...), cfg.Assignments)
+	if want := offline.RangeLSet(nil).Estimate(nil); queryHTTP(t, ts2.URL, "agg=L1") != want {
+		t.Errorf("post-recovery cumulative L1 != offline pipeline over all offers")
+	}
+}
+
+// TestStoreBackedRetentionFollowsStore: with a store attached the server's
+// ring mirrors the store's retention, and compacted epochs are refused
+// identically before and after recovery.
+func TestStoreBackedRetentionFollowsStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 8, K: 16},
+		Assignments: 1,
+		Shards:      1,
+		Retain:      99, // ignored: the store's retention governs
+	}
+	cfg.Store = openTestStore(t, dir, cfg, 2)
+	_, ts := newTestServer(t, cfg)
+	for i := 0; i < 5; i++ {
+		postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: fmt.Sprintf("k%d", i), Weight: float64(i + 1)})
+		postJSON(t, ts.URL+"/freeze", nil)
+	}
+	if got := queryHTTP(t, ts.URL, "agg=sum&b=0&epochs=4..5"); got != 4+5 {
+		t.Fatalf("epochs=4..5 sum = %v, want 9", got)
+	}
+	codeBefore, _ := queryHTTPStatus(t, ts.URL, "agg=sum&b=0&epochs=3..5")
+	if codeBefore != http.StatusBadRequest {
+		t.Fatalf("compacted window before restart: status %d, want 400", codeBefore)
+	}
+
+	cfg.Store.Close() // drop the writer flock, as a killed process would
+	cfg2 := cfg
+	cfg2.Store = openTestStore(t, dir, cfg, 2)
+	_, ts2 := newTestServer(t, cfg2)
+	if got := queryHTTP(t, ts2.URL, "agg=sum&b=0&epochs=4..5"); got != 9 {
+		t.Fatalf("recovered epochs=4..5 sum = %v, want 9", got)
+	}
+	if got := queryHTTP(t, ts2.URL, "agg=sum&b=0"); got != 1+2+3+4+5 {
+		t.Fatalf("recovered cumulative sum = %v, want 15", got)
+	}
+	if code, _ := queryHTTPStatus(t, ts2.URL, "agg=sum&b=0&epochs=3..5"); code != http.StatusBadRequest {
+		t.Fatalf("compacted window after restart: status %d, want 400", code)
+	}
+}
+
+// TestShutdownAutoFreezes: Shutdown publishes and persists the open
+// epoch's offers; a clean server shuts down without minting empty epochs.
+func TestShutdownAutoFreezes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 2, K: 16},
+		Assignments: 1,
+		Shards:      2,
+	}
+	cfg.Store = openTestStore(t, dir, cfg, 4)
+	s, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "a", Weight: 5})
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("Shutdown did not freeze the dirty epoch: epoch %d", s.Epoch())
+	}
+	// Idempotent and clean: no second (empty) epoch.
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("clean Shutdown minted an epoch: %d", s.Epoch())
+	}
+
+	cfg.Store.Close() // drop the writer flock before reopening the directory
+	cfg2 := cfg
+	cfg2.Store = openTestStore(t, dir, cfg, 4)
+	_, ts2 := newTestServer(t, cfg2)
+	if got := queryHTTP(t, ts2.URL, "agg=sum&b=0"); got != 5 {
+		t.Fatalf("auto-frozen epoch lost: recovered sum %v, want 5", got)
+	}
+}
+
+// TestNewRejectsStoreMismatch: a store opened under a different
+// configuration (or read-only) is refused up front.
+func TestNewRejectsStoreMismatch(t *testing.T) {
+	dir := t.TempDir()
+	good := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 8},
+		Assignments: 2,
+		Shards:      1,
+	}
+	st := openTestStore(t, dir, good, 2)
+
+	bad := good
+	bad.Assignments = 3
+	bad.Store = st
+	if _, err := New(bad); err == nil {
+		t.Error("assignment-count mismatch accepted")
+	}
+	badSeed := good
+	badSeed.Sample.Seed = 2
+	badSeed.Store = st
+	if _, err := New(badSeed); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	negRetain := good
+	negRetain.Retain = -1
+	if _, err := New(negRetain); err == nil {
+		t.Error("negative retain accepted")
+	}
+	good.Store = st
+	s, err := New(good)
+	if err != nil {
+		t.Fatalf("matching store rejected: %v", err)
+	}
+	s.Close()
+}
+
+// TestFailedFreezeDoesNotMintPhantomEpoch: a failed (409) freeze discards
+// the epoch's data, so a following Shutdown must not freeze-and-persist a
+// phantom empty epoch for it.
+func TestFailedFreezeDoesNotMintPhantomEpoch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 6, K: 16},
+		Assignments: 1,
+		Shards:      2,
+	}
+	cfg.Store = openTestStore(t, dir, cfg, 4)
+	s, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "dup", Weight: 1})
+	postJSON(t, ts.URL+"/freeze", nil)
+	// Violate the contract; the freeze fails with 409 and discards the epoch.
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "dup", Weight: 2})
+	resp, err := http.Post(ts.URL+"/freeze", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("freeze status %d, want 409", resp.StatusCode)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("Shutdown after failed freeze minted a phantom epoch: epoch %d, want 1", s.Epoch())
+	}
+	if got := cfg.Store.Epoch(); got != 1 {
+		t.Fatalf("store holds %d epochs, want 1 (no phantom persisted)", got)
 	}
 }

@@ -1,0 +1,116 @@
+package sketch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"coordsample/internal/rank"
+)
+
+// buildSegmentFixture builds a fingerprinted two-assignment sketch set and
+// its encoded segment.
+func buildSegmentFixture(t *testing.T, k, n int) ([]WireMeta, []*BottomK, []byte, uint32) {
+	t.Helper()
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 99}
+	metas := make([]WireMeta, 2)
+	sketches := make([]*BottomK, 2)
+	rng := rand.New(rand.NewSource(4))
+	for b := range sketches {
+		metas[b] = WireMeta{Family: a.Family, Mode: a.Mode, Seed: a.Seed, Assignment: b}
+		bld := NewBottomKBuilderWithFingerprint(k, a.Fingerprint(b, k))
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("key-%04d", i)
+			w := math.Exp(rng.NormFloat64())
+			bld.Offer(key, a.Rank(key, b, w), w)
+		}
+		sketches[b] = bld.Sketch()
+	}
+	var buf bytes.Buffer
+	crc, err := EncodeSegment(&buf, metas, sketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metas, sketches, buf.Bytes(), crc
+}
+
+// TestSegmentRoundTrip: a decoded segment reproduces every sketch
+// bit-identically — entries, conditioning ranks, fingerprints, metadata.
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 3, 500} { // empty, underfull, overfull sketches
+		metas, sketches, data, crc := buildSegmentFixture(t, 32, n)
+		if got, ok := SegmentCRC(data); !ok || got != crc {
+			t.Fatalf("n=%d: SegmentCRC = %#x,%v, want %#x", n, got, ok, crc)
+		}
+		decoded, err := DecodeSegment(data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(decoded) != len(sketches) {
+			t.Fatalf("n=%d: decoded %d sketches, want %d", n, len(decoded), len(sketches))
+		}
+		for b, d := range decoded {
+			if d.Meta != metas[b] {
+				t.Errorf("n=%d: sketch %d meta %+v, want %+v", n, b, d.Meta, metas[b])
+			}
+			if d.BottomK == nil {
+				t.Fatalf("n=%d: sketch %d is not a bottom-k sketch", n, b)
+			}
+			sameBottomK(t, d.BottomK, sketches[b])
+		}
+	}
+}
+
+// TestSegmentEncodeRejectsMismatch: encoding verifies fingerprints exactly
+// like the single-sketch codec, so a segment can never misstate provenance.
+func TestSegmentEncodeRejectsMismatch(t *testing.T) {
+	metas, sketches, _, _ := buildSegmentFixture(t, 16, 100)
+	var buf bytes.Buffer
+	if _, err := EncodeSegment(&buf, metas[:1], sketches); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := []WireMeta{metas[0], metas[0]} // sketch 1 described as assignment 0
+	var fpErr *FingerprintMismatchError
+	if _, err := EncodeSegment(&buf, bad, sketches); !errors.As(err, &fpErr) {
+		t.Errorf("misdescribed sketch: err = %v, want FingerprintMismatchError", err)
+	}
+	if _, err := EncodeSegment(&buf, nil, nil); err == nil {
+		t.Error("empty segment accepted")
+	}
+}
+
+// TestSegmentCorruptionDetected: every truncation and every flipped byte
+// yields a typed *CorruptSegmentError, never silently decoded sketches.
+func TestSegmentCorruptionDetected(t *testing.T) {
+	_, _, data, _ := buildSegmentFixture(t, 32, 200)
+
+	// Truncations at every boundary class.
+	for _, cut := range []int{0, 3, segmentHeaderSize, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeSegment(data[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes decoded successfully", cut)
+		} else {
+			var ce *CorruptSegmentError
+			if !errors.As(err, &ce) {
+				t.Errorf("truncation to %d: err %v is not a *CorruptSegmentError", cut, err)
+			}
+		}
+	}
+
+	// Every single-byte flip must be caught by the checksum (including
+	// flips that keep the file structurally valid, e.g. weight low bits).
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if _, err := DecodeSegment(mut); err == nil {
+			t.Fatalf("flipped byte %d decoded successfully", i)
+		}
+	}
+
+	// Trailing garbage after the trailer changes the checksummed region.
+	if _, err := DecodeSegment(append(append([]byte(nil), data...), 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}

@@ -1,0 +1,908 @@
+// Package store is the durable epoch store: it persists every frozen
+// epoch's fingerprinted sketch set to disk and recovers it on startup, so
+// a server restart — graceful or SIGKILL — loses nothing that was ever
+// acknowledged. It is what turns the in-memory serving layer of
+// internal/server into a database-like system: the paper's headline
+// scenario is "snapshots of an evolving database at multiple points in
+// time" treated as coordinated weight assignments, and retaining the
+// per-epoch sketches (rather than only their cumulative merge) is what
+// makes time itself queryable — any range of epochs merges on demand into
+// the exact sketch of that time window, by the same merge lemma that makes
+// sharding exact.
+//
+// # On-disk layout
+//
+//	<dir>/MANIFEST            append-only record of acknowledged epochs
+//	<dir>/epoch-000042.seg    one retained epoch's sketch set (segment file)
+//	<dir>/cum-000034.seg      cumulative segment: epochs 1..34 merged
+//	<dir>/LOCK                writer flock (held while a writable Store is open)
+//
+// Writable opens take an exclusive flock on LOCK: two writers on one
+// directory would interleave manifest appends and overwrite each other's
+// segments, so the second open is refused. The lock dies with the
+// process, so a SIGKILL never wedges the store; read-only opens
+// (cws-merge -store) take no lock and work alongside a live server.
+//
+// A segment file is the multi-sketch framing of internal/sketch
+// (EncodeSegment): every assignment's bottom-k sketch as a length-prefixed
+// standard wire-codec file, closed by a CRC-32C. Segments are written
+// write-tmp → fsync → rename → fsync(dir), so a crash mid-write leaves at
+// worst an ignored *.tmp file, never a half-written segment under the
+// final name.
+//
+// # Manifest
+//
+// The manifest is the commit record: an epoch exists once — and only once
+// — its manifest line is durable. The header names the format and the
+// assignment count; each subsequent line records one durable action with
+// its own CRC-32C:
+//
+//	cws-store v1 assignments=2
+//	E 1 epoch-000001.seg 4242 1a2b3c4d fps=00c0ffee...,00abcdef... 9f8e7d6c
+//	C 3 cum-000003.seg 8080 5e6f7a8b fps=... 1c2d3e4f
+//
+// "E n" acknowledges epoch n (strictly sequential), naming its segment
+// file, byte size, segment checksum, and per-assignment fingerprints.
+// "C t" acknowledges a compaction: the named cumulative segment holds the
+// exact merge of epochs 1..t, and epochs ≤ t are no longer individually
+// retained. AppendEpoch returns only after the segment rename and the
+// manifest line are both fsynced — that is the acknowledgement point.
+//
+// # Recovery invariants
+//
+// Open replays the manifest and reloads every referenced segment under
+// strict validation (size, checksum, full wire-codec revalidation,
+// fingerprints). The guarantees:
+//
+//   - Every acknowledged epoch is recovered bit-identically: same entries,
+//     same conditioning ranks, same fingerprints — so a restarted server
+//     answers every query exactly as the pre-crash server did.
+//   - A torn final manifest line (crash mid-append) is tolerated and
+//     dropped: it was never acknowledged. Its orphaned segment file, if
+//     the rename happened, is overwritten by the next append of the same
+//     epoch number and garbage-collected on writable open.
+//   - Any other damage — a corrupt non-final manifest line, a missing,
+//     truncated, or bit-flipped segment — is acknowledged state that
+//     cannot be served; Open fails with a typed *CorruptError rather than
+//     ever serving corrupt sketches.
+//
+// # Compaction
+//
+// A configurable ring of the most recent epochs is retained for
+// epoch-range queries; older epochs are merged into the cumulative
+// segment (the merge is exact, so nothing about full-history queries
+// changes) and their segment files deleted, keeping disk proportional to
+// retain+1 segments. Compaction rewrites the manifest atomically
+// (write-tmp → rename), so it also stays bounded.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"coordsample/internal/core"
+	"coordsample/internal/sketch"
+)
+
+// manifestName is the manifest file name inside a store directory.
+const manifestName = "MANIFEST"
+
+// manifestHeaderPrefix opens every manifest.
+const manifestHeaderPrefix = "cws-store v1 assignments="
+
+// castagnoli is the CRC-32C table guarding manifest lines (segment bodies
+// carry their own CRC via the sketch segment framing).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Config configures Open.
+type Config struct {
+	// Dir is the store directory; created if absent on a writable open.
+	Dir string
+	// Retain is the ring of most recent epochs kept individually for
+	// epoch-range queries; older epochs are compacted into the cumulative
+	// segment. 0 compacts every epoch immediately (no time travel).
+	Retain int
+	// Sample and Assignments describe the sketches the store will hold.
+	// Both set (K ≥ 1, Assignments ≥ 1) opens the store writable and
+	// verifies every recovered sketch against this configuration; both
+	// zero opens read-only, accepting whatever configuration the store
+	// holds (the sketches are still fully self-validated).
+	Sample      core.Config
+	Assignments int
+}
+
+// CorruptError reports acknowledged store state that cannot be trusted: a
+// corrupt manifest line that is not a torn tail, or a referenced segment
+// that is missing, truncated, or fails checksum/validation. The store
+// refuses to open rather than serve it.
+type CorruptError struct {
+	Path   string // offending file
+	Detail string
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("store: %s: %s: %v", e.Path, e.Detail, e.Err)
+	}
+	return fmt.Sprintf("store: %s: %s", e.Path, e.Detail)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// MismatchError reports a store whose recovered contents disagree with the
+// configuration it was opened under (different assignment count, or
+// sketches fingerprinted under a different Family/Mode/Seed/K) — merging
+// the two worlds would corrupt every estimate, so Open fails instead.
+type MismatchError struct {
+	Detail string
+}
+
+func (e *MismatchError) Error() string { return "store: " + e.Detail }
+
+// CompactionError reports that an epoch was durably acknowledged but the
+// follow-up compaction failed (disk full, I/O error). The epoch is safe —
+// callers should treat the append as successful — and the compaction
+// retries on the next append.
+type CompactionError struct {
+	Err error
+}
+
+func (e *CompactionError) Error() string { return fmt.Sprintf("store: compaction: %v", e.Err) }
+func (e *CompactionError) Unwrap() error { return e.Err }
+
+// EpochRecord is one retained epoch: its number and its per-assignment
+// sketches (index = assignment).
+type EpochRecord struct {
+	Epoch    int
+	Sketches []*sketch.BottomK
+}
+
+// storedEpoch is one retained epoch plus the segment accounting (byte
+// size and segment CRC, as recorded in the manifest) that a compaction's
+// manifest rewrite needs — carried in memory so compaction never re-reads
+// kept segment files, and never has to trust a possibly rotten file's own
+// trailer for the rewritten manifest line.
+type storedEpoch struct {
+	EpochRecord
+	size int
+	crc  uint32
+}
+
+// Store is a durable epoch store. Open recovers it; AppendEpoch persists a
+// frozen epoch and is the only mutating operation. Methods are safe for
+// concurrent use.
+type Store struct {
+	mu          sync.Mutex
+	dir         string
+	retain      int
+	writable    bool
+	sample      core.Config
+	assignments int
+
+	epoch    int               // last acknowledged epoch
+	through  int               // cumulative segment covers epochs 1..through (0 = none)
+	base     []*sketch.BottomK // sketches of the cumulative segment (nil when through == 0)
+	retained []storedEpoch     // epochs through+1..epoch, ascending
+	cum      []*sketch.BottomK // exact merge of base + retained (nil when epoch == 0)
+	meta     []sketch.WireMeta // construction metadata of the stored sketches
+	manifest *os.File          // open for append on writable stores
+	lock     *os.File          // flock-held LOCK file on writable stores
+	broken   bool              // a manifest append failed; appends refused until reopen
+	bytes    int64             // total bytes of referenced segment files
+}
+
+// Open opens (creating, when writable and absent) the store at cfg.Dir and
+// recovers all acknowledged epochs. See Config for the writable/read-only
+// distinction and the package documentation for the recovery guarantees.
+func Open(cfg Config) (*Store, error) {
+	writable := cfg.Assignments != 0 || cfg.Sample != (core.Config{})
+	s := &Store{dir: cfg.Dir, retain: cfg.Retain, writable: writable}
+	if writable {
+		if err := cfg.Sample.Check(); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if cfg.Assignments < 1 {
+			return nil, fmt.Errorf("store: need at least one assignment, got %d", cfg.Assignments)
+		}
+		if cfg.Retain < 0 {
+			return nil, fmt.Errorf("store: negative retain %d", cfg.Retain)
+		}
+		s.sample = cfg.Sample
+		s.assignments = cfg.Assignments
+		s.meta = metasFor(cfg.Sample, cfg.Assignments)
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		// Exclusive writer lock: two writable opens of one directory would
+		// interleave manifest appends and overwrite each other's segments,
+		// silently corrupting acknowledged history. flock is released
+		// automatically if the process dies, so a crash never wedges the
+		// store.
+		if err := s.acquireLock(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.recover(); err != nil {
+		s.releaseLock()
+		return nil, err
+	}
+	if writable {
+		s.collectGarbage()
+		var err error
+		s.manifest, err = os.OpenFile(s.path(manifestName), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.releaseLock()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// acquireLock takes the store's exclusive writer flock (non-blocking).
+func (s *Store) acquireLock() error {
+	f, err := os.OpenFile(s.path("LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %s is locked by another process (two writers would corrupt acknowledged history): %w", s.dir, err)
+	}
+	s.lock = f
+	return nil
+}
+
+// releaseLock drops the writer flock, if held.
+func (s *Store) releaseLock() {
+	if s.lock != nil {
+		_ = syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
+		s.lock.Close()
+		s.lock = nil
+	}
+}
+
+// metasFor builds the per-assignment wire metadata of a sample config.
+func metasFor(sample core.Config, assignments int) []sketch.WireMeta {
+	metas := make([]sketch.WireMeta, assignments)
+	for b := range metas {
+		metas[b] = sketch.WireMeta{Family: sample.Family, Mode: sample.Mode, Seed: sample.Seed, Assignment: b}
+	}
+	return metas
+}
+
+// Close releases the manifest handle. The store's durable state needs no
+// shutdown — every acknowledged epoch is already fsynced.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.manifest != nil {
+		err = s.manifest.Close()
+		s.manifest = nil
+	}
+	s.releaseLock()
+	return err
+}
+
+// Writable reports whether the store was opened with a configuration and
+// accepts AppendEpoch.
+func (s *Store) Writable() bool { return s.writable }
+
+// Epoch returns the last acknowledged epoch (0 for an empty store).
+func (s *Store) Epoch() int { s.mu.Lock(); defer s.mu.Unlock(); return s.epoch }
+
+// Assignments returns the per-epoch sketch count (0 for an empty read-only
+// store).
+func (s *Store) Assignments() int { s.mu.Lock(); defer s.mu.Unlock(); return s.assignments }
+
+// Retain returns the configured retention ring size.
+func (s *Store) Retain() int { return s.retain }
+
+// CompactedThrough returns the highest epoch merged into the cumulative
+// segment; epochs at or below it are no longer individually queryable.
+func (s *Store) CompactedThrough() int { s.mu.Lock(); defer s.mu.Unlock(); return s.through }
+
+// DiskBytes returns the total size of the referenced segment files.
+func (s *Store) DiskBytes() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.bytes }
+
+// Retained returns the individually retained epochs, ascending. The
+// records (and their sketches) are immutable; the slice is a copy.
+func (s *Store) Retained() []EpochRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EpochRecord, len(s.retained))
+	for i, rec := range s.retained {
+		out[i] = rec.EpochRecord
+	}
+	return out
+}
+
+// Cumulative returns the exact merged sketches of all acknowledged epochs
+// (nil for an empty store) — bit-identical to a single pass over every
+// offer ever acknowledged, by the merge lemma. The merge is memoized; it
+// is computed eagerly at Open and recomputed on demand after appends (the
+// serving layer maintains its own cumulative merge, so the append fast
+// path never pays for this one).
+func (s *Store) Cumulative() []*sketch.BottomK {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch > 0 && s.cum == nil {
+		cum, err := mergeColumns(s.allColumns())
+		if err != nil {
+			// Impossible: every part carries this store's fingerprint.
+			panic(err.Error())
+		}
+		s.cum = cum
+	}
+	return s.cum
+}
+
+// allColumns lists, per assignment, the cumulative base (if any) followed
+// by every retained epoch's sketch — the inputs of the full merge.
+func (s *Store) allColumns() [][]*sketch.BottomK {
+	parts := make([][]*sketch.BottomK, s.assignments)
+	for b := range parts {
+		if s.base != nil {
+			parts[b] = append(parts[b], s.base[b])
+		}
+		for _, rec := range s.retained {
+			parts[b] = append(parts[b], rec.Sketches[b])
+		}
+	}
+	return parts
+}
+
+// SampleConfig reconstructs the sampling configuration of the stored
+// sketches (Family, Mode, Seed from the wire metadata; K from the
+// sketches). ok is false for an empty store opened read-only.
+func (s *Store) SampleConfig() (core.Config, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writable {
+		return s.sample, true
+	}
+	if len(s.meta) == 0 || s.cum == nil {
+		return core.Config{}, false
+	}
+	m := s.meta[0]
+	return core.Config{Family: m.Family, Mode: m.Mode, Seed: m.Seed, K: s.cum[0].K()}, true
+}
+
+// Range merges the retained epochs lo..hi (inclusive) into the exact
+// per-assignment sketches of that time window. Both bounds must lie in the
+// retained ring: lo > CompactedThrough() and hi ≤ Epoch().
+func (s *Store) Range(lo, hi int) ([]*sketch.BottomK, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := checkRange(lo, hi, s.through, s.epoch); err != nil {
+		return nil, err
+	}
+	parts := make([][]*sketch.BottomK, s.assignments)
+	for _, rec := range s.retained {
+		if rec.Epoch < lo || rec.Epoch > hi {
+			continue
+		}
+		for b, sk := range rec.Sketches {
+			parts[b] = append(parts[b], sk)
+		}
+	}
+	return mergeColumns(parts)
+}
+
+// checkRange validates an epoch range against the retained window.
+func checkRange(lo, hi, through, epoch int) error {
+	if lo < 1 || hi < lo {
+		return fmt.Errorf("store: invalid epoch range %d..%d", lo, hi)
+	}
+	if hi > epoch {
+		return fmt.Errorf("store: epoch range %d..%d exceeds last epoch %d", lo, hi, epoch)
+	}
+	if lo <= through {
+		return fmt.Errorf("store: epochs %d..%d are compacted (retained window is %d..%d); raise -retain to keep more history", lo, min(hi, through), through+1, epoch)
+	}
+	return nil
+}
+
+// mergeColumns merges each assignment's sketch list with the exact,
+// fingerprint-verified merge.
+func mergeColumns(parts [][]*sketch.BottomK) ([]*sketch.BottomK, error) {
+	out := make([]*sketch.BottomK, len(parts))
+	for b, ps := range parts {
+		merged, err := sketch.Merge(ps...)
+		if err != nil {
+			return nil, fmt.Errorf("store: merging assignment %d: %w", b, err)
+		}
+		out[b] = merged
+	}
+	return out, nil
+}
+
+// AppendEpoch durably persists one frozen epoch's sketch set (one sketch
+// per assignment, fingerprinted under the store's configuration) and
+// returns its epoch number. On return the epoch is acknowledged: segment
+// and manifest line are fsynced, and any crash afterwards recovers it
+// bit-identically. Compaction of epochs that fell out of the retention
+// ring runs before returning; if it fails, the error is a
+// *CompactionError and the epoch itself stays acknowledged (epoch != 0).
+func (s *Store) AppendEpoch(sketches []*sketch.BottomK) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.writable {
+		return 0, fmt.Errorf("store: opened read-only (no Sample configuration)")
+	}
+	if len(sketches) != s.assignments {
+		return 0, fmt.Errorf("store: %d sketches for %d assignments", len(sketches), s.assignments)
+	}
+	if s.broken {
+		return 0, fmt.Errorf("store: a previous manifest append failed and may have left partial bytes; reopen the store to recover before appending")
+	}
+	sketches = append([]*sketch.BottomK(nil), sketches...)
+	epoch := s.epoch + 1
+	var buf bytes.Buffer
+	crc, err := sketch.EncodeSegment(&buf, s.meta, sketches)
+	if err != nil {
+		return 0, fmt.Errorf("store: encoding epoch %d: %w", epoch, err)
+	}
+	name := segmentName("epoch", epoch)
+	if err := s.writeFileDurably(name, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	line := manifestLine('E', epoch, name, buf.Len(), crc, fingerprints(sketches))
+	if _, err := s.manifest.WriteString(line); err != nil {
+		// The file may now hold a partial line; a further append would
+		// concatenate onto the junk and corrupt the record that follows.
+		// Refuse until a reopen truncates the manifest to its last good
+		// offset.
+		s.broken = true
+		return 0, fmt.Errorf("store: appending manifest: %w", err)
+	}
+	if err := s.manifest.Sync(); err != nil {
+		s.broken = true
+		return 0, fmt.Errorf("store: syncing manifest: %w", err)
+	}
+	// Acknowledged. Everything below only maintains in-memory state and
+	// bounds disk usage. The cumulative memo is invalidated, not updated:
+	// the serving layer maintains its own cumulative merge, so eagerly
+	// re-merging here would duplicate that work on every freeze.
+	s.epoch = epoch
+	s.bytes += int64(buf.Len())
+	s.retained = append(s.retained, storedEpoch{
+		EpochRecord: EpochRecord{Epoch: epoch, Sketches: sketches},
+		size:        buf.Len(),
+		crc:         crc,
+	})
+	s.cum = nil
+	if len(s.retained) > s.retain {
+		if err := s.compact(); err != nil {
+			return epoch, &CompactionError{Err: err}
+		}
+	}
+	return epoch, nil
+}
+
+// fingerprints lists the per-assignment configuration fingerprints.
+func fingerprints(sketches []*sketch.BottomK) []uint64 {
+	fps := make([]uint64, len(sketches))
+	for i, sk := range sketches {
+		fps[i] = sk.Fingerprint()
+	}
+	return fps
+}
+
+// compact merges the epochs that fell out of the retention ring into the
+// cumulative segment, rewrites the manifest atomically, and deletes the
+// expired segment files. Caller holds s.mu.
+func (s *Store) compact() error {
+	drop := len(s.retained) - s.retain
+	expired, kept := s.retained[:drop], s.retained[drop:]
+	through := expired[drop-1].Epoch
+
+	parts := make([][]*sketch.BottomK, s.assignments)
+	for b := range parts {
+		if s.base != nil {
+			parts[b] = append(parts[b], s.base[b])
+		}
+		for _, rec := range expired {
+			parts[b] = append(parts[b], rec.Sketches[b])
+		}
+	}
+	base, err := mergeColumns(parts)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	crc, err := sketch.EncodeSegment(&buf, s.meta, base)
+	if err != nil {
+		return fmt.Errorf("store: encoding cumulative segment: %w", err)
+	}
+	name := segmentName("cum", through)
+	if err := s.writeFileDurably(name, buf.Bytes()); err != nil {
+		return err
+	}
+
+	// Rewrite the manifest: header, the new C record, the kept E records.
+	// The kept lines reuse the sizes and checksums recorded when each
+	// epoch was appended (or recovered) — no segment is re-read, and a
+	// file that rotted since its append cannot launder its own corrupt
+	// trailer into the fresh manifest.
+	var mb strings.Builder
+	fmt.Fprintf(&mb, "%s%d\n", manifestHeaderPrefix, s.assignments)
+	mb.WriteString(manifestLine('C', through, name, buf.Len(), crc, fingerprints(base)))
+	for _, rec := range kept {
+		mb.WriteString(manifestLine('E', rec.Epoch, segmentName("epoch", rec.Epoch), rec.size, rec.crc, fingerprints(rec.Sketches)))
+	}
+	if err := s.rewriteManifest(mb.String()); err != nil {
+		return err
+	}
+
+	oldThrough, oldBase := s.through, s.base
+	s.through, s.base = through, base
+	s.retained = append([]storedEpoch(nil), kept...)
+
+	// The expired epochs and the previous cumulative segment are no longer
+	// referenced; deletion is best-effort (a leftover is garbage-collected
+	// on the next writable open).
+	for _, rec := range expired {
+		s.removeSegment(segmentName("epoch", rec.Epoch))
+	}
+	if oldBase != nil {
+		s.removeSegment(segmentName("cum", oldThrough))
+	}
+	s.bytes += int64(buf.Len())
+	return nil
+}
+
+// rewriteManifest atomically replaces the manifest (write-tmp → fsync →
+// rename → fsync(dir)) and reopens it for appending. Caller holds s.mu.
+func (s *Store) rewriteManifest(content string) error {
+	if err := s.writeFileDurably(manifestName, []byte(content)); err != nil {
+		return err
+	}
+	if err := s.manifest.Close(); err != nil {
+		return fmt.Errorf("store: closing old manifest: %w", err)
+	}
+	m, err := os.OpenFile(s.path(manifestName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening manifest: %w", err)
+	}
+	s.manifest = m
+	return nil
+}
+
+// removeSegment deletes a segment file, adjusting the byte accounting.
+func (s *Store) removeSegment(name string) {
+	if st, err := os.Stat(s.path(name)); err == nil {
+		if os.Remove(s.path(name)) == nil {
+			s.bytes -= st.Size()
+		}
+	}
+}
+
+// writeFileDurably writes name under the store directory via write-tmp →
+// fsync → rename → fsync(dir): after it returns, the file is durable under
+// its final name; a crash mid-call leaves at worst a *.tmp orphan.
+func (s *Store) writeFileDurably(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, name+".tmp-")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory, making renames durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing directory: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+func segmentName(kind string, n int) string { return fmt.Sprintf("%s-%06d.seg", kind, n) }
+
+// manifestLine formats one manifest record, closed by the CRC-32C of the
+// preceding bytes of the line.
+func manifestLine(kind byte, n int, file string, size int, crc uint32, fps []uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%c %d %s %d %08x fps=", kind, n, file, size, crc)
+	for i, fp := range fps {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%016x", fp)
+	}
+	body := sb.String()
+	return fmt.Sprintf("%s %08x\n", body, crc32.Checksum([]byte(body), castagnoli))
+}
+
+// manifestRecord is one parsed manifest line.
+type manifestRecord struct {
+	kind byte // 'E' or 'C'
+	n    int  // epoch ('E') or compacted-through epoch ('C')
+	file string
+	size int
+	crc  uint32
+	fps  []uint64
+}
+
+// parseManifestLine inverts manifestLine, verifying the line checksum.
+func parseManifestLine(line string) (manifestRecord, error) {
+	var rec manifestRecord
+	fields := strings.Fields(line)
+	if len(fields) != 7 {
+		return rec, fmt.Errorf("want 7 fields, have %d", len(fields))
+	}
+	lineCRC, err := strconv.ParseUint(fields[6], 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad line checksum %q", fields[6])
+	}
+	body := strings.TrimRight(line[:strings.LastIndex(line, fields[6])], " ")
+	if crc32.Checksum([]byte(body), castagnoli) != uint32(lineCRC) {
+		return rec, fmt.Errorf("line checksum mismatch")
+	}
+	if len(fields[0]) != 1 || (fields[0][0] != 'E' && fields[0][0] != 'C') {
+		return rec, fmt.Errorf("unknown record kind %q", fields[0])
+	}
+	rec.kind = fields[0][0]
+	if rec.n, err = strconv.Atoi(fields[1]); err != nil || rec.n < 1 {
+		return rec, fmt.Errorf("bad epoch %q", fields[1])
+	}
+	rec.file = fields[2]
+	if rec.file != filepath.Base(rec.file) {
+		return rec, fmt.Errorf("segment name %q escapes the store directory", rec.file)
+	}
+	if rec.size, err = strconv.Atoi(fields[3]); err != nil || rec.size < 0 {
+		return rec, fmt.Errorf("bad size %q", fields[3])
+	}
+	crc, err := strconv.ParseUint(fields[4], 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad segment checksum %q", fields[4])
+	}
+	rec.crc = uint32(crc)
+	fpsField, ok := strings.CutPrefix(fields[5], "fps=")
+	if !ok {
+		return rec, fmt.Errorf("missing fps field")
+	}
+	for _, part := range strings.Split(fpsField, ",") {
+		fp, err := strconv.ParseUint(part, 16, 64)
+		if err != nil {
+			return rec, fmt.Errorf("bad fingerprint %q", part)
+		}
+		rec.fps = append(rec.fps, fp)
+	}
+	return rec, nil
+}
+
+// recover replays the manifest and loads every referenced segment. Caller
+// is Open; no lock needed yet.
+func (s *Store) recover() error {
+	mpath := s.path(manifestName)
+	data, err := os.ReadFile(mpath)
+	if errors.Is(err, os.ErrNotExist) {
+		if !s.writable {
+			return fmt.Errorf("store: %s is not a store (no %s)", s.dir, manifestName)
+		}
+		// A directory holding segment files but no manifest is NOT a fresh
+		// store: it is a damaged one (or a mistyped -data-dir aimed at the
+		// wrong place). Initializing here would garbage-collect every
+		// segment — the durability layer deleting the data it protects.
+		if segs, _ := filepath.Glob(s.path("*.seg")); len(segs) > 0 {
+			return &CorruptError{Path: mpath, Detail: fmt.Sprintf(
+				"manifest missing but %d segment file(s) present (e.g. %s); refusing to initialize over them — restore the manifest or point -data-dir elsewhere",
+				len(segs), filepath.Base(segs[0]))}
+		}
+		// Fresh store: write the header atomically, so a torn header can
+		// never be observed.
+		header := fmt.Sprintf("%s%d\n", manifestHeaderPrefix, s.assignments)
+		return s.writeFileDurably(manifestName, []byte(header))
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	// Only an *unterminated* final line can be a torn append (every record
+	// is written as a single "line\n"; a crash mid-append cuts it before
+	// the newline). A newline-terminated line that fails its checksum is
+	// acknowledged state hit by bit rot — corruption, never tolerated.
+	content := string(data)
+	torn := ""
+	if i := strings.LastIndexByte(content, '\n'); i < 0 {
+		torn, content = content, ""
+	} else if i != len(content)-1 {
+		torn, content = content[i+1:], content[:i+1]
+	}
+	lines := strings.Split(content, "\n")
+	lines = lines[:len(lines)-1] // drop the empty element after the final "\n"
+	if len(lines) == 0 {
+		if torn != "" {
+			return &CorruptError{Path: mpath, Detail: "manifest holds no complete header"}
+		}
+		return &CorruptError{Path: mpath, Detail: "empty manifest"}
+	}
+	assignments, err := parseHeader(lines[0])
+	if err != nil {
+		return &CorruptError{Path: mpath, Detail: err.Error()}
+	}
+	if s.writable && assignments != s.assignments {
+		return &MismatchError{Detail: fmt.Sprintf("store holds %d assignments, configured for %d", assignments, s.assignments)}
+	}
+	s.assignments = assignments
+
+	records := make([]manifestRecord, 0, len(lines)-1)
+	for i, line := range lines[1:] {
+		rec, err := parseManifestLine(line)
+		if err != nil {
+			return &CorruptError{Path: mpath, Detail: fmt.Sprintf("record %d: %v", i+1, err), Err: err}
+		}
+		records = append(records, rec)
+	}
+	if torn != "" && s.writable {
+		// Heal the torn append: truncate to the acknowledged prefix so the
+		// next append starts on a fresh line instead of concatenating onto
+		// the partial bytes.
+		if err := os.Truncate(mpath, int64(len(content))); err != nil {
+			return fmt.Errorf("store: truncating torn manifest tail: %w", err)
+		}
+	}
+
+	for _, rec := range records {
+		sketches, err := s.loadSegment(rec)
+		if err != nil {
+			return err
+		}
+		s.bytes += int64(rec.size)
+		switch rec.kind {
+		case 'C':
+			if rec.n < s.epoch {
+				return &CorruptError{Path: mpath, Detail: fmt.Sprintf("compaction through %d behind epoch %d", rec.n, s.epoch)}
+			}
+			s.through, s.base = rec.n, sketches
+			if rec.n > s.epoch {
+				s.epoch = rec.n
+			}
+			s.retained = nil
+		case 'E':
+			if rec.n != s.epoch+1 {
+				return &CorruptError{Path: mpath, Detail: fmt.Sprintf("epoch %d follows epoch %d (acknowledged history has a gap)", rec.n, s.epoch)}
+			}
+			s.epoch = rec.n
+			s.retained = append(s.retained, storedEpoch{
+				EpochRecord: EpochRecord{Epoch: rec.n, Sketches: sketches},
+				size:        rec.size,
+				crc:         rec.crc,
+			})
+		}
+	}
+
+	// Cumulative = base + retained, exactly as the epochs were merged live.
+	if s.epoch > 0 {
+		if s.cum, err = mergeColumns(s.allColumns()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseHeader validates the manifest header and extracts the assignment
+// count.
+func parseHeader(line string) (int, error) {
+	rest, ok := strings.CutPrefix(line, manifestHeaderPrefix)
+	if !ok {
+		return 0, fmt.Errorf("bad header %q", line)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad assignment count %q", rest)
+	}
+	return n, nil
+}
+
+// loadSegment reads, verifies, and decodes one referenced segment file.
+// Every failure is acknowledged-state corruption: a typed error, never a
+// partial result.
+func (s *Store) loadSegment(rec manifestRecord) ([]*sketch.BottomK, error) {
+	path := s.path(rec.file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &CorruptError{Path: path, Detail: "acknowledged segment unreadable", Err: err}
+	}
+	if len(data) != rec.size {
+		return nil, &CorruptError{Path: path, Detail: fmt.Sprintf("%d bytes, manifest records %d", len(data), rec.size)}
+	}
+	if crc, ok := sketch.SegmentCRC(data); !ok || crc != rec.crc {
+		return nil, &CorruptError{Path: path, Detail: fmt.Sprintf("segment checksum %08x, manifest records %08x", crc, rec.crc)}
+	}
+	decoded, err := sketch.DecodeSegment(data)
+	if err != nil {
+		return nil, &CorruptError{Path: path, Detail: "segment failed validation", Err: err}
+	}
+	if len(decoded) != s.assignments || len(rec.fps) != s.assignments {
+		return nil, &CorruptError{Path: path, Detail: fmt.Sprintf("%d sketches for %d assignments", len(decoded), s.assignments)}
+	}
+	sketches := make([]*sketch.BottomK, s.assignments)
+	for b, d := range decoded {
+		if d.BottomK == nil {
+			return nil, &CorruptError{Path: path, Detail: fmt.Sprintf("sketch %d is not a bottom-k sketch", b)}
+		}
+		if d.Meta.Assignment != b {
+			return nil, &CorruptError{Path: path, Detail: fmt.Sprintf("sketch %d describes assignment %d", b, d.Meta.Assignment)}
+		}
+		if d.BottomK.Fingerprint() != rec.fps[b] {
+			return nil, &CorruptError{Path: path, Detail: fmt.Sprintf("sketch %d fingerprint %016x, manifest records %016x", b, d.BottomK.Fingerprint(), rec.fps[b])}
+		}
+		if s.writable {
+			if want := s.sample.Assigner().Fingerprint(b, s.sample.K); d.BottomK.Fingerprint() != want {
+				return nil, &MismatchError{Detail: fmt.Sprintf(
+					"%s sketch %d was built under %v/%v/seed=%d/k=%d (fingerprint %016x), store opened for %v/%v/seed=%d/k=%d (fingerprint %016x)",
+					rec.file, b, d.Meta.Family, d.Meta.Mode, d.Meta.Seed, d.BottomK.K(),
+					d.BottomK.Fingerprint(), s.sample.Family, s.sample.Mode, s.sample.Seed, s.sample.K, want)}
+			}
+		}
+		sketches[b] = d.BottomK
+	}
+	if s.meta == nil {
+		metas := make([]sketch.WireMeta, len(decoded))
+		for b, d := range decoded {
+			metas[b] = d.Meta
+		}
+		s.meta = metas
+	}
+	return sketches, nil
+}
+
+// collectGarbage removes *.tmp orphans and segment files no manifest
+// record references (crash leftovers from between a segment rename and its
+// manifest append, or from an interrupted compaction). Writable opens
+// only; caller is Open.
+func (s *Store) collectGarbage() {
+	referenced := map[string]bool{}
+	if s.base != nil {
+		referenced[segmentName("cum", s.through)] = true
+	}
+	for _, rec := range s.retained {
+		referenced[segmentName("epoch", rec.Epoch)] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestName || referenced[name] {
+			continue
+		}
+		if strings.Contains(name, ".tmp-") || strings.HasSuffix(name, ".seg") {
+			os.Remove(s.path(name))
+		}
+	}
+}

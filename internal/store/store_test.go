@@ -1,0 +1,609 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coordsample/internal/core"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+var testSample = core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 77, K: 32}
+
+// buildEpochs synthesizes n epochs of two-assignment sketch sets over
+// disjoint key ranges (the pre-aggregation contract across epochs).
+func buildEpochs(t *testing.T, n, keysPerEpoch int) [][]*sketch.BottomK {
+	t.Helper()
+	a := testSample.Assigner()
+	rng := rand.New(rand.NewSource(5))
+	epochs := make([][]*sketch.BottomK, n)
+	key := 0
+	for e := range epochs {
+		builders := make([]*sketch.BottomKBuilder, 2)
+		for b := range builders {
+			builders[b] = sketch.NewBottomKBuilderWithFingerprint(testSample.K, a.Fingerprint(b, testSample.K))
+		}
+		for i := 0; i < keysPerEpoch; i++ {
+			k := fmt.Sprintf("key-%06d", key)
+			key++
+			for b, bld := range builders {
+				w := math.Exp(rng.NormFloat64())
+				bld.Offer(k, a.Rank(k, b, w), w)
+			}
+		}
+		set := make([]*sketch.BottomK, 2)
+		for b, bld := range builders {
+			set[b] = bld.Sketch()
+		}
+		epochs[e] = set
+	}
+	return epochs
+}
+
+func openWritable(t *testing.T, dir string, retain int) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir, Retain: retain, Sample: testSample, Assignments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func appendAll(t *testing.T, s *Store, epochs [][]*sketch.BottomK) {
+	t.Helper()
+	for i, set := range epochs {
+		epoch, err := s.AppendEpoch(set)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if epoch != i+1 {
+			t.Fatalf("append %d returned epoch %d", i, epoch)
+		}
+	}
+}
+
+func sameSketch(t *testing.T, label string, got, want *sketch.BottomK) {
+	t.Helper()
+	if got.K() != want.K() || got.Fingerprint() != want.Fingerprint() ||
+		math.Float64bits(got.KthRank()) != math.Float64bits(want.KthRank()) ||
+		math.Float64bits(got.Threshold()) != math.Float64bits(want.Threshold()) ||
+		got.Size() != want.Size() {
+		t.Fatalf("%s: sketch shape differs", label)
+	}
+	for i, e := range want.Entries() {
+		if got.Entries()[i] != e {
+			t.Fatalf("%s: entry %d = %+v, want %+v", label, i, got.Entries()[i], e)
+		}
+	}
+}
+
+func sameSketchSet(t *testing.T, label string, got, want []*sketch.BottomK) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d sketches, want %d", label, len(got), len(want))
+	}
+	for b := range want {
+		sameSketch(t, fmt.Sprintf("%s[b=%d]", label, b), got[b], want[b])
+	}
+}
+
+// mergeAll is the offline reference: the exact merge of a run of epochs.
+func mergeAll(t *testing.T, epochs [][]*sketch.BottomK) []*sketch.BottomK {
+	t.Helper()
+	parts := make([][]*sketch.BottomK, 2)
+	for _, set := range epochs {
+		for b, sk := range set {
+			parts[b] = append(parts[b], sk)
+		}
+	}
+	out, err := mergeColumns(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRecoveryBitIdentical: reopening a store recovers every acknowledged
+// epoch and the cumulative merge bit-identically — entries, conditioning
+// ranks, fingerprints.
+func TestRecoveryBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	epochs := buildEpochs(t, 5, 200)
+
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, epochs)
+	liveCum := s.Cumulative()
+	s.Close()
+
+	r := openWritable(t, dir, 8)
+	if r.Epoch() != 5 {
+		t.Fatalf("recovered epoch %d, want 5", r.Epoch())
+	}
+	sameSketchSet(t, "cumulative", r.Cumulative(), liveCum)
+	sameSketchSet(t, "cumulative-vs-offline", r.Cumulative(), mergeAll(t, epochs))
+	retained := r.Retained()
+	if len(retained) != 5 {
+		t.Fatalf("recovered %d retained epochs, want 5", len(retained))
+	}
+	for i, rec := range retained {
+		if rec.Epoch != i+1 {
+			t.Fatalf("retained[%d].Epoch = %d", i, rec.Epoch)
+		}
+		sameSketchSet(t, fmt.Sprintf("epoch %d", rec.Epoch), rec.Sketches, epochs[i])
+	}
+	// Range queries over the recovered ring equal the offline merge.
+	got, err := r.Range(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSketchSet(t, "range 2..4", got, mergeAll(t, epochs[1:4]))
+}
+
+// TestCrashAfterUnacknowledgedAppend simulates a SIGKILL between the
+// segment rename and the manifest append: the segment exists but no
+// manifest line does. Recovery must serve exactly the acknowledged prefix,
+// and the next append must reuse the epoch number cleanly.
+func TestCrashAfterUnacknowledgedAppend(t *testing.T) {
+	dir := t.TempDir()
+	epochs := buildEpochs(t, 4, 150)
+
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, epochs[:3])
+	s.Close()
+
+	// Simulate: epoch 4's segment landed, its manifest line did not.
+	manifest, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := openWritable(t, dir, 8)
+	if _, err := s2.AppendEpoch(epochs[3]); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), manifest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openWritable(t, dir, 8)
+	if r.Epoch() != 3 {
+		t.Fatalf("recovered epoch %d, want the acknowledged prefix 3", r.Epoch())
+	}
+	sameSketchSet(t, "prefix cumulative", r.Cumulative(), mergeAll(t, epochs[:3]))
+	// Epoch 4 again: the orphaned segment is overwritten, not tripped over.
+	if epoch, err := r.AppendEpoch(epochs[3]); err != nil || epoch != 4 {
+		t.Fatalf("re-append after orphan: epoch %d, err %v", epoch, err)
+	}
+	sameSketchSet(t, "re-appended cumulative", r.Cumulative(), mergeAll(t, epochs))
+}
+
+// TestTornManifestTailTolerated: a crash mid-manifest-append leaves a
+// partial final line; recovery drops it (it was never acknowledged) and
+// serves the prefix.
+func TestTornManifestTailTolerated(t *testing.T) {
+	for _, cut := range []int{1, 10, 20} {
+		dir := t.TempDir()
+		epochs := buildEpochs(t, 3, 100)
+		s := openWritable(t, dir, 8)
+		appendAll(t, s, epochs)
+		s.Close()
+
+		mpath := filepath.Join(dir, manifestName)
+		data, err := os.ReadFile(mpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+		last := lines[len(lines)-1]
+		if cut >= len(last) {
+			t.Fatalf("cut %d exceeds final line length %d", cut, len(last))
+		}
+		torn := strings.Join(lines[:len(lines)-1], "") + last[:cut]
+		if err := os.WriteFile(mpath, []byte(torn), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		r := openWritable(t, dir, 8)
+		if r.Epoch() != 2 {
+			t.Fatalf("cut=%d: recovered epoch %d, want 2", cut, r.Epoch())
+		}
+		sameSketchSet(t, "torn-tail cumulative", r.Cumulative(), mergeAll(t, epochs[:2]))
+		r.Close()
+	}
+}
+
+// TestCorruptionIsTyped: non-tail manifest damage and segment damage (flip,
+// truncation, deletion) refuse to open with typed errors — corrupt
+// acknowledged state is never silently served.
+func TestCorruptionIsTyped(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		s := openWritable(t, dir, 8)
+		appendAll(t, s, buildEpochs(t, 3, 100))
+		s.Close()
+		return dir
+	}
+	reopen := func(dir string) error {
+		s, err := Open(Config{Dir: dir, Retain: 8, Sample: testSample, Assignments: 2})
+		if err == nil {
+			s.Close()
+		}
+		return err
+	}
+
+	t.Run("corrupt manifest middle line", func(t *testing.T) {
+		dir := build(t)
+		mpath := filepath.Join(dir, manifestName)
+		data, _ := os.ReadFile(mpath)
+		lines := strings.Split(string(data), "\n")
+		lines[1] = "E x" + lines[1][3:] // damage epoch 1's record
+		os.WriteFile(mpath, []byte(strings.Join(lines, "\n")), 0o644)
+		var ce *CorruptError
+		if err := reopen(dir); !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *CorruptError", err)
+		}
+	})
+
+	t.Run("flipped segment byte", func(t *testing.T) {
+		dir := build(t)
+		seg := filepath.Join(dir, segmentName("epoch", 2))
+		data, _ := os.ReadFile(seg)
+		data[len(data)/2] ^= 0x01
+		os.WriteFile(seg, data, 0o644)
+		var ce *CorruptError
+		if err := reopen(dir); !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *CorruptError", err)
+		}
+	})
+
+	t.Run("truncated segment", func(t *testing.T) {
+		dir := build(t)
+		seg := filepath.Join(dir, segmentName("epoch", 3))
+		data, _ := os.ReadFile(seg)
+		os.WriteFile(seg, data[:len(data)-7], 0o644)
+		var ce *CorruptError
+		if err := reopen(dir); !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *CorruptError", err)
+		}
+	})
+
+	t.Run("missing segment", func(t *testing.T) {
+		dir := build(t)
+		os.Remove(filepath.Join(dir, segmentName("epoch", 1)))
+		var ce *CorruptError
+		if err := reopen(dir); !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *CorruptError", err)
+		}
+	})
+
+	t.Run("damaged header", func(t *testing.T) {
+		dir := build(t)
+		mpath := filepath.Join(dir, manifestName)
+		data, _ := os.ReadFile(mpath)
+		data[0] ^= 0x01
+		os.WriteFile(mpath, data, 0o644)
+		var ce *CorruptError
+		if err := reopen(dir); !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *CorruptError", err)
+		}
+	})
+}
+
+// TestConfigMismatchIsTyped: opening a store under a different sampling
+// configuration (or assignment count) fails with *MismatchError.
+func TestConfigMismatchIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, buildEpochs(t, 2, 100))
+	s.Close()
+
+	other := testSample
+	other.Seed = 78
+	var me *MismatchError
+	if _, err := Open(Config{Dir: dir, Retain: 8, Sample: other, Assignments: 2}); !errors.As(err, &me) {
+		t.Fatalf("different seed: err = %v, want *MismatchError", err)
+	}
+	if _, err := Open(Config{Dir: dir, Retain: 8, Sample: testSample, Assignments: 3}); !errors.As(err, &me) {
+		t.Fatalf("different assignments: err = %v, want *MismatchError", err)
+	}
+}
+
+// TestCompactionBoundsDiskAndKeepsCumulativeExact: with retain=r, only the
+// r most recent epochs keep segment files, compacted history lives in one
+// cumulative segment, and the cumulative sketches stay bit-identical to
+// the full offline merge across reopenings.
+func TestCompactionBoundsDiskAndKeepsCumulativeExact(t *testing.T) {
+	dir := t.TempDir()
+	const retain = 3
+	epochs := buildEpochs(t, 10, 120)
+
+	s := openWritable(t, dir, retain)
+	appendAll(t, s, epochs)
+	if got := s.CompactedThrough(); got != 7 {
+		t.Fatalf("compacted through %d, want 7", got)
+	}
+	sameSketchSet(t, "live cumulative", s.Cumulative(), mergeAll(t, epochs))
+	s.Close()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) != retain+1 {
+		t.Fatalf("disk holds %d segments %v, want retain+1 = %d", len(segs), segs, retain+1)
+	}
+
+	r := openWritable(t, dir, retain)
+	if r.Epoch() != 10 || r.CompactedThrough() != 7 {
+		t.Fatalf("recovered epoch %d / through %d", r.Epoch(), r.CompactedThrough())
+	}
+	sameSketchSet(t, "recovered cumulative", r.Cumulative(), mergeAll(t, epochs))
+
+	// Compacted epochs are not range-queryable; retained ones are exact.
+	if _, err := r.Range(6, 8); err == nil || !strings.Contains(err.Error(), "compacted") {
+		t.Fatalf("range into compacted history: err = %v", err)
+	}
+	if _, err := r.Range(8, 11); err == nil {
+		t.Fatal("range beyond last epoch accepted")
+	}
+	got, err := r.Range(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSketchSet(t, "range 8..10", got, mergeAll(t, epochs[7:]))
+	one, err := r.Range(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSketchSet(t, "range 9..9", one, epochs[8])
+}
+
+// TestRetainZeroCompactsEverything: retain=0 keeps no individual epochs —
+// pure durability, bounded to one cumulative segment.
+func TestRetainZeroCompactsEverything(t *testing.T) {
+	dir := t.TempDir()
+	epochs := buildEpochs(t, 4, 100)
+	s := openWritable(t, dir, 0)
+	appendAll(t, s, epochs)
+	if len(s.Retained()) != 0 || s.CompactedThrough() != 4 {
+		t.Fatalf("retained %d / through %d, want 0 / 4", len(s.Retained()), s.CompactedThrough())
+	}
+	sameSketchSet(t, "cumulative", s.Cumulative(), mergeAll(t, epochs))
+	s.Close()
+	r := openWritable(t, dir, 0)
+	sameSketchSet(t, "recovered", r.Cumulative(), mergeAll(t, epochs))
+}
+
+// TestReadOnlyOpen: a store opened without a configuration recovers
+// everything, reconstructs the sampling configuration from the stored
+// sketches, and refuses writes.
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	epochs := buildEpochs(t, 4, 100)
+	s := openWritable(t, dir, 2)
+	appendAll(t, s, epochs)
+	s.Close()
+
+	r, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Epoch() != 4 || r.Assignments() != 2 {
+		t.Fatalf("read-only recovered epoch %d / assignments %d", r.Epoch(), r.Assignments())
+	}
+	cfg, ok := r.SampleConfig()
+	if !ok || cfg != testSample {
+		t.Fatalf("SampleConfig = %+v, %v; want %+v", cfg, ok, testSample)
+	}
+	sameSketchSet(t, "read-only cumulative", r.Cumulative(), mergeAll(t, epochs))
+	if _, err := r.AppendEpoch(epochs[0]); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("read-only append: err = %v", err)
+	}
+
+	if _, err := Open(Config{Dir: t.TempDir()}); err == nil || !strings.Contains(err.Error(), "not a store") {
+		t.Fatalf("read-only open of empty dir: err = %v", err)
+	}
+}
+
+// TestGarbageCollection: tmp orphans and unreferenced segments are removed
+// on writable open.
+func TestGarbageCollection(t *testing.T) {
+	dir := t.TempDir()
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, buildEpochs(t, 2, 50))
+	s.Close()
+	for _, junk := range []string{"epoch-000009.seg", "cum-000001.seg", "epoch-000001.seg.tmp-junk"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := openWritable(t, dir, 8)
+	r.Close()
+	for _, junk := range []string{"epoch-000009.seg", "cum-000001.seg", "epoch-000001.seg.tmp-junk"} {
+		if _, err := os.Stat(filepath.Join(dir, junk)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("%s survived garbage collection", junk)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentName("epoch", 2))); err != nil {
+		t.Errorf("referenced segment collected: %v", err)
+	}
+}
+
+// TestOpenValidation: invalid configurations are rejected up front.
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{Dir: t.TempDir(), Sample: testSample}); err == nil {
+		t.Error("assignments=0 with sample accepted")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), Assignments: 2}); err == nil {
+		t.Error("zero sample with assignments accepted")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), Retain: -1, Sample: testSample, Assignments: 2}); err == nil {
+		t.Error("negative retain accepted")
+	}
+}
+
+// TestTerminatedCorruptFinalLineIsCorruption: only an *unterminated*
+// final manifest line is a torn append. A newline-terminated final line
+// that fails its checksum is acknowledged state hit by bit rot and must
+// refuse to open — not be silently dropped (which would discard the
+// acknowledged epoch and garbage-collect its segment).
+func TestTerminatedCorruptFinalLineIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, buildEpochs(t, 3, 100))
+	s.Close()
+
+	mpath := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the final line, keeping its trailing newline.
+	mut := append([]byte(nil), data...)
+	mut[len(mut)-10] ^= 0x01
+	if err := os.WriteFile(mpath, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, err := Open(Config{Dir: dir, Retain: 8, Sample: testSample, Assignments: 2}); !errors.As(err, &ce) {
+		t.Fatalf("newline-terminated corrupt final line: err = %v, want *CorruptError", err)
+	}
+	// The acknowledged segment must survive the failed open.
+	if _, err := os.Stat(filepath.Join(dir, segmentName("epoch", 3))); err != nil {
+		t.Fatalf("failed open deleted acknowledged segment: %v", err)
+	}
+}
+
+// TestTornTailIsTruncatedOnReopen: a writable open heals a torn manifest
+// tail by truncating it, so the next append starts on a fresh line
+// instead of concatenating onto partial bytes.
+func TestTornTailIsTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	epochs := buildEpochs(t, 4, 100)
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, epochs[:3])
+	s.Close()
+
+	mpath := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final line: drop its newline and half its bytes.
+	if err := os.WriteFile(mpath, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openWritable(t, dir, 8)
+	if r.Epoch() != 2 {
+		t.Fatalf("recovered epoch %d, want 2", r.Epoch())
+	}
+	// Appends after the heal must produce a cleanly parseable manifest.
+	if epoch, err := r.AppendEpoch(epochs[2]); err != nil || epoch != 3 {
+		t.Fatalf("append after torn-tail heal: epoch %d, err %v", epoch, err)
+	}
+	if epoch, err := r.AppendEpoch(epochs[3]); err != nil || epoch != 4 {
+		t.Fatalf("second append after heal: epoch %d, err %v", epoch, err)
+	}
+	r.Close()
+	r2 := openWritable(t, dir, 8)
+	if r2.Epoch() != 4 {
+		t.Fatalf("re-recovered epoch %d, want 4", r2.Epoch())
+	}
+	sameSketchSet(t, "healed cumulative", r2.Cumulative(), mergeAll(t, epochs))
+}
+
+// TestBrokenAfterManifestAppendFailure: once a manifest append fails, the
+// store refuses further appends until a reopen (which truncates the
+// partial bytes) — a later append must never concatenate onto junk.
+func TestBrokenAfterManifestAppendFailure(t *testing.T) {
+	dir := t.TempDir()
+	epochs := buildEpochs(t, 3, 80)
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, epochs[:1])
+
+	// Force the next manifest write to fail: close the handle underneath.
+	s.mu.Lock()
+	s.manifest.Close()
+	s.mu.Unlock()
+	if _, err := s.AppendEpoch(epochs[1]); err == nil {
+		t.Fatal("append with a closed manifest succeeded")
+	}
+	if _, err := s.AppendEpoch(epochs[2]); err == nil || !strings.Contains(err.Error(), "reopen") {
+		t.Fatalf("append after failure: err = %v, want refusal pointing at reopen", err)
+	}
+
+	// Reopen recovers the acknowledged prefix and appends work again.
+	s.Close() // release the writer flock, as the dying process would
+	r := openWritable(t, dir, 8)
+	if r.Epoch() != 1 {
+		t.Fatalf("recovered epoch %d, want 1", r.Epoch())
+	}
+	if epoch, err := r.AppendEpoch(epochs[1]); err != nil || epoch != 2 {
+		t.Fatalf("append after reopen: epoch %d, err %v", epoch, err)
+	}
+}
+
+// TestWriterLockIsExclusive: a second writable open of the same directory
+// is refused while the first holds the flock (two writers would corrupt
+// acknowledged history); read-only opens are unaffected, and the lock
+// dies with Close.
+func TestWriterLockIsExclusive(t *testing.T) {
+	dir := t.TempDir()
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, buildEpochs(t, 1, 50))
+
+	if _, err := Open(Config{Dir: dir, Retain: 8, Sample: testSample, Assignments: 2}); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second writable open: err = %v, want lock refusal", err)
+	}
+	ro, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("read-only open while locked: %v", err)
+	}
+	ro.Close()
+
+	s.Close()
+	again := openWritable(t, dir, 8)
+	if again.Epoch() != 1 {
+		t.Fatalf("reopen after Close: epoch %d, want 1", again.Epoch())
+	}
+}
+
+// TestRefusesToInitializeOverSegments: a writable open of a directory
+// holding segment files but no manifest must refuse — initializing would
+// garbage-collect the very data the store exists to protect.
+func TestRefusesToInitializeOverSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openWritable(t, dir, 8)
+	appendAll(t, s, buildEpochs(t, 2, 50))
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	var ce *CorruptError
+	if _, err := Open(Config{Dir: dir, Retain: 8, Sample: testSample, Assignments: 2}); !errors.As(err, &ce) {
+		t.Fatalf("init over orphaned segments: err = %v, want *CorruptError", err)
+	}
+	// The segments must survive the refused open.
+	for e := 1; e <= 2; e++ {
+		if _, err := os.Stat(filepath.Join(dir, segmentName("epoch", e))); err != nil {
+			t.Fatalf("refused open deleted segment %d: %v", e, err)
+		}
+	}
+}
