@@ -259,6 +259,7 @@ func MergeSketches(sketches ...*BottomK) (*BottomK, error) {
 // common configuration the caller vouches for. Getting that wrong silently
 // corrupts every downstream estimate; prefer MergeSketches.
 func MergeSketchesUnchecked(sketches ...*BottomK) *BottomK {
+	//cws:allow-unchecked deliberate re-export of the escape hatch: the facade's documented contract passes the provenance obligation to the caller
 	return sketch.MergeUnchecked(sketches...)
 }
 

@@ -33,12 +33,16 @@ func fnv1a(basis uint64, key string) uint64 {
 
 // Hash64 returns a 64-bit hash of key seeded with seed. Identical (seed, key)
 // pairs always produce identical values, across processes and platforms.
+//
+//cws:hotpath
 func Hash64(seed uint64, key string) uint64 {
 	return Mix64(fnv1a(fnvOffset^Mix64(seed), key))
 }
 
 // Mix64 is the splitmix64 finalizer: a bijective avalanche mix of a 64-bit
 // word. Every input bit affects every output bit with probability ~1/2.
+//
+//cws:hotpath
 func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -53,6 +57,8 @@ func Mix64(x uint64) uint64 {
 // 1 − 2^-53, both exactly representable: 0 and 1 are unreachable even after
 // rounding. Open-interval values keep rank quantile functions finite and
 // positive for positive weights.
+//
+//cws:hotpath
 func Unit(x uint64) float64 {
 	return (float64(x>>12) + 0.5) * (1.0 / (1 << 52))
 }
@@ -90,6 +96,8 @@ const shardSalt uint64 = 0x9e3779b97f4a7c15
 // shards. It deliberately takes no user seed: shard routing must not depend
 // on the rank hash, so that how a stream is partitioned can never correlate
 // with which keys the coordinated samples retain.
+//
+//cws:hotpath
 func ShardHash(key string) uint64 {
 	return Mix64(fnv1a(fnvOffset^shardSalt, key))
 }

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField catches mixed atomic/non-atomic access to struct fields.
+//
+// A field whose address is passed to a sync/atomic function anywhere in the
+// package is an atomic field: every other access to it must also be atomic,
+// or the two access disciplines race — the class of bug the race detector
+// only reports when the scheduler happens to interleave them (the PR-4
+// admission-threshold design notes lean on exactly this discipline). The
+// analyzer flags any plain read, write, or address-taking of such a field
+// outside a sync/atomic call. Composite-literal keys are exempt
+// (initialization before the value is shared); anything else needs a
+//
+//	//cws:allow-nonatomic <reason>
+//
+// annotation. Fields declared with the atomic.Int64/Uint64/Pointer/... types
+// need no checking — their method set makes non-atomic access inexpressible,
+// which is why the repository prefers them (sketch.BottomKBuilder.admission,
+// server.Server.snap).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag non-atomic access to struct fields that are accessed with sync/atomic elsewhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(p *Pass) {
+	// Pass 1: find the atomic fields — field objects whose address is an
+	// argument to a sync/atomic function — and remember the exact
+	// SelectorExpr nodes already inside atomic calls.
+	atomicFields := make(map[*types.Var]bool)
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.callee(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := p.fieldOf(sel); field != nil {
+					atomicFields[field] = true
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		p.CheckDirectives("allow-nonatomic")
+		return
+	}
+
+	// Pass 2: every other access to an atomic field is a violation.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := p.fieldOf(sel)
+			if field == nil || !atomicFields[field] || inAtomicCall[sel] {
+				return true
+			}
+			if p.Allowed(sel.Pos(), "allow-nonatomic") {
+				return true
+			}
+			p.Reportf(sel.Pos(), "non-atomic access to field %s, which is accessed with sync/atomic elsewhere in this package: mixed access races with the atomic users; use sync/atomic here too, or annotate with //cws:allow-nonatomic <reason>", field.Name())
+			return true
+		})
+	}
+	p.CheckDirectives("allow-nonatomic")
+}
+
+// fieldOf resolves a selector expression to the struct field it selects, or
+// nil when it selects something else (a method, a package member).
+func (p *Pass) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, _ := selection.Obj().(*types.Var)
+	return field
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coordsample/internal/lint"
+	"coordsample/internal/lint/linttest"
+)
+
+func TestFrozenWrite(t *testing.T) {
+	linttest.Run(t, lint.FrozenWrite, "frozenwrite")
+}

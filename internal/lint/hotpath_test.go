@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coordsample/internal/lint"
+	"coordsample/internal/lint/linttest"
+)
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, lint.HotPath, "hotpath")
+}

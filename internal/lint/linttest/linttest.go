@@ -1,0 +1,128 @@
+// Package linttest is the fixture harness for the cws-vet analyzers: a
+// stdlib-only analogue of golang.org/x/tools' analysistest. A test points it
+// at a package under testdata/src; the harness type-checks the fixture with
+// lint.Loader, runs one analyzer, and checks the diagnostics against
+//
+//	// want "regexp" "regexp"...
+//
+// comments in the fixture source: every diagnostic must match a want on its
+// line, and every want must be matched by a diagnostic. Fixtures therefore
+// document each analyzer's flagged AND allowed forms in the same file — the
+// allowed forms are simply the lines without a want.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"coordsample/internal/lint"
+)
+
+// Run loads testdata/src/<path> (relative to the test's working directory),
+// runs the analyzer over it, and reports mismatches against the fixture's
+// want comments.
+func Run(t *testing.T, a *lint.Analyzer, path string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("resolving testdata root: %v", err)
+	}
+	loader := lint.NewLoader(func(importPath string) (string, bool) {
+		dir := filepath.Join(root, filepath.FromSlash(importPath))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %q: %v", path, err)
+	}
+
+	var got []lint.Diagnostic
+	pass := lint.NewPass(a, loader.Fset, pkg.Files, pkg.Pkg, pkg.Info, func(d lint.Diagnostic) {
+		got = append(got, d)
+	})
+	a.Run(pass)
+
+	wants := collectWants(t, loader, pkg.Files)
+	for _, d := range got {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !claim(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.re.String())
+			}
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched want whose pattern matches the message.
+func claim(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want "..."` comment, keyed by file:line.
+func collectWants(t *testing.T, loader *lint.Loader, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				// A want may be the whole comment or share a //cws:
+				// directive's comment (the directive parser strips it from
+				// the reason).
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				rest := c.Text[i+len("// want "):]
+				pos := loader.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					quoted, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q: %v", key, c.Text, err)
+					}
+					pattern, err := strconv.Unquote(quoted)
+					if err != nil {
+						t.Fatalf("%s: unquoting %q: %v", key, quoted, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pattern, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+					rest = rest[len(quoted):]
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,36 @@
+// Package atomicfield exercises the atomicfield analyzer: a field whose
+// address reaches sync/atomic anywhere must be accessed atomically
+// everywhere; fields never touched atomically are unconstrained.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	name string
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counter) racyRead() uint64 {
+	return c.hits // want `non-atomic access to field hits`
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want `non-atomic access to field hits`
+}
+
+func (c *counter) nameOK() string {
+	return c.name
+}
+
+func (c *counter) allowed() uint64 {
+	//cws:allow-nonatomic fixture: called before the counter is shared
+	return c.hits
+}

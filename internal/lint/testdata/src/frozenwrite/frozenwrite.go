@@ -1,0 +1,50 @@
+// Package frozenwrite exercises the frozenwrite analyzer: types published
+// through atomic.Pointer (snapshot) or annotated //cws:frozen (rangeState)
+// accept field writes only in functions that return them.
+package frozenwrite
+
+import "sync/atomic"
+
+type snapshot struct {
+	total  int
+	window int
+}
+
+//cws:frozen
+type rangeState struct {
+	lo, hi int
+}
+
+type server struct {
+	snap atomic.Pointer[snapshot]
+}
+
+func newSnapshot(total int) *snapshot {
+	s := &snapshot{}
+	s.total = total
+	return s
+}
+
+func freeze(sv *server, s *snapshot) {
+	s.window++ // want `write to field window of snapshot`
+	sv.snap.Store(s)
+}
+
+func patchRange(r *rangeState) {
+	r.hi = 9 // want `write to field hi of rangeState`
+}
+
+func buildRange(lo int) *rangeState {
+	r := new(rangeState)
+	r.lo = lo
+	return r
+}
+
+func allowedMutation(s *snapshot) {
+	//cws:allow-mutation fixture: this path runs before publication
+	s.total = 0
+}
+
+func readOK(sv *server) int {
+	return sv.snap.Load().total
+}

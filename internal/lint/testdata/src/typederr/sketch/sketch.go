@@ -1,0 +1,49 @@
+// Package sketch exercises the typederr analyzer's boundary rules (matched
+// by package-path suffix, like the real coordsample/internal/sketch):
+// errors built in exported functions must be attributable — package-
+// prefixed, wrapping with %w, or a documented typed error. Unexported
+// helpers are exempt; their callers wrap.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Anonymous() error {
+	return errors.New("merge failed") // want `errors.New at the sketch boundary`
+}
+
+func Unprefixed(n int) error {
+	return fmt.Errorf("bad entry %d", n) // want `without the "sketch: " prefix`
+}
+
+func PrefixedOK(n int) error {
+	return fmt.Errorf("sketch: bad entry %d", n)
+}
+
+func WrappedOK(err error) error {
+	return fmt.Errorf("merging shard: %w", err)
+}
+
+func AllowedSentinel() error {
+	//cws:allow-untyped fixture: historic sentinel message asserted by tests
+	return errors.New("legacy message")
+}
+
+// ParseDetail wraps its helper's error into boundary-attributable form.
+func ParseDetail(line string) error {
+	if err := parseLine(line); err != nil {
+		return fmt.Errorf("sketch: parsing %q: %w", line, err)
+	}
+	return nil
+}
+
+// parseLine is unexported: its detail errors never cross the boundary bare,
+// so the prefix rule does not apply here.
+func parseLine(line string) error {
+	if line == "" {
+		return errors.New("empty line")
+	}
+	return fmt.Errorf("want 7 fields, have %d", len(line))
+}

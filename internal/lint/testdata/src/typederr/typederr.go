@@ -1,0 +1,36 @@
+// Package typederr exercises the typederr analyzer outside the sketch/store
+// boundary: the chain-flattening check applies to every package; the
+// boundary checks do not.
+package typederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errBase shows errors.New is unconstrained outside the boundary packages.
+var errBase = errors.New("typederr: base failure")
+
+func flattenV(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `flattening its chain`
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want `flattening its chain`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func messageOK(n int) error {
+	if n < 0 {
+		return errBase
+	}
+	return fmt.Errorf("bad record %d", n)
+}
+
+func allowedRender(err error) error {
+	//cws:allow-untyped fixture: log-line rendering, never unwrapped upstream
+	return fmt.Errorf("note: %v", err)
+}

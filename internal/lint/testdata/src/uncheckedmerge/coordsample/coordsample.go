@@ -1,0 +1,10 @@
+// Package coordsample is a fixture stand-in for the module facade and its
+// MergeSketchesUnchecked re-export.
+package coordsample
+
+import "uncheckedmerge/sketch"
+
+// MergeSketchesUnchecked mirrors the facade's fingerprint-bypassing combine.
+func MergeSketchesUnchecked(sketches ...*sketch.Sketch) *sketch.Sketch {
+	return sketch.MergeUnchecked(sketches...)
+}

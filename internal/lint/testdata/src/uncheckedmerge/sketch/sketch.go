@@ -1,0 +1,23 @@
+// Package sketch is a fixture stand-in for coordsample/internal/sketch: the
+// analyzer matches bypassing combines by package-path suffix, so this
+// package's MergeUnchecked is treated exactly like the real one.
+package sketch
+
+// Sketch is a minimal stand-in for the bottom-k summary.
+type Sketch struct {
+	Entries []uint64
+}
+
+// Merge is the fingerprint-checked combine.
+func Merge(sketches ...*Sketch) (*Sketch, error) {
+	return MergeUnchecked(sketches...), nil
+}
+
+// MergeUnchecked is the fingerprint-bypassing combine.
+func MergeUnchecked(sketches ...*Sketch) *Sketch {
+	out := &Sketch{}
+	for _, s := range sketches {
+		out.Entries = append(out.Entries, s.Entries...)
+	}
+	return out
+}

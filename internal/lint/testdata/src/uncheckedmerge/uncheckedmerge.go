@@ -1,0 +1,41 @@
+// Package uncheckedmerge exercises the uncheckedmerge analyzer: every
+// fingerprint-bypassing combine needs a //cws:allow-unchecked reason, checked
+// merges and annotated calls pass, and reason-less or stale annotations are
+// themselves flagged.
+package uncheckedmerge
+
+import (
+	"uncheckedmerge/coordsample"
+	"uncheckedmerge/sketch"
+)
+
+func flagged(a, b *sketch.Sketch) *sketch.Sketch {
+	return sketch.MergeUnchecked(a, b) // want `bypasses fingerprint verification`
+}
+
+func flaggedFacade(a, b *sketch.Sketch) *sketch.Sketch {
+	return coordsample.MergeSketchesUnchecked(a, b) // want `bypasses fingerprint verification`
+}
+
+func checkedOK(a, b *sketch.Sketch) (*sketch.Sketch, error) {
+	return sketch.Merge(a, b)
+}
+
+func allowedLineAbove(a, b *sketch.Sketch) *sketch.Sketch {
+	//cws:allow-unchecked fixture: both inputs built by one constructor above
+	return sketch.MergeUnchecked(a, b)
+}
+
+func allowedSameLine(a, b *sketch.Sketch) *sketch.Sketch {
+	return sketch.MergeUnchecked(a, b) //cws:allow-unchecked fixture: same-line form
+}
+
+func reasonless(a, b *sketch.Sketch) *sketch.Sketch {
+	//cws:allow-unchecked // want `needs a reason`
+	return sketch.MergeUnchecked(a, b) // want `bypasses fingerprint verification`
+}
+
+func stale(a, b *sketch.Sketch) (*sketch.Sketch, error) {
+	//cws:allow-unchecked fixture: this merge became checked later // want `stale //cws:allow-unchecked`
+	return sketch.Merge(a, b)
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// TypedErr keeps the typed-error contract of the sketch and store package
+// boundaries honest.
+//
+// PR 2 and PR 5 made combination and corruption failures *typed*
+// (*FingerprintMismatchError, *CoordinationMismatchError,
+// *CorruptSegmentError, store.*CorruptError, ...), so callers dispatch with
+// errors.As instead of string matching — the server maps fingerprint
+// mismatches to 409 and persist failures to 500 this way. Two things erode
+// that contract silently, and this analyzer flags both:
+//
+//  1. Chain flattening, in every package: fmt.Errorf("...: %v", err) (or
+//     %s) renders an error into the message and discards its chain, so an
+//     errors.As/Is caller upstream stops seeing the typed error. Wrapping
+//     must use %w.
+//  2. Anonymous boundary errors, in the sketch and store packages: an
+//     error built in an exported function or at package scope without a
+//     chain (errors.New, or fmt.Errorf without %w) must carry the
+//     "sketch: "/"store: " package prefix that makes it attributable at the
+//     boundary — plain errors are built with fmt.Errorf so they carry
+//     context, and dispatchable failures are the documented typed errors.
+//     Unexported helpers are exempt: their errors are internal detail the
+//     boundary functions wrap (store's manifest parser feeds CorruptError's
+//     Detail field, for example) and never cross the boundary bare.
+//
+// Deliberate flattening (rendering an error for a human, never to be
+// unwrapped) is annotated //cws:allow-untyped <reason>.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "flag error-chain flattening (%v of an error in fmt.Errorf) and unattributable sketch/store boundary errors",
+	Run:  runTypedErr,
+}
+
+// typedErrBoundaries are the packages whose error constructors get the
+// boundary checks (rule 2).
+var typedErrBoundaries = []string{"internal/sketch", "internal/store"}
+
+func runTypedErr(p *Pass) {
+	boundary := false
+	for _, suffix := range typedErrBoundaries {
+		if pkgPathIs(p.Pkg, suffix) {
+			boundary = true
+		}
+	}
+	prefix := p.Pkg.Name() + ": "
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			// The boundary rules apply where errors actually cross the
+			// boundary: exported functions and package-scope sentinels.
+			// Unexported helpers' errors are wrapped by their callers.
+			atBoundary := boundary
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				atBoundary = boundary && fd.Name.IsExported()
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := p.callee(call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+					p.checkErrorf(call, atBoundary, prefix)
+				case atBoundary && fn.Pkg().Path() == "errors" && fn.Name() == "New":
+					if !p.Allowed(call.Pos(), "allow-untyped") {
+						p.Reportf(call.Pos(), "errors.New at the %s boundary: callers dispatch on this package's documented typed errors; define one (or build the message with fmt.Errorf so it carries context), or annotate with //cws:allow-untyped <reason>", p.Pkg.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+	p.CheckDirectives("allow-untyped")
+}
+
+// checkErrorf applies the chain-flattening check (everywhere) and the
+// boundary-prefix check (sketch/store) to one fmt.Errorf call.
+func (p *Pass) checkErrorf(call *ast.CallExpr, boundary bool, prefix string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := p.stringConstant(call.Args[0])
+	if !ok {
+		return // dynamic format string; nothing to analyze
+	}
+	verbs, exotic := formatVerbs(format)
+	if exotic {
+		return // explicit argument indexes etc.; stay silent rather than guess
+	}
+	wraps := false
+	for i, verb := range verbs {
+		argIndex := i + 1
+		if verb == 'w' {
+			wraps = true
+			continue
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		if argIndex >= len(call.Args) {
+			continue // malformed call; vet's printf check owns that
+		}
+		arg := call.Args[argIndex]
+		if !p.isErrorTyped(arg) {
+			continue
+		}
+		if p.Allowed(arg.Pos(), "allow-untyped") {
+			continue
+		}
+		p.Reportf(arg.Pos(), "fmt.Errorf formats an error with %%%c, flattening its chain: errors.Is/As callers stop seeing typed errors through this wrap; use %%w, or annotate with //cws:allow-untyped <reason>", verb)
+	}
+	if boundary && !wraps && !strings.HasPrefix(format, prefix) {
+		if !p.Allowed(call.Pos(), "allow-untyped") {
+			p.Reportf(call.Pos(), "error built at the %s boundary without the %q prefix: boundary errors must be attributable (or wrap an inner error with %%w); add the prefix, or annotate with //cws:allow-untyped <reason>", p.Pkg.Name(), prefix)
+		}
+	}
+}
+
+// stringConstant returns the constant string value of an expression.
+func (p *Pass) stringConstant(e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrorTyped reports whether an expression's static type is error (or any
+// concrete type implementing it) — the arguments whose chain %v would drop.
+func (p *Pass) isErrorTyped(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		return false // constants are never errors worth chaining
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(tv.Type, errType) || types.Implements(types.NewPointer(tv.Type), errType)
+}
+
+// formatVerbs extracts the verb letters of a printf format string in
+// argument order. exotic is true for features the simple scanner does not
+// model (explicit argument indexes, * width/precision), in which case the
+// caller skips the check.
+func formatVerbs(format string) (verbs []byte, exotic bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, width, and precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, true // explicit argument index
+			}
+			if c == '*' {
+				return nil, true // width/precision consumes an argument
+			}
+			if strings.ContainsRune("+-# 0123456789.", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, false
+}

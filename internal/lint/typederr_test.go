@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coordsample/internal/lint"
+	"coordsample/internal/lint/linttest"
+)
+
+func TestTypedErrFlattening(t *testing.T) {
+	linttest.Run(t, lint.TypedErr, "typederr")
+}
+
+func TestTypedErrBoundary(t *testing.T) {
+	linttest.Run(t, lint.TypedErr, "typederr/sketch")
+}

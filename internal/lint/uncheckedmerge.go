@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// UncheckedMerge turns the fingerprint-bypassing merge escape hatches into
+// an audited allowlist.
+//
+// sketch.Merge refuses to combine sketches whose configuration fingerprints
+// are absent or disagree — that verification is the PR-2 fix for the silent
+// cross-configuration corruption hole. sketch.MergeUnchecked (and the
+// coordsample facade's MergeSketchesUnchecked) deliberately bypass it for
+// legacy fingerprint-less construction paths; a call site that reaches one
+// of them with sketches of unknown provenance silently yields a merged
+// sample that is not a bottom-k sample of anything. This analyzer flags
+// every call to a bypassing combine unless the call site carries an
+// explicit
+//
+//	//cws:allow-unchecked <reason>
+//
+// annotation (same line or the line above), so `git grep cws:allow-unchecked`
+// is the complete audit of where verification is bypassed, each entry with
+// its justification. Stale or reason-less annotations are flagged too.
+var UncheckedMerge = &Analyzer{
+	Name: "uncheckedmerge",
+	Doc:  "flag fingerprint-bypassing sketch combines lacking a //cws:allow-unchecked annotation",
+	Run:  runUncheckedMerge,
+}
+
+// bypassFuncs are the fingerprint-bypassing combines, by defining package
+// (a pkgPathIs suffix) and function name.
+var bypassFuncs = map[string][]string{
+	"internal/sketch": {"MergeUnchecked"},
+	"coordsample":     {"MergeSketchesUnchecked"},
+}
+
+func runUncheckedMerge(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.callee(call)
+			if fn == nil {
+				return true
+			}
+			for suffix, names := range bypassFuncs {
+				if !pkgPathIs(fn.Pkg(), suffix) {
+					continue
+				}
+				for _, name := range names {
+					if fn.Name() != name {
+						continue
+					}
+					if p.Allowed(call.Pos(), "allow-unchecked") {
+						continue
+					}
+					p.Reportf(call.Pos(), "call to %s bypasses fingerprint verification and can silently corrupt every downstream estimate; use the fingerprint-checked merge, or annotate with //cws:allow-unchecked <reason>", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	p.CheckDirectives("allow-unchecked")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"coordsample/internal/lint"
+	"coordsample/internal/lint/linttest"
+)
+
+func TestUncheckedMerge(t *testing.T) {
+	linttest.Run(t, lint.UncheckedMerge, "uncheckedmerge")
+}

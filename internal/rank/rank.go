@@ -77,6 +77,8 @@ func (f Family) CDF(w, x float64) float64 {
 
 // Quantile evaluates F_w^{-1}(u) for u in (0,1): the rank value whose CDF is
 // u. Zero weight maps every seed to +Inf (the key can never be sampled).
+//
+//cws:hotpath
 func (f Family) Quantile(w, u float64) float64 {
 	if w <= 0 {
 		return math.Inf(1)
@@ -116,6 +118,8 @@ func (f Family) Quantile(w, u float64) float64 {
 // admission threshold was at most threshold at any point after the item was
 // drawn is guaranteed to reject it. threshold = +Inf (sample not yet full)
 // never rejects.
+//
+//cws:hotpath
 func (f Family) RejectsSeed(u, w, threshold float64) bool {
 	return u > w*threshold
 }
@@ -127,6 +131,8 @@ func (f Family) RejectsSeed(u, w, threshold float64) bool {
 // NoteRejected) use it to skip the quantile evaluation for pruned items
 // that cannot improve the running minimum — the running minimum of a
 // sequence of random ranks improves only O(log n) times.
+//
+//cws:hotpath
 func (f Family) SeedMayRankBelow(u, w, bound float64) bool {
 	return u < w*bound
 }

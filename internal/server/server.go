@@ -225,6 +225,11 @@ type epochSet struct {
 // rangeState is the lazily built, memoized serving state of one epoch
 // window lo..hi: the merged per-assignment sketches of the window's
 // epochs, their dispersed summary, and the window's own AW-summary memo.
+// It is reachable from published snapshots, so it obeys the same
+// write-once discipline (//cws:frozen is checked by the frozenwrite
+// analyzer; the embedded awMemo stays internally synchronized).
+//
+//cws:frozen
 type rangeState struct {
 	sketches []*sketch.BottomK
 	summary  *estimate.Dispersed
@@ -624,8 +629,11 @@ func (s *Server) newIngestState() *ingestState {
 }
 
 // add buffers one validated observation and flushes when the batch is full.
+//
+//cws:hotpath
 func (st *ingestState) add(assignment int, key string, weight float64) error {
 	per := *st.per
+	//cws:allow-alloc amortized growth of a pooled buffer; steady-state capacity is reached after the first flush cycle
 	per[assignment] = append(per[assignment], shard.Observation{Key: key, Weight: weight})
 	st.buffered++
 	if st.buffered >= ingestFlushEvery {
@@ -636,11 +644,14 @@ func (st *ingestState) add(assignment int, key string, weight float64) error {
 
 // flush hands the buffered observations to the epoch sketchers under one
 // lock acquisition and resets the buffers for reuse.
+//
+//cws:hotpath
 func (st *ingestState) flush() error {
 	if st.buffered == 0 {
 		return nil
 	}
 	s := st.srv
+	//cws:allow-alloc one lock per ingestFlushEvery records is the designed flush boundary, amortized to ~0 per record
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -654,6 +665,7 @@ func (st *ingestState) flush() error {
 	}
 	s.dirty = true
 	st.epoch = s.epoch
+	//cws:allow-alloc paired with the flush-boundary Lock above
 	s.mu.Unlock()
 	s.offers.Add(int64(st.buffered))
 	st.accepted += st.buffered
@@ -765,34 +777,37 @@ func (s *Server) ingestNDJSON(st *ingestState, r *http.Request, w http.ResponseW
 // ingestBinary decodes the length-prefixed binary framing. The key buffer
 // is reused across records; only the key string itself is allocated (the
 // sketch layer retains sampled keys, so they cannot alias a shared buffer).
+//
+//cws:hotpath
 func (s *Server) ingestBinary(st *ingestState, r *http.Request) error {
-	br := bufio.NewReaderSize(r.Body, 64<<10)
-	keyBuf := make([]byte, 0, 256)
-	wb := make([]byte, 8) // hoisted: a loop-local array would escape through io.ReadFull and allocate per record
+	br := bufio.NewReaderSize(r.Body, 64<<10) //cws:allow-alloc request prologue, one reader per stream, amortized over every record in it
+	keyBuf := make([]byte, 0, 256)            //cws:allow-alloc request prologue, reused across all records
+	wb := make([]byte, 8)                     //cws:allow-alloc hoisted per request; a loop-local array would escape through io.ReadFull and allocate per record
 	for n := 0; ; n++ {
 		assignment, err := binary.ReadUvarint(br)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
-			return fmt.Errorf("record %d: reading assignment: %v", n, err)
+			return fmt.Errorf("record %d: reading assignment: %w", n, err)
 		}
 		keyLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			return fmt.Errorf("record %d: reading key length: %v", n, err)
+			return fmt.Errorf("record %d: reading key length: %w", n, err)
 		}
 		if keyLen > maxIngestKeyLen {
 			return fmt.Errorf("record %d: key length %d exceeds %d", n, keyLen, maxIngestKeyLen)
 		}
 		if cap(keyBuf) < int(keyLen) {
+			//cws:allow-alloc key-buffer growth saturates at the stream's longest key, then never reallocates
 			keyBuf = make([]byte, 0, keyLen)
 		}
 		keyBuf = keyBuf[:keyLen]
 		if _, err := io.ReadFull(br, keyBuf); err != nil {
-			return fmt.Errorf("record %d: reading key: %v", n, err)
+			return fmt.Errorf("record %d: reading key: %w", n, err)
 		}
 		if _, err := io.ReadFull(br, wb); err != nil {
-			return fmt.Errorf("record %d: reading weight: %v", n, err)
+			return fmt.Errorf("record %d: reading weight: %w", n, err)
 		}
 		weight := math.Float64frombits(binary.LittleEndian.Uint64(wb))
 		// Validate before materializing the key string: skipped and
@@ -806,6 +821,7 @@ func (s *Server) ingestBinary(st *ingestState, r *http.Request) error {
 		if weight == 0 {
 			continue
 		}
+		//cws:allow-alloc the one deliberate allocation per accepted record: the sketch layer retains sampled keys, so they must not alias the reused buffer
 		if err := st.add(int(assignment), string(keyBuf), weight); err != nil {
 			return err
 		}

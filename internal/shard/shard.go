@@ -190,6 +190,8 @@ func (s *Sketcher) drain(ch <-chan *[]item) {
 // Keys must be pre-aggregated (each key offered at most once), exactly as
 // for the single-stream sketcher. Nonpositive, NaN, and +Inf weights are
 // never sampled and are rejected here, before any hashing or routing cost.
+//
+//cws:hotpath
 func (s *Sketcher) Offer(key string, weight float64) {
 	if !(weight > 0) || math.IsInf(weight, 1) {
 		return
@@ -201,6 +203,8 @@ func (s *Sketcher) Offer(key string, weight float64) {
 // shard's published admission threshold, and batch the survivors. h must be
 // Hash64(s.hashSeed, key) — MultiSketcher computes it once per key and fans
 // it to every assignment's sketcher under SharedSeed coordination.
+//
+//cws:hotpath
 func (s *Sketcher) offerHashed(key string, h uint64, weight float64) {
 	if s.closed {
 		panic("shard: Offer after Sketch")
@@ -225,8 +229,10 @@ func (s *Sketcher) offerHashed(key string, h uint64, weight float64) {
 	}
 	w := int(sh) % s.workers
 	p := s.pending[w]
+	//cws:allow-alloc pooled batch buffers are pre-sized to batchSize; append never grows past the pool's capacity in steady state
 	*p = append(*p, item{key: key, u: u, weight: weight, shard: int32(sh)})
 	if len(*p) == batchSize {
+		//cws:allow-alloc hand-off of a full batch every batchSize offers; channel capacity is sized so steady-state sends do not block
 		s.chans[w] <- p
 		s.pending[w] = batchPool.Get().(*[]item)
 	}
@@ -244,6 +250,8 @@ type Observation struct {
 // single producer goroutine at a time; callers that serialize producers
 // behind a lock (the HTTP server's ingest path) use it to amortize the
 // lock acquisition and call overhead over the whole batch.
+//
+//cws:hotpath
 func (s *Sketcher) OfferBatch(obs []Observation) {
 	for _, o := range obs {
 		s.Offer(o.Key, o.Weight)
@@ -336,11 +344,15 @@ func NewMultiSketcher(assigner rank.Assigner, assignments, k, shards, workers in
 
 // Offer presents one aggregated key with its weight in one assignment —
 // the dispersed-stream entry point.
+//
+//cws:hotpath
 func (m *MultiSketcher) Offer(assignment int, key string, weight float64) {
 	m.sketchers[assignment].Offer(key, weight)
 }
 
 // OfferBatch presents a batch of observations for one assignment.
+//
+//cws:hotpath
 func (m *MultiSketcher) OfferBatch(assignment int, obs []Observation) {
 	m.sketchers[assignment].OfferBatch(obs)
 }
@@ -348,6 +360,8 @@ func (m *MultiSketcher) OfferBatch(assignment int, obs []Observation) {
 // OfferVector presents one key with its weight in every assignment at once
 // (colocated-style input). Under SharedSeed the key is hashed exactly once;
 // under Independent each assignment needs its own hash by definition.
+//
+//cws:hotpath
 func (m *MultiSketcher) OfferVector(key string, weights []float64) {
 	if len(weights) != len(m.sketchers) {
 		panic("shard: weight vector length mismatch")

@@ -180,6 +180,8 @@ func NewBottomKBuilderWithFingerprint(k int, fingerprint uint64) *BottomKBuilder
 // bit-exact.)
 //
 // Safe to call concurrently with Offer from any goroutine.
+//
+//cws:hotpath
 func (b *BottomKBuilder) AdmissionThreshold() float64 {
 	return math.Float64frombits(b.admission.Load())
 }
@@ -190,6 +192,8 @@ func (b *BottomKBuilder) AdmissionThreshold() float64 {
 // AdmissionThreshold returned at or after the item was drawn. Feeding only
 // the minimum rank over all pruned items is equivalent to offering each of
 // them. +Inf (no items pruned) is a no-op. Not safe concurrently with Offer.
+//
+//cws:hotpath
 func (b *BottomKBuilder) NoteRejected(rank float64) {
 	if rank < b.next {
 		b.next = rank
@@ -198,6 +202,8 @@ func (b *BottomKBuilder) NoteRejected(rank float64) {
 
 // Offer presents one aggregated key with its rank and weight. Keys with
 // nonpositive weight or infinite rank are never sampled and are skipped.
+//
+//cws:hotpath
 func (b *BottomKBuilder) Offer(key string, rankValue, weight float64) {
 	if weight <= 0 || math.IsInf(rankValue, 1) || math.IsNaN(rankValue) {
 		return
@@ -246,6 +252,7 @@ func (b *BottomKBuilder) Sketch() *BottomK {
 }
 
 func (b *BottomKBuilder) push(e Entry) {
+	//cws:allow-alloc the heap is capped at k entries and NewBottomKBuilderConfig pre-sizes it; growth happens at most once for legacy constructors
 	b.heap = append(b.heap, e)
 	i := len(b.heap) - 1
 	for i > 0 {
@@ -395,6 +402,7 @@ func Merge(sketches ...*BottomK) (*BottomK, error) {
 			return nil, &FingerprintMismatchError{Index: i, Want: want, Got: s.fingerprint}
 		}
 	}
+	//cws:allow-unchecked every input's fingerprint was just verified equal above; this is the one sanctioned delegation
 	return MergeUnchecked(sketches...), nil
 }
 

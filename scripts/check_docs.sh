@@ -45,7 +45,35 @@ else
     fail=1
 fi
 
-# --- 3. doc examples are gofmt-clean ---
+# --- 3. DESIGN.md analyzer table matches the registered analyzers ---
+# The "Invariants as code" table (between the analyzers:begin/end markers)
+# must name exactly the analyzers internal/lint registers: a renamed,
+# added, or deleted analyzer must show up in the docs in the same PR.
+real=$(grep -ho 'Name: *"[a-z]*"' internal/lint/*.go | sed 's/.*"\(.*\)"/\1/' | sort -u)
+documented=$(sed -n '/<!-- analyzers:begin -->/,/<!-- analyzers:end -->/p' DESIGN.md |
+    grep -o '^| `[a-z]*`' | sed 's/[^a-z]//g' | sort -u)
+if [ -z "$real" ]; then
+    echo "internal/lint: no analyzer Name fields found"
+    fail=1
+fi
+if [ -z "$documented" ]; then
+    echo "DESIGN.md: analyzers:begin/end table missing or empty"
+    fail=1
+fi
+for name in $documented; do
+    if ! printf '%s\n' $real | grep -qx "$name"; then
+        echo "DESIGN.md documents analyzer '$name' but internal/lint does not register it"
+        fail=1
+    fi
+done
+for name in $real; do
+    if ! printf '%s\n' $documented | grep -qx "$name"; then
+        echo "internal/lint registers analyzer '$name' but DESIGN.md's invariants table omits it"
+        fail=1
+    fi
+done
+
+# --- 4. doc examples are gofmt-clean ---
 examples=$(gofmt -l example_test.go 2>/dev/null)
 if [ -n "$examples" ]; then
     echo "gofmt needed on doc examples: $examples"
