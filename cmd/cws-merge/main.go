@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -62,6 +63,7 @@ func run(args []string, stdout io.Writer) error {
 	l := fs.Int("l", 1, "ℓ for -query lth (1 = largest)")
 	rFlag := fs.String("R", "", "comma-separated assignment subset (default all)")
 	prefix := fs.String("prefix", "", "restrict to keys with this prefix (subpopulation)")
+	estimator := fs.String("estimator", "aw", "estimator family: "+coordsample.EstimatorNames)
 	storeDir := fs.String("store", "", "read a cws-serve durable epoch store directory instead of sketch files")
 	epochsFlag := fs.String("epochs", "", "with -store: restrict to the retained epoch window lo..hi (default: all epochs)")
 	verbose := fs.Bool("v", false, "describe each loaded sketch file (or the opened store)")
@@ -96,14 +98,24 @@ func run(args []string, stdout io.Writer) error {
 		p := *prefix
 		pred = func(key string) bool { return strings.HasPrefix(key, p) }
 	}
-	label, v, err := cliquery.Answer(summary, *query, *b, R, *l, pred)
+	est, err := coordsample.ParseEstimator(*estimator)
+	if err != nil {
+		return err
+	}
+	label, v, stderr, err := cliquery.Answer(summary, *query, *b, R, *l, pred, est)
 	if err != nil {
 		return err
 	}
 	// Full float64 precision: answers here are bit-identical to the
-	// in-process pipeline, and the output should prove it.
-	fmt.Fprintf(stdout, "%s = %v (from %s, %d assignments)\n",
-		label, v, source, summary.NumAssignments())
+	// in-process pipeline, and the output should prove it. The stderr
+	// rides behind the estimate (absent for ratio queries, whose stderr
+	// is undefined) without disturbing the "= <value> " answer text.
+	errText := ""
+	if !math.IsNaN(stderr) {
+		errText = fmt.Sprintf("± %.3g, ", stderr)
+	}
+	fmt.Fprintf(stdout, "%s = %v (%sfrom %s, %d assignments)\n",
+		label, v, errText, source, summary.NumAssignments())
 	return nil
 }
 

@@ -264,11 +264,11 @@ func TestSIGKILLRecoveryBitIdentical(t *testing.T) {
 
 	// Offline pipeline agreement (cumulative and the 2..3 window).
 	offAll := offline(t, cfg, chunks)
-	if _, want, err := cliquery.Answer(offAll, "L1", 0, nil, 1, nil); err != nil || p2.query(t, "agg=L1") != want {
+	if _, want, _, err := cliquery.Answer(offAll, "L1", 0, nil, 1, nil, nil); err != nil || p2.query(t, "agg=L1") != want {
 		t.Errorf("recovered cumulative L1 != offline pipeline (%v)", err)
 	}
 	offWin := offline(t, cfg, chunks[1:3])
-	_, wantWin, err := cliquery.Answer(offWin, "L1", 0, nil, 1, nil)
+	_, wantWin, _, err := cliquery.Answer(offWin, "L1", 0, nil, 1, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -45,6 +46,7 @@ func main() {
 	l := flag.Int("l", 1, "ℓ for -query lth (1 = largest)")
 	rFlag := flag.String("R", "", "comma-separated assignment subset (default all)")
 	prefix := flag.String("prefix", "", "restrict to keys with this prefix (subpopulation)")
+	estimator := flag.String("estimator", "aw", "estimator family: "+coordsample.EstimatorNames)
 	shards := flag.Int("shards", 1, "hash-partition each assignment's stream across this many shards (>1 enables concurrent ingestion)")
 	workers := flag.Int("workers", 0, "ingestion workers per assignment (0 = GOMAXPROCS; only with -shards > 1)")
 	out := flag.String("out", "", "write one sketch file per assignment: <out>.<b>.cws[.json]")
@@ -105,14 +107,22 @@ func main() {
 		pred = func(key string) bool { return strings.HasPrefix(key, p) }
 	}
 
-	label, v, err := cliquery.Answer(summary, *query, *b, R, *l, pred)
+	est, err := coordsample.ParseEstimator(*estimator)
+	if err != nil {
+		fatal(err)
+	}
+	label, v, stderr, err := cliquery.Answer(summary, *query, *b, R, *l, pred, est)
 	if err != nil {
 		fatal(err)
 	}
 	if *query == "sum" {
 		label = "sum " + names[*b]
 	}
-	fmt.Printf("%s ≈ %.6g\n", label, v)
+	if math.IsNaN(stderr) {
+		fmt.Printf("%s ≈ %.6g\n", label, v)
+	} else {
+		fmt.Printf("%s ≈ %.6g (± %.3g)\n", label, v, stderr)
+	}
 }
 
 // sketchFileName names assignment b's sketch file under the -out prefix.

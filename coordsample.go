@@ -100,6 +100,16 @@ type (
 	AggFunc = estimate.AggFunc
 	// TopLFunc is a custom top-ℓ dependent aggregate for dispersed queries.
 	TopLFunc = estimate.TopLFunc
+	// Estimator is a pluggable estimation strategy over dispersed
+	// summaries; see AWEstimator and DiscardedEstimator.
+	Estimator = estimate.Estimator
+	// SampleView is the cross-assignment sample view estimators consume:
+	// per union key, the per-assignment weights, ranks, and inclusion
+	// thresholds (built with Dispersed.View).
+	SampleView = estimate.SampleView
+	// UnknownEstimatorError is returned by ParseEstimator for names it
+	// does not recognize.
+	UnknownEstimatorError = estimate.UnknownEstimatorError
 	// BottomK is a bottom-k (order) sketch of one weight assignment.
 	BottomK = sketch.BottomK
 	// Pred selects a subpopulation by key.
@@ -404,6 +414,25 @@ var (
 	MinOf = estimate.MinOf
 	// RangeOf selects f(i) = w^(L1 R)(i), the L1 difference contribution.
 	RangeOf = estimate.RangeOf
+	// TotalOf selects f(i) = w^(sumR)(i) = Σ_{b∈R} w^(b)(i), the total
+	// weight across assignments.
+	TotalOf = estimate.TotalOf
 	// LthLargestOf selects f(i) = w^(ℓth-largest R)(i).
 	LthLargestOf = estimate.LthLargestOf
 )
+
+// Estimator families for dispersed queries. AWEstimator is the paper's
+// adjusted-weight template estimators (s-set/l-set); DiscardedEstimator
+// additionally leverages samples the union-threshold conditioning discards
+// (arXiv:0903.0625) for tighter totals and pair L1/Jaccard estimates at
+// the same sketch size. Both are stateless and safe for concurrent use.
+var (
+	AWEstimator        = estimate.AWEstimator
+	DiscardedEstimator = estimate.DiscardedEstimator
+	// ParseEstimator resolves an estimator name ("aw", "discarded"; ""
+	// selects the default AW family).
+	ParseEstimator = estimate.ParseEstimator
+)
+
+// EstimatorNames lists the recognized estimator names for usage messages.
+const EstimatorNames = estimate.EstimatorNames

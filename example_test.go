@@ -153,3 +153,36 @@ func ExampleAWSummary_EstimateWithStdErr() {
 	// Output:
 	// 12 ± 0
 }
+
+// ExampleParseEstimator selects an estimator family by name — the same
+// parsing behind the server's GET /query?est= parameter and the CLIs'
+// -estimator flag — and answers a cross-assignment total with it. With
+// k ≥ |I| both families are exact, demonstrating that they answer the
+// same aggregates through one interface; on sketches smaller than the
+// data they differ, with the discarded family leveraging samples the
+// classic union-threshold conditioning throws away (arXiv:0903.0625).
+func ExampleParseEstimator() {
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 1, K: 8}
+	a := coordsample.NewAssignmentSketcher(cfg, 0)
+	b := coordsample.NewAssignmentSketcher(cfg, 1)
+	a.Offer("x", 3)
+	a.Offer("y", 2) // y appears only in assignment 0
+	b.Offer("x", 1)
+	sum, err := coordsample.CombineDispersed(cfg, []*coordsample.BottomK{a.Sketch(), b.Sketch()})
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"aw", "discarded"} {
+		est, err := coordsample.ParseEstimator(name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s total = %.0f\n", est.Name(), est.Summary(sum, coordsample.TotalOf()).Estimate(nil))
+	}
+	_, err = coordsample.ParseEstimator("bogus")
+	fmt.Println(err)
+	// Output:
+	// aw total = 6
+	// discarded total = 6
+	// unknown estimator "bogus" (want one of aw, discarded)
+}

@@ -16,6 +16,7 @@ package cliquery
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -24,7 +25,7 @@ import (
 )
 
 // Queries lists the supported query names for usage messages.
-const Queries = "sum, min, max, L1, lth, jaccard"
+const Queries = "sum, total, min, max, L1, lth, jaccard"
 
 // ParseR parses a comma-separated assignment subset against n assignments;
 // the empty string selects all (nil). Duplicate indices are rejected here —
@@ -83,12 +84,17 @@ type SummaryBuilder func(key string, build func() estimate.AWSummary) estimate.A
 func Direct(key string, build func() estimate.AWSummary) estimate.AWSummary { return build() }
 
 // aggKey canonicalizes an aggregate identity for SummaryBuilder memoization.
-// A nil R and an explicitly enumerated all-assignments R select the same
-// estimator, but callers pass one form consistently per process, so the
-// textual form is canonical enough — a conservative key can only cause an
-// extra build, never a wrong reuse.
-func aggKey(query string, R []int, extra int) string {
+// The estimator family name is part of the key: a memoizing server must
+// never serve an AW-family summary for a discarded-family query (or vice
+// versa), even though some kinds coincide in value. A nil R and an
+// explicitly enumerated all-assignments R select the same estimator, but
+// callers pass one form consistently per process, so the textual form is
+// canonical enough — a conservative key can only cause an extra build,
+// never a wrong reuse.
+func aggKey(est, query string, R []int, extra int) string {
 	var sb strings.Builder
+	sb.WriteString(est)
+	sb.WriteByte('/')
 	sb.WriteString(query)
 	sb.WriteByte('/')
 	sb.WriteString(strconv.Itoa(extra))
@@ -106,12 +112,15 @@ func aggKey(query string, R []int, extra int) string {
 }
 
 // Answer evaluates the named query over the summary restricted to pred
-// (nil selects all keys): "sum" (single assignment b), "min"/"max"
-// dominance, "L1" difference, "lth" (ℓ-th largest, ℓ = l), or "jaccard"
-// (clamped min/max ratio, 1 by convention for an empty subpopulation). It
-// returns a human-readable label alongside the estimate.
-func Answer(d *estimate.Dispersed, query string, b int, R []int, l int, pred dataset.Pred) (string, float64, error) {
-	return AnswerVia(d, query, b, R, l, pred, Direct)
+// (nil selects all keys): "sum" (single assignment b), "total" (sum across
+// the assignments of R), "min"/"max" dominance, "L1" difference, "lth"
+// (ℓ-th largest, ℓ = l), or "jaccard" (clamped ratio, 1 by convention for
+// an empty subpopulation), using the estimator family est (nil selects the
+// default AW family). It returns a human-readable label, the estimate, and
+// the estimated standard error (NaN for jaccard, a ratio of estimates with
+// no unbiased variance estimator).
+func Answer(d *estimate.Dispersed, query string, b int, R []int, l int, pred dataset.Pred, est estimate.Estimator) (string, float64, float64, error) {
+	return AnswerVia(d, query, b, R, l, pred, est, Direct)
 }
 
 // AnswerVia is Answer with an explicit SummaryBuilder: every AW-summary the
@@ -119,50 +128,68 @@ func Answer(d *estimate.Dispersed, query string, b int, R []int, l int, pred dat
 // across calls that share a frozen snapshot. The estimate for a given
 // summary and predicate is deterministic (sorted-order Neumaier summation),
 // so memoizing the summary cannot change any answer.
-func AnswerVia(d *estimate.Dispersed, query string, b int, R []int, l int, pred dataset.Pred, via SummaryBuilder) (string, float64, error) {
+func AnswerVia(d *estimate.Dispersed, query string, b int, R []int, l int, pred dataset.Pred, est estimate.Estimator, via SummaryBuilder) (string, float64, float64, error) {
+	if est == nil {
+		est = estimate.AWEstimator
+	}
 	nR := len(R)
 	if R == nil {
 		nR = d.NumAssignments()
 	}
+	// summarize obtains one aggregate's summary through the builder, keyed
+	// by estimator family + aggregate identity.
+	summarize := func(query string, extra int, f estimate.AggFunc) estimate.AWSummary {
+		return via(aggKey(est.Name(), query, R, extra), func() estimate.AWSummary { return est.Summary(d, f) })
+	}
+	withErr := func(label string, aw estimate.AWSummary) (string, float64, float64, error) {
+		v, se := aw.EstimateWithStdErr(pred)
+		return label, v, se, nil
+	}
 	switch query {
 	case "sum":
 		if b < 0 || b >= d.NumAssignments() {
-			return "", 0, fmt.Errorf("assignment index %d out of range (have %d assignments)", b, d.NumAssignments())
+			return "", 0, 0, fmt.Errorf("assignment index %d out of range (have %d assignments)", b, d.NumAssignments())
 		}
-		aw := via(aggKey("sum", nil, b), func() estimate.AWSummary { return d.Single(b) })
-		return fmt.Sprintf("sum b=%d", b), aw.Estimate(pred), nil
+		aw := via(aggKey(est.Name(), "sum", nil, b), func() estimate.AWSummary { return est.Summary(d, estimate.SingleOf(b)) })
+		return withErr(fmt.Sprintf("sum b=%d", b), aw)
+	case "total":
+		return withErr("total weight", summarize("total", 0, estimate.TotalOf(R...)))
 	case "min":
-		aw := via(aggKey("min", R, 0), func() estimate.AWSummary { return d.MinLSet(R) })
-		return "min-dominance", aw.Estimate(pred), nil
+		return withErr("min-dominance", summarize("min", 0, estimate.MinOf(R...)))
 	case "max":
-		aw := via(aggKey("max", R, 0), func() estimate.AWSummary { return d.Max(R) })
-		return "max-dominance", aw.Estimate(pred), nil
+		return withErr("max-dominance", summarize("max", 0, estimate.MaxOf(R...)))
 	case "L1":
-		aw := via(aggKey("L1", R, 0), func() estimate.AWSummary { return d.RangeLSet(R) })
-		return "L1 difference", aw.Estimate(pred), nil
+		return withErr("L1 difference", summarize("L1", 0, estimate.RangeOf(R...)))
 	case "lth":
 		if l < 1 || l > nR {
-			return "", 0, fmt.Errorf("-l %d out of range for |R|=%d", l, nR)
+			return "", 0, 0, fmt.Errorf("-l %d out of range for |R|=%d", l, nR)
 		}
-		aw := via(aggKey("lth", R, l), func() estimate.AWSummary { return d.LthLargest(R, l) })
-		return fmt.Sprintf("%d-th largest", l), aw.Estimate(pred), nil
+		return withErr(fmt.Sprintf("%d-th largest", l), summarize("lth", l, estimate.LthLargestOf(l, R...)))
 	case "jaccard":
-		// Same max and min-l-set summaries the "max" and "min" queries use,
-		// so a memoizing builder shares them across all three.
-		mx := via(aggKey("max", R, 0), func() estimate.AWSummary { return d.Max(R) }).Estimate(pred)
+		// The numerator reuses the "min" query's summary. The denominator is
+		// Σ w^(maxR): directly for the classic family (sharing the "max"
+		// summary); via Σ w^(sumR) − Σ w^(minR) when a discarded-samples
+		// total is available for the subset (sharing the "total" summary) —
+		// that is the tighter union-size denominator of arXiv:0903.0625.
+		mn := summarize("min", 0, estimate.MinOf(R...)).Estimate(pred)
+		var mx float64
+		if est.Name() == estimate.DiscardedEstimator.Name() && nR == 2 {
+			mx = summarize("total", 0, estimate.TotalOf(R...)).Estimate(pred) - mn
+		} else {
+			mx = summarize("max", 0, estimate.MaxOf(R...)).Estimate(pred)
+		}
 		if mx <= 0 {
 			// 0/0 convention: an empty subpopulation is identical to itself.
-			return "weighted Jaccard", 1, nil
+			return "weighted Jaccard", 1, math.NaN(), nil
 		}
-		mn := via(aggKey("min", R, 0), func() estimate.AWSummary { return d.MinLSet(R) }).Estimate(pred)
 		j := mn / mx
 		if j < 0 {
 			j = 0
 		} else if j > 1 {
 			j = 1
 		}
-		return "weighted Jaccard", j, nil
+		return "weighted Jaccard", j, math.NaN(), nil
 	default:
-		return "", 0, fmt.Errorf("unknown query %q (want one of %s)", query, Queries)
+		return "", 0, 0, fmt.Errorf("unknown query %q (want one of %s)", query, Queries)
 	}
 }

@@ -31,25 +31,63 @@ func buildSummary(t *testing.T) *estimate.Dispersed {
 
 func TestAnswerDispatch(t *testing.T) {
 	d := buildSummary(t)
-	for _, q := range []string{"sum", "min", "max", "L1", "lth", "jaccard"} {
-		label, v, err := Answer(d, q, 0, nil, 1, nil)
+	for _, q := range []string{"sum", "total", "min", "max", "L1", "lth", "jaccard"} {
+		label, v, stderr, err := Answer(d, q, 0, nil, 1, nil, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", q, err)
 		}
 		if label == "" || math.IsNaN(v) {
 			t.Fatalf("%s: label %q value %v", q, label, v)
 		}
+		// Every query but the ratio reports an estimated standard error.
+		if q == "jaccard" {
+			if !math.IsNaN(stderr) {
+				t.Fatalf("jaccard: stderr %v, want NaN (ratio has no unbiased variance estimator)", stderr)
+			}
+		} else if math.IsNaN(stderr) || stderr < 0 {
+			t.Fatalf("%s: stderr %v, want a finite nonnegative value", q, stderr)
+		}
 	}
 	// The dispatch must agree with the direct estimator calls.
-	if _, v, _ := Answer(d, "L1", 0, nil, 1, nil); v != d.RangeLSet(nil).Estimate(nil) {
+	if _, v, _, _ := Answer(d, "L1", 0, nil, 1, nil, nil); v != d.RangeLSet(nil).Estimate(nil) {
 		t.Fatal("L1 dispatch diverges from RangeLSet")
 	}
-	if _, v, _ := Answer(d, "lth", 0, nil, 2, nil); v != d.LthLargest(nil, 2).Estimate(nil) {
+	if _, v, _, _ := Answer(d, "lth", 0, nil, 2, nil, nil); v != d.LthLargest(nil, 2).Estimate(nil) {
 		t.Fatal("lth dispatch diverges from LthLargest")
 	}
+	if _, v, _, _ := Answer(d, "total", 0, nil, 1, nil, nil); v != d.TotalUnion(nil).Estimate(nil) {
+		t.Fatal("total dispatch diverges from TotalUnion")
+	}
 	pred := func(key string) bool { return strings.HasSuffix(key, "1") }
-	if _, v, _ := Answer(d, "max", 0, []int{1}, 1, pred); v != d.Max([]int{1}).Estimate(pred) {
+	if _, v, _, _ := Answer(d, "max", 0, []int{1}, 1, pred, nil); v != d.Max([]int{1}).Estimate(pred) {
 		t.Fatal("predicate/R not forwarded")
+	}
+}
+
+// TestAnswerEstimatorDispatch: the est argument selects the family. The
+// discarded family must change the answers that per-sketch conditioning
+// tightens (total, L1 on a pair) and agree where the families coincide.
+func TestAnswerEstimatorDispatch(t *testing.T) {
+	d := buildSummary(t)
+	disc := estimate.DiscardedEstimator
+	if _, v, _, _ := Answer(d, "total", 0, nil, 1, nil, disc); v != d.TotalDiscarded(nil).Estimate(nil) {
+		t.Fatal("discarded total dispatch diverges from TotalDiscarded")
+	}
+	if _, v, _, _ := Answer(d, "L1", 0, nil, 1, nil, disc); v != d.RangeDiscarded(nil).Estimate(nil) {
+		t.Fatal("discarded L1 dispatch diverges from RangeDiscarded")
+	}
+	if _, v, _, _ := Answer(d, "min", 0, nil, 1, nil, disc); v != d.MinLSet(nil).Estimate(nil) {
+		t.Fatal("discarded min must coincide with the l-set estimator")
+	}
+	// Discarded jaccard composes min/(total − min) on a pair.
+	_, j, _, err := Answer(d, "jaccard", 0, nil, 1, nil, disc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := d.MinLSet(nil).Estimate(nil)
+	tot := d.TotalDiscarded(nil).Estimate(nil)
+	if want := mn / (tot - mn); j != want && !(j == 0 && want < 0) && !(j == 1 && want > 1) {
+		t.Fatalf("discarded jaccard = %v, want clamp(%v)", j, want)
 	}
 }
 
@@ -65,7 +103,7 @@ func TestAnswerErrors(t *testing.T) {
 		{"lth", 0, 0},
 		{"lth", 0, 3},
 	} {
-		if _, _, err := Answer(d, tc.q, tc.b, nil, tc.l, nil); err == nil {
+		if _, _, _, err := Answer(d, tc.q, tc.b, nil, tc.l, nil, nil); err == nil {
 			t.Fatalf("%+v: expected error", tc)
 		}
 	}
@@ -93,15 +131,15 @@ func TestAnswerViaMemoization(t *testing.T) {
 	queries := []struct {
 		q string
 		l int
-	}{{"sum", 1}, {"min", 1}, {"max", 1}, {"L1", 1}, {"lth", 2}, {"jaccard", 1}}
+	}{{"sum", 1}, {"total", 1}, {"min", 1}, {"max", 1}, {"L1", 1}, {"lth", 2}, {"jaccard", 1}}
 	// Two passes: pass 2 must hit the memo for everything.
 	for pass := 0; pass < 2; pass++ {
 		for _, tc := range queries {
-			_, got, err := AnswerVia(d, tc.q, 0, nil, tc.l, nil, memo)
+			_, got, _, err := AnswerVia(d, tc.q, 0, nil, tc.l, nil, nil, memo)
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, want, err := Answer(d, tc.q, 0, nil, tc.l, nil)
+			_, want, _, err := Answer(d, tc.q, 0, nil, tc.l, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,9 +153,24 @@ func TestAnswerViaMemoization(t *testing.T) {
 			t.Errorf("aggregate %q built %d times, want 1", key, n)
 		}
 	}
-	// sum+min+max+L1+lth: jaccard reuses min and max, adding nothing.
-	if len(builds) != 5 {
-		t.Errorf("built %d distinct aggregates %v, want 5 (jaccard must share max/min)", len(builds), builds)
+	// sum+total+min+max+L1+lth: jaccard reuses min and max, adding nothing.
+	if len(builds) != 6 {
+		t.Errorf("built %d distinct aggregates %v, want 6 (jaccard must share max/min)", len(builds), builds)
+	}
+	// The discarded family's jaccard reuses the min and total summaries it
+	// already built for the same-named queries — and its memo keys must be
+	// disjoint from the AW family's, so the same walk doubles the key count.
+	before := len(builds)
+	for pass := 0; pass < 2; pass++ {
+		for _, tc := range queries {
+			if _, _, _, err := AnswerVia(d, tc.q, 0, nil, tc.l, nil, estimate.DiscardedEstimator, memo); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(builds) != 2*before {
+		t.Errorf("after the discarded-family pass: %d distinct aggregates %v, want %d (families must not share memo entries)",
+			len(builds), builds, 2*before)
 	}
 }
 
@@ -147,7 +200,7 @@ func TestAnswerViaKeyDistinguishesParameters(t *testing.T) {
 		{"lth", 0, 2, nil},
 	}
 	for _, c := range calls {
-		if _, _, err := AnswerVia(d, c.q, c.b, c.R, c.l, nil, record); err != nil {
+		if _, _, _, err := AnswerVia(d, c.q, c.b, c.R, c.l, nil, nil, record); err != nil {
 			t.Fatal(err)
 		}
 	}

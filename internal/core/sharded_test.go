@@ -113,3 +113,54 @@ func TestSummarizeDispersedParallelMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimatorSeamShardInvariance: the Estimator seam must be blind to how
+// the sketches were built. For every shard count and coordination mode,
+// both estimator families answer over the sharded parallel pipeline with
+// byte-identical summaries (keys, adjusted weights, AND variances) to the
+// sequential pipeline — the shard dimension cannot leak a single ulp into
+// estimation.
+func TestEstimatorSeamShardInvariance(t *testing.T) {
+	ds := shardedTestDataset(2000, 2, 23)
+	aggs := []struct {
+		name string
+		f    estimate.AggFunc
+	}{
+		{"single0", estimate.SingleOf(0)},
+		{"max", estimate.MaxOf()},
+		{"min", estimate.MinOf()},
+		{"L1", estimate.RangeOf()},
+		{"total", estimate.TotalOf()},
+		{"lth2", estimate.LthLargestOf(2)},
+	}
+	for _, mode := range []rank.Coordination{rank.SharedSeed, rank.Independent} {
+		cfg := Config{Family: rank.IPPS, Mode: mode, Seed: 5, K: 48}
+		want := SummarizeDispersed(cfg, ds)
+		for _, shards := range []int{1, 2, 7, 16} {
+			got := SummarizeDispersedParallel(cfg, ds, shards, 2)
+			for _, est := range []estimate.Estimator{estimate.AWEstimator, estimate.DiscardedEstimator} {
+				for _, c := range aggs {
+					gs, ws := est.Summary(got, c.f), est.Summary(want, c.f)
+					gk, wk := gs.Keys(), ws.Keys()
+					if len(gk) != len(wk) {
+						t.Fatalf("%v shards=%d %s/%s: %d sampled keys, want %d",
+							mode, shards, est.Name(), c.name, len(gk), len(wk))
+					}
+					for i, key := range gk {
+						if key != wk[i] {
+							t.Fatalf("%v shards=%d %s/%s: key %d = %q, want %q",
+								mode, shards, est.Name(), c.name, i, key, wk[i])
+						}
+						if math.Float64bits(gs.AdjustedWeight(key)) != math.Float64bits(ws.AdjustedWeight(key)) ||
+							math.Float64bits(gs.VarianceOf(key)) != math.Float64bits(ws.VarianceOf(key)) {
+							t.Errorf("%v shards=%d %s/%s: %q = (%v, var %v), want (%v, var %v)",
+								mode, shards, est.Name(), c.name, key,
+								gs.AdjustedWeight(key), gs.VarianceOf(key),
+								ws.AdjustedWeight(key), ws.VarianceOf(key))
+						}
+					}
+				}
+			}
+		}
+	}
+}

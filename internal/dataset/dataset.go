@@ -256,6 +256,23 @@ func RangeR(vec []float64, R []int) float64 {
 	return MaxR(vec, R) - MinR(vec, R)
 }
 
+// SumR returns w^(sumR)(vec) = Σ_{b∈R} vec[b], the per-key contribution to
+// the total weight across the assignments of R. Nil R means all entries.
+// Summation is left to right in R order (deterministic for ground truth).
+func SumR(vec []float64, R []int) float64 {
+	s := 0.0
+	if R == nil {
+		for _, w := range vec {
+			s += w
+		}
+		return s
+	}
+	for _, b := range R {
+		s += vec[b]
+	}
+	return s
+}
+
 // LthLargestR returns the ℓ-th largest value of vec over R (1-based, so ℓ=1
 // is the maximum and ℓ=|R| the minimum). Panics when ℓ is out of range.
 func LthLargestR(vec []float64, R []int, l int) float64 {

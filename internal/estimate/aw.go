@@ -65,6 +65,22 @@ func (s AWSummary) SetWithProb(key string, a, p float64) {
 	}
 }
 
+// setWithVar records a positive adjusted weight together with an explicitly
+// computed per-key variance estimate. SetWithProb's a²(1−p) formula assumes
+// a single inclusion event; estimators whose a(i) is a sum of parts with
+// correlated inclusion events (the discarded-samples total, whose parts are
+// conditioned on different thresholds) compute the unbiased variance
+// estimate themselves and record it here.
+func (s AWSummary) setWithVar(key string, a, v float64) {
+	if a <= 0 {
+		return
+	}
+	s.weights[key] = a
+	if v > 0 {
+		s.vars[key] = v
+	}
+}
+
 // VarianceOf returns the per-key variance estimate recorded for key (zero
 // when the key is absent, was included with certainty, or the producing
 // estimator did not track probabilities).
@@ -186,11 +202,19 @@ func (s AWSummary) EstimateScaled(pred dataset.Pred, scale func(key string) floa
 // as the sum of the operands' — a conservative upper bound, since by the
 // Lemma 8.6 decomposition the max/min cross-term only subtracts.
 func Sub(a, b AWSummary) AWSummary {
+	return subScaled(a, b, 1)
+}
+
+// subScaled returns the per-key linear combination a − scale·b, the shared
+// core of Sub (scale 1) and the discarded-samples pair L1 decomposition
+// a^(sumR) − 2·a^(minR) (scale 2). Negative entries are kept, exactly as in
+// Sub; per-key variances combine conservatively as var(a) + scale²·var(b).
+func subScaled(a, b AWSummary, scale float64) AWSummary {
 	out := NewAWSummary(a.Len())
 	for key, av := range a.weights {
-		if d := av - b.weights[key]; d != 0 {
+		if d := av - scale*b.weights[key]; d != 0 {
 			out.weights[key] = d
-			if v := a.vars[key] + b.vars[key]; v > 0 {
+			if v := a.vars[key] + scale*scale*b.vars[key]; v > 0 {
 				out.vars[key] = v
 			}
 		}
@@ -199,8 +223,8 @@ func Sub(a, b AWSummary) AWSummary {
 		if _, ok := a.weights[key]; ok {
 			continue // handled above
 		}
-		out.weights[key] = -bv
-		if v := b.vars[key]; v > 0 {
+		out.weights[key] = -scale * bv
+		if v := scale * scale * b.vars[key]; v > 0 {
 			out.vars[key] = v
 		}
 	}
@@ -252,6 +276,12 @@ const (
 	Range
 	// LthLargest is f(i) = w^(ℓth-largest R)(i); quantiles over assignments.
 	LthLargest
+	// Total is f(i) = w^(sumR)(i) = Σ_{b∈R} w^(b)(i), the total weight
+	// across the assignments of R — e.g. total traffic of a flow across
+	// time periods. Unlike the other multi-assignment kinds it is a sum of
+	// per-assignment parts, which is what lets the discarded-samples
+	// estimator condition each part on its own sketch's threshold.
+	Total
 )
 
 // String names the aggregate kind.
@@ -267,6 +297,8 @@ func (k Kind) String() string {
 		return "L1"
 	case LthLargest:
 		return "lth-largest"
+	case Total:
+		return "total"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -282,12 +314,13 @@ type AggFunc struct {
 	L    int
 }
 
-// SingleOf, MaxOf, MinOf, RangeOf, and LthLargestOf are convenience
-// constructors.
+// SingleOf, MaxOf, MinOf, RangeOf, TotalOf, and LthLargestOf are
+// convenience constructors.
 func SingleOf(b int) AggFunc   { return AggFunc{Kind: Single, B: b} }
 func MaxOf(R ...int) AggFunc   { return AggFunc{Kind: Max, R: normR(R)} }
 func MinOf(R ...int) AggFunc   { return AggFunc{Kind: Min, R: normR(R)} }
 func RangeOf(R ...int) AggFunc { return AggFunc{Kind: Range, R: normR(R)} }
+func TotalOf(R ...int) AggFunc { return AggFunc{Kind: Total, R: normR(R)} }
 func LthLargestOf(l int, R ...int) AggFunc {
 	return AggFunc{Kind: LthLargest, L: l, R: normR(R)}
 }
@@ -312,6 +345,8 @@ func (f AggFunc) Eval(vec []float64) float64 {
 		return dataset.RangeR(vec, f.R)
 	case LthLargest:
 		return dataset.LthLargestR(vec, f.R, f.L)
+	case Total:
+		return dataset.SumR(vec, f.R)
 	default:
 		panic("estimate: unknown aggregate kind")
 	}

@@ -1,0 +1,227 @@
+package estimate
+
+import (
+	"fmt"
+	"slices"
+
+	"coordsample/internal/rank"
+)
+
+// This file holds the paper's adjusted-weight template estimators
+// (Section 7), re-expressed over the cross-assignment SampleView. The float
+// operation order is deliberately identical to the pre-refactor monolithic
+// combiners — TestAWGoldens pins every produced summary bit for bit, so any
+// reordering of comparisons, multiplications, or sorts here is a test
+// failure, not a refactor.
+
+// topLCandidate is one known (weight, assignment) observation of a key: the
+// raw material of top-ℓ selection. b is the original assignment index (used
+// by TopLFunc and the deterministic tiebreak), j the position in the view's
+// R (used for threshold lookups).
+type topLCandidate struct {
+	w float64
+	b int
+	j int
+}
+
+// sortTopL orders candidates by descending weight, breaking exact weight
+// ties by ascending assignment index so selection is deterministic. Shared
+// by the s-set and l-set templates.
+func sortTopL(prime []topLCandidate) {
+	slices.SortFunc(prime, func(x, y topLCandidate) int {
+		switch {
+		case x.w > y.w:
+			return -1
+		case x.w < y.w:
+			return 1
+		default:
+			return x.b - y.b
+		}
+	})
+}
+
+// takeTopL copies the identified top-ℓ out of the sorted candidate list.
+func takeTopL(prime []topLCandidate, l int) (topW []float64, topB []int) {
+	topW = make([]float64, l)
+	topB = make([]int, l)
+	for t := 0; t < l; t++ {
+		topW[t] = prime[t].w
+		topB[t] = prime[t].b
+	}
+	return topW, topB
+}
+
+// emitTopL is the shared summary-assembly epilogue of the s-set and l-set
+// templates: evaluate f on the identified top-ℓ and record the adjusted
+// weight f/p when the inclusion probability is valid and the aggregate is
+// positive (zero-valued aggregates carry no information — a(i) = 0 either
+// way — so they are simply not stored).
+func emitTopL(out AWSummary, key string, topW []float64, topB []int, p float64, f TopLFunc) {
+	if p <= 0 {
+		return
+	}
+	if v := f(topW, topB); v > 0 {
+		out.SetWithProb(key, v/clampP(p), clampP(p))
+	}
+}
+
+// checkTopL validates the ℓ parameter against the view width.
+func checkTopL(v *SampleView, l int) {
+	if l < 1 || l > v.NumAssignments() {
+		panic(fmt.Sprintf("estimate: ℓ=%d out of range for |R|=%d", l, v.NumAssignments()))
+	}
+}
+
+// awSingle is the single-assignment RC/HT estimator over a one-assignment
+// view: p = F_w(threshold) on the conditioning subspace.
+func awSingle(v *SampleView) AWSummary {
+	if v.NumAssignments() != 1 {
+		panic("estimate: awSingle needs a single-assignment view")
+	}
+	family := v.assigner.Family
+	out := NewAWSummary(len(v.rows))
+	for _, row := range v.rows {
+		o := row.Obs[0]
+		if !o.In {
+			continue
+		}
+		p := family.CDF(o.Weight, o.Threshold)
+		if p > 0 {
+			out.SetWithProb(row.Key, o.Weight/p, p)
+		}
+	}
+	return out.finalized()
+}
+
+// awSSetTopL applies the s-set template estimator (Section 7.1) for a top-ℓ
+// dependent aggregate over the view. The selection admits key i when at
+// least ℓ assignments have rank below r^(minR)_k(I∖{i}); consistency of
+// ranks then guarantees those are the ℓ largest weights (Lemma 7.2). For
+// independent ranks only ℓ = |R| (min-dependence) is valid, since top-ℓ
+// identification needs consistency.
+func awSSetTopL(v *SampleView, l int, f TopLFunc) AWSummary {
+	checkTopL(v, l)
+	mode := v.assigner.Mode
+	if !mode.Consistent() && l != v.NumAssignments() {
+		panic("estimate: s-set top-ℓ estimation with independent ranks requires ℓ=|R| (min-dependence)")
+	}
+	family := v.assigner.Family
+	out := NewAWSummary(0)
+	for _, row := range v.rows {
+		// r^(minR)_k(I∖{i}): constant on the conditioning subspace.
+		rMinK := row.MinThreshold()
+		// R'(i) = {b ∈ R : r^(b)(i) < r^(minR)_k(I∖{i})}. Membership in R'
+		// implies membership in the sketch (rMinK is at most every
+		// per-assignment threshold by definition of the min), so weights of
+		// R' are always known.
+		var prime []topLCandidate
+		for j, o := range row.Obs {
+			if o.In && o.Rank < rMinK {
+				prime = append(prime, topLCandidate{o.Weight, v.r[j], j})
+			}
+		}
+		if len(prime) < l {
+			continue
+		}
+		sortTopL(prime)
+		topW, topB := takeTopL(prime, l)
+		var p float64
+		if mode.Consistent() {
+			// p = F_{w^(ℓth-largest R)(i)}(r^(minR)_k(I∖{i})).
+			p = family.CDF(topW[l-1], rMinK)
+		} else {
+			// Min-dependence, independent ranks: the per-assignment events
+			// r^(b)(i) < rMinK are independent.
+			p = 1.0
+			for _, c := range prime {
+				p *= family.CDF(c.w, rMinK)
+			}
+		}
+		emitTopL(out, row.Key, topW, topB, p, f)
+	}
+	return out.finalized()
+}
+
+// awLSetTopL applies the l-set template estimator (Section 7.2) for a top-ℓ
+// dependent aggregate over the view. The selection admits key i when it
+// appears in at least ℓ sketches and the per-assignment seeds certify that
+// every assignment outside the identified top-ℓ has weight below the ℓ-th
+// largest. Closed-form inclusion probabilities exist for shared-seed
+// (Eq. 13) and independent (Eq. 14) ranks.
+func awLSetTopL(v *SampleView, l int, f TopLFunc) AWSummary {
+	checkTopL(v, l)
+	mode := v.assigner.Mode
+	if mode != rank.SharedSeed && mode != rank.Independent {
+		panic("estimate: l-set estimation requires shared-seed or independent ranks")
+	}
+	family := v.assigner.Family
+	out := NewAWSummary(0)
+	for _, row := range v.rows {
+		var prime []topLCandidate
+		for j, o := range row.Obs {
+			if o.In {
+				prime = append(prime, topLCandidate{o.Weight, v.r[j], j})
+			}
+		}
+		if len(prime) < l {
+			continue
+		}
+		sortTopL(prime)
+		topW, topB := takeTopL(prime, l)
+		topJ := make([]int, l)
+		inTop := make(map[int]bool, l)
+		for t := 0; t < l; t++ {
+			topJ[t] = prime[t].j
+			inTop[prime[t].b] = true
+		}
+		wl := topW[l-1]
+
+		// Seed upper-bound checks for assignments outside the top-ℓ (only
+		// needed when ℓ < |R|): u^(b)(i) < F_{wℓ}(r^(b)_k(I∖{i})) certifies
+		// w^(b)(i) < wℓ for unsketched assignments.
+		selected := true
+		for j, o := range row.Obs {
+			if inTop[v.r[j]] {
+				continue
+			}
+			if !(v.Seed01(row.Key, j) < family.CDF(wl, o.Threshold)) {
+				selected = false
+				break
+			}
+		}
+		if !selected {
+			continue
+		}
+
+		var p float64
+		if mode == rank.SharedSeed {
+			p = 1.0
+			for t := 0; t < l; t++ {
+				if q := family.CDF(topW[t], row.Obs[topJ[t]].Threshold); q < p {
+					p = q
+				}
+			}
+			for j, o := range row.Obs {
+				if inTop[v.r[j]] {
+					continue
+				}
+				if q := family.CDF(wl, o.Threshold); q < p {
+					p = q
+				}
+			}
+		} else {
+			p = 1.0
+			for t := 0; t < l; t++ {
+				p *= family.CDF(topW[t], row.Obs[topJ[t]].Threshold)
+			}
+			for j, o := range row.Obs {
+				if inTop[v.r[j]] {
+					continue
+				}
+				p *= family.CDF(wl, o.Threshold)
+			}
+		}
+		emitTopL(out, row.Key, topW, topB, p, f)
+	}
+	return out.finalized()
+}

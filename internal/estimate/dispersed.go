@@ -112,15 +112,7 @@ func (d *Dispersed) allR() []int {
 // bottom-k sketches, the HT estimator for Poisson sketches (the threshold is
 // r_{k+1}(I) resp. τ in both cases).
 func (d *Dispersed) Single(b int) AWSummary {
-	s := d.sketches[b]
-	out := NewAWSummary(len(s.Entries()))
-	for _, e := range s.Entries() {
-		p := d.assigner.Family.CDF(e.Weight, s.RankExcluding(e.Key))
-		if p > 0 {
-			out.SetWithProb(e.Key, e.Weight/p, p)
-		}
-	}
-	return out.finalized()
+	return awSingle(d.View([]int{b}))
 }
 
 // TopLFunc evaluates a top-ℓ dependent aggregate f(w^(top-ℓ R), b^(top-ℓ R))
@@ -130,7 +122,10 @@ func (d *Dispersed) Single(b int) AWSummary {
 // largest weight is zero.
 type TopLFunc func(weights []float64, assignments []int) float64
 
-// topLMax, topLMin pick the extreme of the identified top-ℓ weights.
+// topLMax, topLMin pick the extreme of the identified top-ℓ weights. With
+// ℓ keys identified, topLMin is both the min estimator (ℓ = |R|) and the
+// ℓ-th-largest estimator — LthLargest reuses it rather than re-deriving
+// the same closure.
 func topLMax(w []float64, _ []int) float64 { return w[0] }
 func topLMin(w []float64, _ []int) float64 { return w[len(w)-1] }
 
@@ -180,195 +175,21 @@ func (d *Dispersed) RangeLSet(R []int) AWSummary {
 // LthLargest returns the estimator for f = w^(ℓth-largest R) using the l-set
 // selection (the tightest template estimator for this f).
 func (d *Dispersed) LthLargest(R []int, l int) AWSummary {
-	return d.LSetTopL(R, l, func(w []float64, _ []int) float64 { return w[len(w)-1] })
+	return d.LSetTopL(R, l, topLMin)
 }
 
 // SSetTopL applies the s-set template estimator (Section 7.1) for a top-ℓ
-// dependent aggregate. The selection admits key i when at least ℓ
-// assignments have rank below r^(minR)_k(I∖{i}); consistency of ranks then
-// guarantees those are the ℓ largest weights (Lemma 7.2). For independent
-// ranks only ℓ = |R| (min-dependence) is valid, since top-ℓ identification
-// needs consistency.
+// dependent aggregate; see awSSetTopL for the estimator itself. The method
+// assembles the sample view and delegates.
 func (d *Dispersed) SSetTopL(R []int, l int, f TopLFunc) AWSummary {
-	R = d.checkR(R)
-	if l < 1 || l > len(R) {
-		panic(fmt.Sprintf("estimate: ℓ=%d out of range for |R|=%d", l, len(R)))
-	}
-	if !d.assigner.Mode.Consistent() && l != len(R) {
-		panic("estimate: s-set top-ℓ estimation with independent ranks requires ℓ=|R| (min-dependence)")
-	}
-	family := d.assigner.Family
-	out := NewAWSummary(0)
-	for _, key := range d.unionKeys(R) {
-		// r^(minR)_k(I∖{i}): constant on the conditioning subspace.
-		rMinK := math.Inf(1)
-		for _, b := range R {
-			if t := d.sketches[b].RankExcluding(key); t < rMinK {
-				rMinK = t
-			}
-		}
-		// R'(i) = {b ∈ R : r^(b)(i) < r^(minR)_k(I∖{i})}. Unsketched
-		// assignments have rank ≥ r^(b)_k(I∖{i}) ≥ rMinK is false in
-		// general; the correct direction is rank > r^(b)_k(I) ≥ rMinK only
-		// when rMinK ≤ r^(b)_k(I), which holds by definition of the min —
-		// so membership in R' implies membership in the sketch, and weights
-		// of R' are always known.
-		type wb struct {
-			w float64
-			b int
-		}
-		var prime []wb
-		for _, b := range R {
-			if e, ok := d.sketches[b].Lookup(key); ok && e.Rank < rMinK {
-				prime = append(prime, wb{e.Weight, b})
-			}
-		}
-		if len(prime) < l {
-			continue
-		}
-		slices.SortFunc(prime, func(x, y wb) int {
-			switch {
-			case x.w > y.w:
-				return -1
-			case x.w < y.w:
-				return 1
-			default:
-				return x.b - y.b
-			}
-		})
-		topW := make([]float64, l)
-		topB := make([]int, l)
-		for j := 0; j < l; j++ {
-			topW[j] = prime[j].w
-			topB[j] = prime[j].b
-		}
-		var p float64
-		if d.assigner.Mode.Consistent() {
-			// p = F_{w^(ℓth-largest R)(i)}(r^(minR)_k(I∖{i})).
-			p = family.CDF(topW[l-1], rMinK)
-		} else {
-			// Min-dependence, independent ranks: the per-assignment events
-			// r^(b)(i) < rMinK are independent.
-			p = 1.0
-			for _, e := range prime {
-				p *= family.CDF(e.w, rMinK)
-			}
-		}
-		if p <= 0 {
-			continue
-		}
-		if v := f(topW, topB); v > 0 {
-			out.SetWithProb(key, v/clampP(p), clampP(p))
-		}
-	}
-	return out.finalized()
+	return awSSetTopL(d.View(R), l, f)
 }
 
 // LSetTopL applies the l-set template estimator (Section 7.2) for a top-ℓ
-// dependent aggregate. The selection admits key i when it appears in at
-// least ℓ sketches and the per-assignment seeds certify that every
-// assignment outside the identified top-ℓ has weight below the ℓ-th largest.
-// Closed-form inclusion probabilities exist for shared-seed (Eq. 13) and
-// independent (Eq. 14) ranks.
+// dependent aggregate; see awLSetTopL for the estimator itself. The method
+// assembles the sample view and delegates.
 func (d *Dispersed) LSetTopL(R []int, l int, f TopLFunc) AWSummary {
-	R = d.checkR(R)
-	if l < 1 || l > len(R) {
-		panic(fmt.Sprintf("estimate: ℓ=%d out of range for |R|=%d", l, len(R)))
-	}
-	mode := d.assigner.Mode
-	if mode != rank.SharedSeed && mode != rank.Independent {
-		panic("estimate: l-set estimation requires shared-seed or independent ranks")
-	}
-	family := d.assigner.Family
-	out := NewAWSummary(0)
-	for _, key := range d.unionKeys(R) {
-		type wb struct {
-			w float64
-			b int
-		}
-		var prime []wb
-		for _, b := range R {
-			if e, ok := d.sketches[b].Lookup(key); ok {
-				prime = append(prime, wb{e.Weight, b})
-			}
-		}
-		if len(prime) < l {
-			continue
-		}
-		slices.SortFunc(prime, func(x, y wb) int {
-			switch {
-			case x.w > y.w:
-				return -1
-			case x.w < y.w:
-				return 1
-			default:
-				return x.b - y.b
-			}
-		})
-		topW := make([]float64, l)
-		topB := make([]int, l)
-		inTop := make(map[int]bool, l)
-		for j := 0; j < l; j++ {
-			topW[j] = prime[j].w
-			topB[j] = prime[j].b
-			inTop[prime[j].b] = true
-		}
-		wl := topW[l-1]
-
-		// Seed upper-bound checks for assignments outside the top-ℓ (only
-		// needed when ℓ < |R|): u^(b)(i) < F_{wℓ}(r^(b)_k(I∖{i})) certifies
-		// w^(b)(i) < wℓ for unsketched assignments.
-		selected := true
-		for _, b := range R {
-			if inTop[b] {
-				continue
-			}
-			tau := d.sketches[b].RankExcluding(key)
-			if !(d.assigner.Seed01(key, b) < family.CDF(wl, tau)) {
-				selected = false
-				break
-			}
-		}
-		if !selected {
-			continue
-		}
-
-		var p float64
-		if mode == rank.SharedSeed {
-			p = 1.0
-			for j := 0; j < l; j++ {
-				if q := family.CDF(topW[j], d.sketches[topB[j]].RankExcluding(key)); q < p {
-					p = q
-				}
-			}
-			for _, b := range R {
-				if inTop[b] {
-					continue
-				}
-				if q := family.CDF(wl, d.sketches[b].RankExcluding(key)); q < p {
-					p = q
-				}
-			}
-		} else {
-			p = 1.0
-			for j := 0; j < l; j++ {
-				p *= family.CDF(topW[j], d.sketches[topB[j]].RankExcluding(key))
-			}
-			for _, b := range R {
-				if inTop[b] {
-					continue
-				}
-				p *= family.CDF(wl, d.sketches[b].RankExcluding(key))
-			}
-		}
-		if p <= 0 {
-			continue
-		}
-		if v := f(topW, topB); v > 0 {
-			out.SetWithProb(key, v/clampP(p), clampP(p))
-		}
-	}
-	return out.finalized()
+	return awLSetTopL(d.View(R), l, f)
 }
 
 // JaccardSSet estimates the weighted Jaccard similarity

@@ -1,0 +1,186 @@
+package estimate
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"coordsample/internal/hashing"
+	"coordsample/internal/rank"
+)
+
+// The golden corpus pins the exact bits of every AW-summary the estimator
+// suite produces over fixed seeds. It was generated from the pre-refactor
+// monolithic SSetTopL/LSetTopL combiners; the refactored estimators (sample
+// view + pluggable Estimator) must reproduce every adjusted weight, every
+// per-key variance estimate, and every Estimate(nil) sum bit-for-bit.
+// Regenerate only for a deliberate, documented estimator change:
+//
+//	go test ./internal/estimate -run TestAWGoldens -update-goldens
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata/aw_goldens.json from the current estimators")
+
+// goldenSummary is the byte-exact serialization of one AW-summary: per-key
+// IEEE-754 bits of the adjusted weight and the variance estimate, plus the
+// bits of the deterministic full-population estimate.
+type goldenSummary struct {
+	Keys     map[string][2]string `json:"keys"` // key -> [weight bits, var bits] as %016x
+	Estimate string               `json:"estimate"`
+	StdErr   string               `json:"stderr"`
+}
+
+func summaryGolden(aw AWSummary) goldenSummary {
+	g := goldenSummary{Keys: make(map[string][2]string, aw.Len())}
+	for _, key := range aw.Keys() {
+		g.Keys[key] = [2]string{
+			fmt.Sprintf("%016x", math.Float64bits(aw.AdjustedWeight(key))),
+			fmt.Sprintf("%016x", math.Float64bits(aw.VarianceOf(key))),
+		}
+	}
+	est, se := aw.EstimateWithStdErr(nil)
+	g.Estimate = fmt.Sprintf("%016x", math.Float64bits(est))
+	g.StdErr = fmt.Sprintf("%016x", math.Float64bits(se))
+	return g
+}
+
+// goldenDataset builds the fixed three-assignment corpus: 120 keys whose
+// weights are a deterministic hash mix with heavy skew, zero weights, and
+// partially disjoint supports — every structural case the estimators branch
+// on (keys in all sketches, some sketches, one sketch; ties broken by key).
+func goldenDataset() (keys []string, cols [][]float64) {
+	const n, w = 120, 3
+	cols = make([][]float64, w)
+	for b := range cols {
+		cols[b] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		keys = append(keys, key)
+		for b := 0; b < w; b++ {
+			h := hashing.Hash64(uint64(b)+0xBEEF, key)
+			u := hashing.Unit(h)
+			switch {
+			case b == 1 && i%5 == 0:
+				// Disjoint-support slice: weight only in assignments 0 and 2.
+				cols[b][i] = 0
+			case b == 2 && i%7 == 0:
+				cols[b][i] = 0
+			case i%11 == 0:
+				// Heavy keys: three orders of magnitude above the bulk.
+				cols[b][i] = 1000 * (1 + u)
+			default:
+				cols[b][i] = 1 + 10*u
+			}
+		}
+	}
+	return keys, cols
+}
+
+// goldenAggregates enumerates every aggregate the estimator suite answers,
+// as name -> builder over a dispersed summary.
+func goldenAggregates(d *Dispersed) map[string]func() AWSummary {
+	aggs := map[string]func() AWSummary{
+		"single/0":   func() AWSummary { return d.Single(0) },
+		"single/2":   func() AWSummary { return d.Single(2) },
+		"max/all":    func() AWSummary { return d.Max(nil) },
+		"max/01":     func() AWSummary { return d.Max([]int{0, 1}) },
+		"minl/all":   func() AWSummary { return d.MinLSet(nil) },
+		"minl/12":    func() AWSummary { return d.MinLSet([]int{1, 2}) },
+		"mins/all":   func() AWSummary { return d.MinSSet(nil) },
+		"rangel/all": func() AWSummary { return d.RangeLSet(nil) },
+		"rangel/02":  func() AWSummary { return d.RangeLSet([]int{0, 2}) },
+		"ranges/all": func() AWSummary { return d.RangeSSet(nil) },
+	}
+	if d.Assigner().Mode.Consistent() {
+		// Top-ℓ identification with 1 < ℓ < |R| needs consistent ranks.
+		aggs["lth2/all"] = func() AWSummary { return d.LthLargest(nil, 2) }
+	}
+	return aggs
+}
+
+// TestAWGoldens locks the AW estimator family to the pre-refactor bits:
+// for every (family, mode, k) configuration and every aggregate, the
+// produced summary must match testdata/aw_goldens.json byte for byte.
+func TestAWGoldens(t *testing.T) {
+	keys, cols := goldenDataset()
+	got := make(map[string]goldenSummary)
+	for _, family := range []rank.Family{rank.IPPS, rank.EXP} {
+		for _, mode := range []rank.Coordination{rank.SharedSeed, rank.Independent} {
+			for _, k := range []int{12, 48} {
+				a := rank.Assigner{Family: family, Mode: mode, Seed: 0x5EED}
+				d := buildDispersed(a, k, keys, cols)
+				for name, build := range goldenAggregates(d) {
+					id := fmt.Sprintf("%v/%v/k=%d/%s", family, mode, k, name)
+					got[id] = summaryGolden(build())
+				}
+			}
+		}
+	}
+
+	path := filepath.Join("testdata", "aw_goldens.json")
+	if *updateGoldens {
+		ids := make([]string, 0, len(got))
+		for id := range got {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		ordered := make(map[string]goldenSummary, len(got))
+		for _, id := range ids {
+			ordered[id] = got[id]
+		}
+		data, err := json.MarshalIndent(ordered, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d goldens to %s", len(got), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with -update-goldens): %v", err)
+	}
+	var want map[string]goldenSummary
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden corpus has %d summaries, current code produced %d", len(want), len(got))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Errorf("%s: aggregate no longer produced", id)
+			continue
+		}
+		if g.Estimate != w.Estimate {
+			t.Errorf("%s: estimate bits %s, want %s", id, g.Estimate, w.Estimate)
+		}
+		if g.StdErr != w.StdErr {
+			t.Errorf("%s: stderr bits %s, want %s", id, g.StdErr, w.StdErr)
+		}
+		if len(g.Keys) != len(w.Keys) {
+			t.Errorf("%s: %d keys, want %d", id, len(g.Keys), len(w.Keys))
+		}
+		for key, wb := range w.Keys {
+			gb, ok := g.Keys[key]
+			if !ok {
+				t.Errorf("%s: key %q missing from summary", id, key)
+				continue
+			}
+			if gb != wb {
+				t.Errorf("%s: key %q bits %v, want %v", id, key, gb, wb)
+			}
+		}
+	}
+}

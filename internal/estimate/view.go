@@ -1,0 +1,102 @@
+package estimate
+
+import (
+	"math"
+
+	"coordsample/internal/rank"
+)
+
+// Obs is what one assignment's sketch reveals about one union key: the
+// sampled weight and rank when the key is in that sketch (In), and the
+// inclusion-conditioning threshold either way — r_k(I∖{key}) for bottom-k
+// sketches, τ for Poisson sketches. The threshold is the raw material every
+// estimator family conditions on: it is fixed on the rank-conditioning
+// subspace Ω(key, r^(−key)), so F_w(threshold) is a per-assignment
+// inclusion probability.
+type Obs struct {
+	Weight    float64
+	Rank      float64
+	Threshold float64
+	In        bool
+}
+
+// KeyRow is the cross-assignment sample view of one union key: one Obs per
+// viewed assignment, in view order (parallel to SampleView.Assignments).
+type KeyRow struct {
+	Key string
+	Obs []Obs
+}
+
+// SampleView is the reusable cross-assignment sample view of a dispersed
+// summary restricted to an assignment subset R: for every key in the union
+// of R's sketches, the per-assignment weights, ranks, and inclusion
+// thresholds. It is the seam between sample assembly and estimation — the
+// raw material both the AW estimator family (s-set/l-set templates,
+// Section 7 of the paper) and the discarded-samples family (arXiv:0903.0625)
+// consume, assembled once and shared by every estimator run over the same
+// (summary, R) pair.
+//
+// Rows are in ascending key order; Obs slices are in R order (the caller's
+// subset order, not necessarily ascending assignment index).
+type SampleView struct {
+	assigner rank.Assigner
+	r        []int
+	rows     []KeyRow
+}
+
+// View assembles the cross-assignment sample view over the assignment
+// subset R (nil means all assignments). The view is immutable; estimators
+// only read it.
+func (d *Dispersed) View(R []int) *SampleView {
+	R = d.checkR(R)
+	keys := d.unionKeys(R)
+	rows := make([]KeyRow, len(keys))
+	obs := make([]Obs, len(keys)*len(R)) // one backing array for all rows
+	for i, key := range keys {
+		row := obs[i*len(R) : (i+1)*len(R) : (i+1)*len(R)]
+		for j, b := range R {
+			s := d.sketches[b]
+			o := Obs{Threshold: s.RankExcluding(key), Rank: math.Inf(1)}
+			if e, ok := s.Lookup(key); ok {
+				o.Weight, o.Rank, o.In = e.Weight, e.Rank, true
+			}
+			row[j] = o
+		}
+		rows[i] = KeyRow{Key: key, Obs: row}
+	}
+	return &SampleView{assigner: d.assigner, r: R, rows: rows}
+}
+
+// Assignments returns the viewed assignment subset, in view order. The
+// slice is shared; callers must not modify it.
+func (v *SampleView) Assignments() []int { return v.r }
+
+// NumAssignments returns |R|, the width of every row.
+func (v *SampleView) NumAssignments() int { return len(v.r) }
+
+// Rows returns the per-key rows in ascending key order. The slice is
+// shared; callers must not modify it.
+func (v *SampleView) Rows() []KeyRow { return v.rows }
+
+// Assigner returns the rank assigner the viewed sketches were built with.
+func (v *SampleView) Assigner() rank.Assigner { return v.assigner }
+
+// Seed01 returns the known seed u^(b)(key) for the assignment at view
+// position j — the hash-derived value the l-set certificates compare
+// against (seeds are always known here, which is what enables the
+// known-seeds estimators for every key, sampled or not).
+func (v *SampleView) Seed01(key string, j int) float64 {
+	return v.assigner.Seed01(key, v.r[j])
+}
+
+// MinThreshold returns min_j row.Obs[j].Threshold — r^(minR)_k(I∖{key}),
+// the union-sketch conditioning value of the s-set templates.
+func (row KeyRow) MinThreshold() float64 {
+	m := math.Inf(1)
+	for _, o := range row.Obs {
+		if o.Threshold < m {
+			m = o.Threshold
+		}
+	}
+	return m
+}

@@ -1,0 +1,58 @@
+// Package estimator exercises the chain-flattening check against the
+// estimator-selection idiom of the Estimator seam: front ends parse the
+// ?est= / -estimator name into a typed *UnknownEstimatorError (mirrored
+// here, matching estimate.UnknownEstimatorError) and must wrap it with %w —
+// the server's errors.As dispatch (bad name → 400, everything else → 500)
+// stops working the moment a front end flattens the chain with %v.
+package estimator
+
+import (
+	"errors"
+	"fmt"
+)
+
+// UnknownEstimatorError is the typed parse failure front ends dispatch on
+// with errors.As, shaped like estimate.UnknownEstimatorError.
+type UnknownEstimatorError struct{ Name string }
+
+func (e *UnknownEstimatorError) Error() string {
+	return fmt.Sprintf("unknown estimator %q", e.Name)
+}
+
+func parse(name string) error {
+	if name != "aw" && name != "discarded" {
+		return &UnknownEstimatorError{Name: name}
+	}
+	return nil
+}
+
+// badParamWrap loses the typed error: errors.As upstream stops seeing
+// *UnknownEstimatorError, so the server would answer 500 where the client
+// deserves a 400.
+func badParamWrap(name string) error {
+	if err := parse(name); err != nil {
+		return fmt.Errorf("bad est parameter: %v", err) // want `flattening its chain`
+	}
+	return nil
+}
+
+// goodParamWrap preserves the chain for errors.As dispatch.
+func goodParamWrap(name string) error {
+	if err := parse(name); err != nil {
+		return fmt.Errorf("bad est parameter: %w", err)
+	}
+	return nil
+}
+
+// statusFor is the consuming side the %w discipline protects.
+func statusFor(err error) int {
+	var unknown *UnknownEstimatorError
+	if errors.As(err, &unknown) {
+		return 400
+	}
+	return 500
+}
+
+var _ = statusFor
+var _ = goodParamWrap
+var _ = badParamWrap

@@ -14,3 +14,10 @@ func TestTypedErrFlattening(t *testing.T) {
 func TestTypedErrBoundary(t *testing.T) {
 	linttest.Run(t, lint.TypedErr, "typederr/sketch")
 }
+
+// The estimator-selection idiom added with the Estimator seam: typed
+// *UnknownEstimatorError parse failures must cross front-end wrapping with
+// their chain intact.
+func TestTypedErrEstimatorSeam(t *testing.T) {
+	linttest.Run(t, lint.TypedErr, "typederr/estimator")
+}

@@ -349,6 +349,8 @@ type Server struct {
 	offerBatches     expvar.Int
 	ingestStreams    expvar.Int
 	queries          expvar.Int
+	queriesAW        expvar.Int
+	queriesDiscarded expvar.Int
 	rangeQueries     expvar.Int
 	freezes          expvar.Int
 	freezeErrors     expvar.Int
@@ -1018,6 +1020,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if prefix := q.Get("prefix"); prefix != "" {
 		pred = func(key string) bool { return strings.HasPrefix(key, prefix) }
 	}
+	// ?est= selects the estimator family (default "aw"); unknown names are
+	// a client error. The family name is folded into the memo keys by
+	// cliquery.AnswerVia, so the snapshot caches never alias across
+	// estimators.
+	est, err := estimate.ParseEstimator(q.Get("est"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad est parameter: %v", err)
+		return
+	}
 	// Default: the cumulative snapshot (all epochs). ?epochs=lo..hi
 	// answers over exactly that retained time window instead.
 	summary, via := snap.summary, cliquery.SummaryBuilder(snap.summaryFor)
@@ -1037,16 +1048,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp["epochs"] = fmt.Sprintf("%d..%d", lo, hi)
 		s.rangeQueries.Add(1)
 	}
-	label, v, err := cliquery.AnswerVia(summary, agg, b, R, l, pred, via)
+	label, v, stderr, err := cliquery.AnswerVia(summary, agg, b, R, l, pred, est, via)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.queries.Add(1)
+	if est.Name() == estimate.DiscardedEstimator.Name() {
+		s.queriesDiscarded.Add(1)
+	} else {
+		s.queriesAW.Add(1)
+	}
 	// The estimate travels as a JSON number; encoding/json emits the
 	// shortest representation that parses back to the identical float64,
 	// so the bit-identity guarantee survives the HTTP boundary.
-	resp["label"], resp["estimate"] = label, v
+	resp["label"], resp["estimate"], resp["estimator"] = label, v, est.Name()
+	// stderr is NaN for ratio queries (jaccard), which JSON cannot carry —
+	// the field is simply omitted there.
+	if !math.IsNaN(stderr) {
+		resp["stderr"] = stderr
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -1153,6 +1174,8 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "%q: %s,\n", "cws.offer_batches", s.offerBatches.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.ingest_streams", s.ingestStreams.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.queries", s.queries.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.queries_est_aw", s.queriesAW.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.queries_est_discarded", s.queriesDiscarded.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.range_queries", s.rangeQueries.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.freezes", s.freezes.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.freeze_errors", s.freezeErrors.String())

@@ -212,7 +212,7 @@ func TestBitIdenticalAcrossConcurrentFreezes(t *testing.T) {
 		if strings.Contains(c.params, "R=0,1") {
 			R = []int{0, 1}
 		}
-		_, want, err := cliquery.Answer(offline, c.query, c.b, R, c.l, c.pred)
+		_, want, _, err := cliquery.Answer(offline, c.query, c.b, R, c.l, c.pred, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -809,7 +809,7 @@ func TestEpochRangeQueriesBitIdentical(t *testing.T) {
 			}{
 				{"agg=L1", "L1"}, {"agg=max", "max"}, {"agg=sum&b=0", "sum"}, {"agg=jaccard", "jaccard"},
 			} {
-				_, want, err := cliquery.Answer(offline, check.q, 0, nil, 1, nil)
+				_, want, _, err := cliquery.Answer(offline, check.q, 0, nil, 1, nil, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -1128,5 +1128,111 @@ func TestFailedFreezeDoesNotMintPhantomEpoch(t *testing.T) {
 	}
 	if got := cfg.Store.Epoch(); got != 1 {
 		t.Fatalf("store holds %d epochs, want 1 (no phantom persisted)", got)
+	}
+}
+
+// TestEstimatorSelectionEndToEnd: GET /query?est= selects the estimator
+// family live. est=discarded must answer bit-identically to the offline
+// discarded-family pipeline over the same stream, the default (and an
+// explicit est=aw) must answer the AW family, unknown names are a 400,
+// the estimated standard error rides along in the JSON (absent for ratio
+// queries), and the per-family expvar counters advance.
+func TestEstimatorSelectionEndToEnd(t *testing.T) {
+	cfg := Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 21, K: 64},
+		Assignments: 2,
+		Shards:      2,
+		Workers:     1,
+	}
+	offers := testStream(800, 17)
+	offline := offlineSummary(t, cfg.Sample, offers, cfg.Assignments)
+	_, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", map[string]any{"offers": offers})
+	postJSON(t, ts.URL+"/freeze", nil)
+
+	families := []struct {
+		param string
+		est   estimate.Estimator
+	}{
+		{"", nil}, // default family
+		{"&est=aw", estimate.AWEstimator},
+		{"&est=discarded", estimate.DiscardedEstimator},
+	}
+	aggs := []struct {
+		params string
+		q      string
+		b, l   int
+	}{
+		{"agg=total", "total", 0, 1},
+		{"agg=L1", "L1", 0, 1},
+		{"agg=sum&b=1", "sum", 1, 1},
+		{"agg=min", "min", 0, 1},
+		{"agg=jaccard", "jaccard", 0, 1},
+	}
+	for _, fam := range families {
+		for _, c := range aggs {
+			params := c.params + fam.param
+			_, want, wantErr, err := cliquery.Answer(offline, c.q, c.b, nil, c.l, nil, fam.est)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, body := queryHTTPStatus(t, ts.URL, params)
+			if code != http.StatusOK {
+				t.Fatalf("/query?%s: status %d: %v", params, code, body)
+			}
+			if got := body["estimate"].(float64); got != want {
+				t.Errorf("/query?%s = %v, offline pipeline = %v (must be bit-identical)", params, got, want)
+			}
+			wantName := "aw"
+			if fam.est != nil {
+				wantName = fam.est.Name()
+			}
+			if got := body["estimator"]; got != wantName {
+				t.Errorf("/query?%s: estimator = %v, want %q", params, got, wantName)
+			}
+			se, hasSE := body["stderr"].(float64)
+			if c.q == "jaccard" {
+				if hasSE {
+					t.Errorf("/query?%s: unexpected stderr %v for a ratio query", params, se)
+				}
+			} else if !hasSE || se != wantErr {
+				t.Errorf("/query?%s: stderr = %v (present %v), offline = %v", params, se, hasSE, wantErr)
+			}
+			// Memoized second answer must not move.
+			if _, again := queryHTTPStatus(t, ts.URL, params); again["estimate"].(float64) != body["estimate"].(float64) {
+				t.Errorf("/query?%s: answer moved on the memoized second call", params)
+			}
+		}
+	}
+
+	// The discarded family must not alias the AW family's memo: on a churned
+	// stream the discarded total is a genuinely different estimate.
+	if aw, disc := queryHTTP(t, ts.URL, "agg=total"), queryHTTP(t, ts.URL, "agg=total&est=discarded"); aw == disc {
+		t.Errorf("total: AW and discarded families answered identically (%v) on a churned stream — memo aliasing?", aw)
+	}
+
+	// Unknown estimator names are a client error, not a crash or a default.
+	code, body := queryHTTPStatus(t, ts.URL, "agg=L1&est=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("est=bogus: status %d (%v), want 400", code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "unknown estimator") {
+		t.Errorf("est=bogus error = %q, want it to name the unknown estimator", msg)
+	}
+
+	// Per-family counters: the loop above issued len(aggs) queries twice
+	// (memo check) per family = 10 discarded and 2×10 AW, plus 1 of each
+	// from the aliasing probe; the bogus query counts nowhere.
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := decodeJSONBody(t, resp.Body)
+	resp.Body.Close()
+	if got, _ := vars["cws.queries_est_aw"].(float64); got != 21 {
+		t.Errorf("cws.queries_est_aw = %v, want 21", got)
+	}
+	if got, _ := vars["cws.queries_est_discarded"].(float64); got != 11 {
+		t.Errorf("cws.queries_est_discarded = %v, want 11", got)
 	}
 }

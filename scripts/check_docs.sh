@@ -73,7 +73,22 @@ for name in $real; do
     fi
 done
 
-# --- 4. doc examples are gofmt-clean ---
+# --- 4. estimation-layer docs exist ---
+# The estimator seam is a load-bearing refactor surface: DESIGN.md must
+# keep its "Estimation layer" section, and the paper map must keep its
+# discarded-samples (arXiv:0903.0625) entries, as long as the code exists.
+if [ -f internal/estimate/estimator.go ]; then
+    if ! grep -q "Estimation layer" DESIGN.md; then
+        echo "DESIGN.md: missing the 'Estimation layer' section for internal/estimate's Estimator seam"
+        fail=1
+    fi
+    if ! grep -q "0903.0625" docs/paper-map.md; then
+        echo "docs/paper-map.md: missing the discarded-samples (arXiv:0903.0625) section"
+        fail=1
+    fi
+fi
+
+# --- 5. doc examples are gofmt-clean ---
 examples=$(gofmt -l example_test.go 2>/dev/null)
 if [ -n "$examples" ]; then
     echo "gofmt needed on doc examples: $examples"
