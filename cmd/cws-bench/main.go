@@ -59,6 +59,8 @@ func main() {
 	seed := flag.Uint64("seed", 0xC0FFEE, "hash seed")
 	shards := flag.Int("shards", 0, "shard count for the sharding/serve/ingest experiments (0 = sweep defaults)")
 	workers := flag.Int("workers", 0, "cap process parallelism and per-assignment ingestion workers (0 = GOMAXPROCS)")
+	conns := flag.Int("conns", 0, "client connections for the loadtest experiment (0 = sweep defaults)")
+	addr := flag.String("addr", "", "target an already-running cws-serve at host:port for the loadtest experiment (default: in-process server)")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file (the BENCH_*.json perf records)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
@@ -80,7 +82,7 @@ func main() {
 
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 
-	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Shards: *shards, Workers: *workers}
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Shards: *shards, Workers: *workers, Conns: *conns, Addr: *addr}
 	if *ks != "" {
 		for _, part := range strings.Split(*ks, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(part))

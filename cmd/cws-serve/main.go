@@ -5,8 +5,10 @@
 // one-shot tool.
 //
 // Ingestion streams into the current epoch through sharded concurrent
-// sketchers; POST /freeze merges the epoch into the cumulative sketches
-// (exact, by the merge lemma) and atomically swaps the serving snapshot,
+// sketchers behind -lanes concurrent ingest lanes (requests on distinct
+// lanes offer in parallel); POST /freeze detaches the epoch, freezes and
+// merges it into the cumulative sketches across a bounded worker pool
+// (exact, by the merge lemma), and atomically swaps the serving snapshot,
 // so queries never block ingestion and never see a half-built sketch.
 // Query answers are bit-identical to running the offline pipeline over the
 // same offers, and GET /sketch exports fingerprinted wire-codec files that
@@ -66,6 +68,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "hash seed shared by all assignments (and all coordinating sites)")
 	shards := flag.Int("shards", 4, "per-assignment ingestion shards")
 	workers := flag.Int("workers", 0, "ingestion workers per assignment (0 = GOMAXPROCS)")
+	lanes := flag.Int("lanes", 0, "concurrent ingest lanes: requests on distinct lanes offer in parallel (0 = GOMAXPROCS)")
 	dataDir := flag.String("data-dir", "", "durable epoch store directory (empty = memory only; epochs are lost on exit)")
 	retain := flag.Int("retain", 8, "recent epochs kept individually for epoch-range queries (older ones are compacted)")
 	flag.Parse()
@@ -75,6 +78,7 @@ func main() {
 		Assignments: *assignments,
 		Shards:      *shards,
 		Workers:     *workers,
+		Lanes:       *lanes,
 		Retain:      *retain,
 	}
 	var st *coordsample.EpochStore

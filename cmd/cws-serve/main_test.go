@@ -295,6 +295,102 @@ func TestSIGKILLRecoveryBitIdentical(t *testing.T) {
 	}
 }
 
+// healthEpoch reads the current epoch from /healthz.
+func (p *serveProc) healthEpoch(t *testing.T) int {
+	t.Helper()
+	resp, err := http.Get(p.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := out["epoch"].(float64)
+	if !ok {
+		t.Fatalf("/healthz has no numeric epoch: %v", out)
+	}
+	return int(e)
+}
+
+// TestSIGKILLDuringParallelDurableFreeze is the fault test for the
+// parallel freeze/persist path: SIGKILL lands while a durable freeze —
+// per-assignment freezes fanned across a worker pool, segment encoded
+// concurrently — is in flight over lanes-ingested data. The store's
+// acknowledgement point (the manifest append) is unchanged by the
+// parallelism, so a restart recovers either n epochs (the kill beat the
+// acknowledgement) or n+1 (it did not) — never a torn epoch — and every
+// recovered epoch answers bit-identically to the offline pipeline over
+// exactly the chunks it covers.
+func TestSIGKILLDuringParallelDurableFreeze(t *testing.T) {
+	serveBin, _ := buildBinaries(t)
+	dataDir := t.TempDir()
+	cfg := coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: 7, K: 128}
+	const settled = 3 // epochs frozen and acknowledged before the racing freeze
+	chunks := e2eStream(2400, settled+1, 23)
+
+	args := []string{"-assignments", "2", "-k", "128", "-seed", "7",
+		"-data-dir", dataDir, "-retain", "8", "-shards", "7", "-workers", "2", "-lanes", "2"}
+	p1 := startServe(t, serveBin, args...)
+	for e := 0; e < settled; e++ {
+		p1.post(t, "/offer", map[string]any{"offers": chunks[e]})
+		p1.post(t, "/freeze", nil)
+	}
+	p1.post(t, "/offer", map[string]any{"offers": chunks[settled]})
+
+	// Fire the freeze and SIGKILL while it is (likely) still freezing,
+	// merging, and persisting. Both outcomes of the race are legal; the
+	// invariant under test is that neither produces a torn epoch.
+	freezeDone := make(chan struct{})
+	go func() {
+		defer close(freezeDone)
+		resp, err := http.Post(p1.base+"/freeze", "application/json", nil)
+		if err == nil {
+			resp.Body.Close() // the connection usually dies with the process
+		}
+	}()
+	if err := p1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if clean := p1.wait(t); clean {
+		t.Fatal("SIGKILL produced a clean exit?")
+	}
+	<-freezeDone
+
+	p2 := startServe(t, serveBin, args...)
+	recovered := p2.healthEpoch(t)
+	if recovered != settled && recovered != settled+1 {
+		t.Fatalf("recovered %d epochs after mid-freeze SIGKILL, want %d or %d; logs:\n%s",
+			recovered, settled, settled+1, p2.logs)
+	}
+	off := offline(t, cfg, chunks[:recovered])
+	for _, q := range []struct {
+		params string
+		query  string
+		b      int
+	}{
+		{"agg=L1", "L1", 0},
+		{"agg=sum&b=0", "sum", 0},
+		{"agg=sum&b=1", "sum", 1},
+		{"agg=jaccard", "jaccard", 0},
+	} {
+		_, want, _, err := cliquery.Answer(off, q.query, q.b, nil, 1, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p2.query(t, q.params); got != want {
+			t.Errorf("recovered /query?%s = %v, offline over %d epochs = %v (must be bit-identical)",
+				q.params, got, recovered, want)
+		}
+	}
+	// The recovered server keeps going: one more epoch lands cleanly.
+	p2.post(t, "/offer", map[string]any{"offers": []coordsample.ServerOffer{{Assignment: 0, Key: "after-kill", Weight: 1}}})
+	if res := p2.post(t, "/freeze", nil); int(res["epoch"].(float64)) != recovered+1 {
+		t.Errorf("post-recovery freeze epoch = %v, want %d", res["epoch"], recovered+1)
+	}
+}
+
 // TestGracefulShutdownAutoFreezes is the SIGTERM regression test: offers
 // ingested but never frozen must survive a graceful shutdown — the server
 // auto-freezes the open epoch, flushes it to the store, and exits 0; a

@@ -65,6 +65,7 @@ import (
 	"coordsample/internal/estimate"
 	"coordsample/internal/rank"
 	"coordsample/internal/server"
+	"coordsample/internal/shard"
 	"coordsample/internal/sketch"
 	"coordsample/internal/store"
 )
@@ -86,6 +87,14 @@ type (
 	// offered key once (shared-seed coordination hashes a whole weight
 	// vector once).
 	MultiSketcher = core.MultiSketcher
+	// Lane is one concurrent ingest lane of a ShardedSketcher: a
+	// single-producer front-end. Distinct lanes offer concurrently, and the
+	// frozen sketch is bit-identical regardless of how the stream was
+	// interleaved across lanes.
+	Lane = shard.Lane
+	// MultiLane is one ingest lane across every assignment of a
+	// MultiSketcher, hashing each key once per offer.
+	MultiLane = shard.MultiLane
 	// PoissonSketcher sketches one assignment with a Poisson-τ sample.
 	PoissonSketcher = core.PoissonSketcher
 	// PoissonSketch is a Poisson-τ sketch of one weight assignment.
@@ -204,6 +213,15 @@ func NewShardedSketcher(cfg Config, b, shards, workers int) *ShardedSketcher {
 	return core.NewShardedSketcher(cfg, b, shards, workers)
 }
 
+// NewShardedSketcherLanes is NewShardedSketcher with an explicit number of
+// concurrent ingest lanes (lanes ≤ 0 selects GOMAXPROCS): each lane
+// returned by Lanes() is a single-producer front-end, and distinct lanes
+// may offer concurrently — the frozen sketch is bit-identical to a
+// single-stream pass no matter how the stream is split across lanes.
+func NewShardedSketcherLanes(cfg Config, b, shards, workers, lanes int) *ShardedSketcher {
+	return core.NewShardedSketcherLanes(cfg, b, shards, workers, lanes)
+}
+
 // NewMultiSketcher creates the multi-assignment ingest front-end: one
 // sharded sketcher per assignment index 0..assignments-1 under cfg. Offer
 // ingests dispersed (assignment, key, weight) observations; OfferVector
@@ -211,6 +229,13 @@ func NewShardedSketcher(cfg Config, b, shards, workers int) *ShardedSketcher {
 // shared-seed coordination. Sketches() freezes all assignments.
 func NewMultiSketcher(cfg Config, assignments, shards, workers int) *MultiSketcher {
 	return core.NewMultiSketcher(cfg, assignments, shards, workers)
+}
+
+// NewMultiSketcherLanes is NewMultiSketcher with an explicit number of
+// concurrent ingest lanes per assignment (lanes ≤ 0 selects GOMAXPROCS);
+// lane j of every assignment is exposed as one MultiLane via Lanes().
+func NewMultiSketcherLanes(cfg Config, assignments, shards, workers, lanes int) *MultiSketcher {
+	return core.NewMultiSketcherLanes(cfg, assignments, shards, workers, lanes)
 }
 
 // SummarizeDispersedParallel runs the dispersed pipeline with all

@@ -34,6 +34,18 @@ func NewShardedSketcher(cfg Config, assignment, shards, workers int) *ShardedSke
 	return shard.NewSketcher(cfg.Assigner(), assignment, cfg.K, shards, workers)
 }
 
+// NewShardedSketcherLanes is NewShardedSketcher with an explicit number of
+// concurrent ingest lanes (independent producer front-ends; lanes ≤ 0
+// selects GOMAXPROCS). The frozen sketch is bit-identical regardless of
+// how offers are interleaved across lanes.
+func NewShardedSketcherLanes(cfg Config, assignment, shards, workers, lanes int) *ShardedSketcher {
+	cfg.validate()
+	if cfg.Mode == rank.IndependentDifferences {
+		panic("core: independent-differences coordination requires colocated weights")
+	}
+	return shard.NewSketcherLanes(cfg.Assigner(), assignment, cfg.K, shards, workers, lanes)
+}
+
 // NewMultiSketcher creates the multi-assignment front-end over assignments
 // sharded sketchers under cfg — the ingest fan-in the online server uses.
 func NewMultiSketcher(cfg Config, assignments, shards, workers int) *MultiSketcher {
@@ -42,6 +54,18 @@ func NewMultiSketcher(cfg Config, assignments, shards, workers int) *MultiSketch
 		panic("core: independent-differences coordination requires colocated weights")
 	}
 	return shard.NewMultiSketcher(cfg.Assigner(), assignments, cfg.K, shards, workers)
+}
+
+// NewMultiSketcherLanes is NewMultiSketcher with an explicit number of
+// concurrent ingest lanes per assignment (lanes ≤ 0 selects GOMAXPROCS).
+// Lane j of every assignment is exposed as one MultiLane via Lanes(), so a
+// producer pinned to lane j still hashes each key once per offer.
+func NewMultiSketcherLanes(cfg Config, assignments, shards, workers, lanes int) *MultiSketcher {
+	cfg.validate()
+	if cfg.Mode == rank.IndependentDifferences {
+		panic("core: independent-differences coordination requires colocated weights")
+	}
+	return shard.NewMultiSketcherLanes(cfg.Assigner(), assignments, cfg.K, shards, workers, lanes)
 }
 
 // SummarizeDispersedParallel is the concurrent counterpart of

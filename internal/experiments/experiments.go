@@ -35,6 +35,13 @@ type Options struct {
 	// Shards fixes the shard count of the sharding experiment; 0 sweeps a
 	// default set of shard counts.
 	Shards int
+	// Conns fixes the client-connection count of the loadtest experiment;
+	// 0 sweeps a default set.
+	Conns int
+	// Addr points the loadtest experiment at an already-running cws-serve
+	// (host:port) instead of an in-process server. Answers are verified
+	// against the offline pipeline only when the target starts at epoch 0.
+	Addr string
 }
 
 // WithDefaults fills unset fields.

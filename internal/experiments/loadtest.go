@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"coordsample/internal/core"
+	"coordsample/internal/rank"
+	"coordsample/internal/server"
+	"coordsample/internal/sketch"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "loadtest",
+		Paper: "not from the paper",
+		Desc:  "network load test: concurrent keep-alive binary /ingest connections against a live cws-serve (in-process over real TCP by default, -addr targets an external one); answers verified against the offline pipeline",
+		Run:   runLoadtest,
+	})
+}
+
+// loadClient is one load-generator connection: its own Transport capped at
+// one TCP connection, so conns clients ≍ conns keep-alive sockets.
+func newLoadClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{MaxConnsPerHost: 1}}
+}
+
+// runLoadtest drives concurrent streaming /ingest clients — each holding
+// one keep-alive TCP connection and sequentially POSTing binary-framed
+// chunks of its disjoint stream partition — against a live cws-serve over
+// real sockets. By default each connection-count cell gets a fresh
+// in-process server on an ephemeral 127.0.0.1 port (GOMAXPROCS lanes, so
+// concurrent requests offer in parallel); with Options.Addr the same
+// client fleet targets an external cws-serve instead (one cell; the
+// freeze-and-verify step runs only when the target starts at epoch 0,
+// since verification needs the server to hold exactly this stream).
+func runLoadtest(opts Options) Result {
+	opts = opts.WithDefaults()
+	ds := serveDataset(opts)
+	k := 1024
+	if m := ds.NumKeys() / 4; k > m && m >= 1 {
+		k = m
+	}
+	cols, offered := flattenColumns(ds)
+	numAsg := len(cols)
+	cfg := core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: opts.Seed, K: k}
+
+	refL1 := func() float64 {
+		sketches := make([]*sketch.BottomK, numAsg)
+		for b := range cols {
+			sk := core.NewAssignmentSketcher(cfg, b)
+			for i, key := range cols[b].keys {
+				sk.Offer(key, cols[b].weights[i])
+			}
+			sketches[b] = sk.Sketch()
+		}
+		d, err := core.CombineDispersed(cfg, sketches)
+		if err != nil {
+			panic(err)
+		}
+		return d.RangeLSet(nil).Estimate(nil)
+	}()
+
+	connsSweep := []int{1, 4, 16, 64}
+	if opts.Conns > 0 {
+		connsSweep = []int{opts.Conns}
+	}
+	external := opts.Addr != ""
+	if external && opts.Conns <= 0 {
+		// One cell against an external server: its epoch advances per cell,
+		// so sweeping would re-offer the same keys into later epochs.
+		connsSweep = []int{4}
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("network load test, %d offers (%d keys × %d assignments) streamed over binary /ingest, k=%d, %d-offer chunks per request",
+			offered, ds.NumKeys(), numAsg, k, loadChunk),
+		Columns: []string{"conns", "offers/s", "MB/s", "freeze", "identical"},
+	}
+	for _, conns := range connsSweep {
+		t.AddRow(runLoadCell(opts, cfg, cols, offered, numAsg, conns, refL1)...)
+	}
+	return Result{Tables: []Table{t}}
+}
+
+// loadChunk is the per-request chunk size of the streamed partitions:
+// large enough that request overhead is amortized, small enough that one
+// stream is many requests over its keep-alive connection.
+const loadChunk = 8192
+
+// runLoadCell measures one connection-count cell and returns its table row.
+func runLoadCell(opts Options, cfg core.Config, cols []ingestColumn, offered, numAsg, conns int, refL1 float64) []string {
+	// Partition the stream round-robin across clients and pre-encode each
+	// client's chunked request bodies; encoding cost belongs to the load
+	// generator, not the measured server.
+	chunks := make([][][]byte, conns)
+	bodies := make([][]byte, conns)
+	counts := make([]int, conns)
+	n := 0
+	for b := range cols {
+		for i, key := range cols[b].keys {
+			c := n % conns
+			bodies[c] = server.AppendBinaryOffer(bodies[c], b, key, cols[b].weights[i])
+			counts[c]++
+			if counts[c]%loadChunk == 0 {
+				chunks[c] = append(chunks[c], bodies[c])
+				bodies[c] = nil
+			}
+			n++
+		}
+	}
+	for c := range bodies {
+		if len(bodies[c]) > 0 {
+			chunks[c] = append(chunks[c], bodies[c])
+		}
+	}
+	totalBytes := 0
+	for c := range chunks {
+		for _, chunk := range chunks[c] {
+			totalBytes += len(chunk)
+		}
+	}
+
+	base, shutdown := loadTarget(opts, cfg, numAsg)
+	defer shutdown()
+	verify := true
+	if opts.Addr != "" {
+		verify = healthzEpoch(base) == 0
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := newLoadClient()
+			for _, chunk := range chunks[c] {
+				resp, err := client.Post(base+"/ingest", server.ContentTypeBinaryIngest, bytes.NewReader(chunk))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("POST /ingest: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("loadtest: %v", err))
+		}
+	}
+
+	freeze, identical := "-", "unverified"
+	if verify {
+		client := newLoadClient()
+		fs := time.Now()
+		resp, err := client.Post(base+"/freeze", "application/json", nil)
+		if err != nil {
+			panic(fmt.Sprintf("loadtest: freeze: %v", err))
+		}
+		resp.Body.Close()
+		freeze = time.Since(fs).Round(time.Microsecond).String()
+		qresp, err := client.Get(base + "/query?agg=L1")
+		if err != nil {
+			panic(fmt.Sprintf("loadtest: query: %v", err))
+		}
+		var out struct {
+			Estimate float64 `json:"estimate"`
+		}
+		err = json.NewDecoder(qresp.Body).Decode(&out)
+		qresp.Body.Close()
+		if err != nil {
+			panic(fmt.Sprintf("loadtest: decoding query response: %v", err))
+		}
+		identical = fmt.Sprintf("%v", out.Estimate == refL1)
+	}
+
+	return []string{
+		fmt.Sprintf("%d", conns),
+		fsci(float64(offered) / elapsed.Seconds()),
+		fmt.Sprintf("%.1f", float64(totalBytes)/(1<<20)/elapsed.Seconds()),
+		freeze,
+		identical,
+	}
+}
+
+// loadTarget returns the base URL to drive and its shutdown function:
+// Options.Addr verbatim for an external server, otherwise a fresh
+// in-process server listening on a real ephemeral TCP port.
+func loadTarget(opts Options, cfg core.Config, numAsg int) (string, func()) {
+	if opts.Addr != "" {
+		return "http://" + opts.Addr, func() {}
+	}
+	srv, err := server.New(server.Config{Sample: cfg, Assignments: numAsg, Shards: 8, Workers: opts.Workers, Lanes: 0})
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("loadtest: %v", err))
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() {
+		httpSrv.Close()
+		srv.Close()
+	}
+}
+
+// healthzEpoch reads the target's current epoch; -1 on any failure.
+func healthzEpoch(base string) int {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Epoch int `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return -1
+	}
+	return out.Epoch
+}

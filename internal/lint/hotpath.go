@@ -49,8 +49,13 @@ var requiredHot = map[string][]string{
 	"internal/hashing": {"Hash64", "Mix64", "Unit", "ShardHash"},
 	"internal/rank":    {"Family.Quantile", "Family.RejectsSeed", "Family.SeedMayRankBelow"},
 	"internal/sketch":  {"(*BottomKBuilder).Offer", "(*BottomKBuilder).AdmissionThreshold", "(*BottomKBuilder).NoteRejected"},
-	"internal/shard":   {"(*Sketcher).Offer", "(*Sketcher).offerHashed", "(*Sketcher).OfferBatch", "(*MultiSketcher).Offer", "(*MultiSketcher).OfferBatch", "(*MultiSketcher).OfferVector"},
-	"internal/server":  {"(*Server).ingestBinary", "(*ingestState).add", "(*ingestState).flush"},
+	"internal/shard": {
+		"(*Sketcher).Offer", "(*Sketcher).offerHashed", "(*Sketcher).OfferBatch",
+		"(*Lane).Offer", "(*Lane).offerHashed", "(*Lane).OfferBatch",
+		"(*MultiSketcher).Offer", "(*MultiSketcher).OfferBatch", "(*MultiSketcher).OfferVector",
+		"(*MultiLane).Offer", "(*MultiLane).OfferBatch", "(*MultiLane).OfferVector",
+	},
+	"internal/server": {"(*Server).ingestBinary", "(*ingestState).add", "(*ingestState).flush"},
 }
 
 // hotSafePkgs are packages whose calls are presumed allocation-free on the

@@ -8,15 +8,17 @@
 //
 // Ingestion and querying never touch the same sketch. Offers stream into
 // the current *epoch*: one sharded, concurrent shard.Sketcher per weight
-// assignment, guarded by the ingest mutex (the sketchers are
-// single-producer; HTTP handlers serialize on the lock and amortize it
-// with batches). A freeze (POST /freeze) terminally freezes the epoch's
-// sketchers, merges each assignment's epoch sketch into the cumulative
+// assignment behind a set of concurrent ingest lanes (each lane is a
+// single-producer front-end with its own lock; requests take a lane
+// round-robin, so up to Lanes requests offer in parallel). A freeze
+// (POST /freeze) detaches the epoch's sketchers, arms fresh ones, and then
+// — off the ingest path, with producers already streaming into the next
+// epoch — terminally freezes the detached sketchers across a bounded
+// worker pool, merges each assignment's epoch sketch into the cumulative
 // sketch of all previous epochs with the exact sketch.Merge — the merge
 // lemma: bottom-k sketches of disjoint key sets merge into the bit-exact
 // bottom-k sketch of the union — and atomically swaps in a new immutable
-// snapshot. Fresh sketchers are armed for the next epoch before the lock
-// is released.
+// snapshot.
 //
 // Because per-assignment sketching requires pre-aggregated keys (each key
 // offered at most once per assignment — the same contract every builder in
@@ -76,8 +78,17 @@
 // the validate-everything-first JSON batch contract; POST /ingest is the
 // high-throughput lane — a streaming NDJSON or binary body decoded into
 // pooled, reused Observation buffers and flushed to the sketchers in large
-// locked batches, so per-offer ingest cost is dominated by decoding, not
-// by allocation or lock traffic.
+// batches, so per-offer ingest cost is dominated by decoding, not by
+// allocation or lock traffic.
+//
+// Concurrency: producers hold a read lock (pinning the epoch's ingest
+// front-end against the freeze swap) plus one lane's mutex; distinct lanes
+// are shard.MultiLanes of the same sketchers and may offer concurrently —
+// exactness under interleaving is the shard layer's core-affine-lane
+// guarantee. The freeze takes the write lock only for the swap itself, so
+// a freeze never stalls behind a long-running ingest stream (flushes are
+// batch-sized), and ingestion never waits for freeze, persist, or merge
+// work.
 //
 // # Endpoints
 //
@@ -142,6 +153,13 @@ type Config struct {
 	// Workers is the per-assignment ingestion worker count; ≤ 0 selects
 	// GOMAXPROCS (capped at Shards by the sharded sketcher).
 	Workers int
+	// Lanes is the number of concurrent ingest lanes: independent producer
+	// front-ends onto the epoch's sketchers, each with its own lock, so up
+	// to Lanes HTTP requests offer concurrently instead of serializing on
+	// one ingest mutex. ≤ 0 selects GOMAXPROCS. Requests are assigned to
+	// lanes round-robin; a streaming /ingest request keeps its lane for the
+	// whole stream (connection affinity).
+	Lanes int
 	// Store, when non-nil, makes the server durable: every freeze persists
 	// the epoch through it before being acknowledged, and New recovers the
 	// store's epochs on startup. The store must be writable and opened
@@ -323,14 +341,24 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu       sync.Mutex           // guards ingest, cum, epoch, retained, dirty, closed
-	ingest   *shard.MultiSketcher // current epoch's sketchers behind the hash-once front-end
-	cum      []*sketch.BottomK    // exact merged sketches of all frozen epochs
-	epoch    int                  // number of successful freezes (includes recovered epochs)
-	retained []epochSet           // ring of the most recent frozen epochs, ascending
-	retain   int                  // ring capacity (store's when durable, cfg.Retain otherwise)
-	dirty    bool                 // offers accepted since the last freeze
-	closed   bool                 // Close was called; ingestion is shut down
+	mu       sync.Mutex        // serializes freeze/Close; guards cum, epoch, retained
+	cum      []*sketch.BottomK // exact merged sketches of all frozen epochs
+	epoch    int               // number of successful freezes (includes recovered epochs)
+	retained []epochSet        // ring of the most recent frozen epochs, ascending
+	retain   int               // ring capacity (store's when durable, cfg.Retain otherwise)
+
+	// ingestMu pins the current epoch's ingest front-end: producers hold
+	// the read lock across an offer batch (plus one lane's mutex), the
+	// freeze swap and Close take the write lock. The write lock is held
+	// only for the pointer swap — never across freeze, merge, or persist
+	// work — so ingestion stalls for nanoseconds per epoch turn.
+	ingestMu sync.RWMutex
+	ingest   *epochIngest // current epoch's lanes over the hash-once front-end
+
+	dirty    atomic.Bool   // offers accepted since the last freeze
+	closed   atomic.Bool   // Close was called; ingestion is shut down (set under ingestMu)
+	epochNow atomic.Int64  // s.epoch mirrored for lock-free reads on the ingest path
+	laneRR   atomic.Uint32 // round-robin lane assignment for producer requests
 
 	store *store.Store // nil = memory-only
 
@@ -390,7 +418,8 @@ func New(cfg Config) (*Server, error) {
 			s.cum[b] = sketch.NewBottomKBuilderWithFingerprint(cfg.Sample.K, assigner.Fingerprint(b, cfg.Sample.K)).Sketch()
 		}
 	}
-	s.ingest = newEpochSketchers(cfg)
+	s.ingest = newEpochIngest(cfg)
+	s.epochNow.Store(int64(s.epoch))
 	s.snap.Store(s.newSnapshot(s.epoch, s.cum, s.retained))
 	s.obsBufs.New = func() any {
 		per := make([][]shard.Observation, cfg.Assignments)
@@ -408,10 +437,42 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// newEpochSketchers arms one sharded concurrent sketcher per assignment,
-// behind the hash-once multi-assignment front-end.
-func newEpochSketchers(cfg Config) *shard.MultiSketcher {
-	return core.NewMultiSketcher(cfg.Sample, cfg.Assignments, cfg.Shards, cfg.Workers)
+// laneSlot is one ingest lane of the current epoch: a hash-once
+// multi-assignment front-end (shard.MultiLane) plus the mutex making it a
+// single producer. Distinct slots offer concurrently; the shard layer's
+// core-affine-lane guarantee makes the frozen sketches bit-identical to a
+// single-stream pass regardless of how requests interleave across slots.
+type laneSlot struct {
+	mu sync.Mutex
+	ml *shard.MultiLane
+}
+
+// epochIngest is one epoch's ingest state: the per-assignment sketchers
+// and their lane slots. It is swapped out whole at freeze, so a producer
+// that pinned it under ingestMu.RLock always offers into a coherent epoch.
+type epochIngest struct {
+	ms    *shard.MultiSketcher
+	lanes []*laneSlot
+}
+
+// slot picks the lane for a producer's round-robin ticket.
+//
+//cws:hotpath
+func (e *epochIngest) slot(ticket uint32) *laneSlot {
+	return e.lanes[int(ticket)%len(e.lanes)]
+}
+
+// newEpochIngest arms one sharded concurrent sketcher per assignment
+// behind the hash-once multi-assignment front-end, with cfg.Lanes
+// concurrent producer lanes over them.
+func newEpochIngest(cfg Config) *epochIngest {
+	ms := core.NewMultiSketcherLanes(cfg.Sample, cfg.Assignments, cfg.Shards, cfg.Workers, cfg.Lanes)
+	mlanes := ms.Lanes()
+	e := &epochIngest{ms: ms, lanes: make([]*laneSlot, len(mlanes))}
+	for j, ml := range mlanes {
+		e.lanes[j] = &laneSlot{ml: ml}
+	}
+	return e
 }
 
 // newSnapshot builds the immutable serving state for the given cumulative
@@ -454,11 +515,16 @@ var errClosed = errors.New("server: closed")
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return
 	}
-	s.closed = true
-	for _, sk := range s.ingest.Sketchers() {
+	// closed is set under the ingest write lock: once it is visible, no
+	// producer is mid-offer, so the terminal freeze below cannot race an
+	// Offer (which would panic in the sketch layer).
+	s.ingestMu.Lock()
+	s.closed.Store(true)
+	s.ingestMu.Unlock()
+	for _, sk := range s.ingest.ms.Sketchers() {
 		func() {
 			// The freeze result is discarded, so a duplicate-key panic is
 			// irrelevant here — only the worker shutdown matters.
@@ -476,9 +542,7 @@ func (s *Server) Close() {
 // Shutdown may land after the final freeze and be discarded. Returns the
 // final freeze's error, if any (the shutdown itself proceeds regardless).
 func (s *Server) Shutdown() error {
-	s.mu.Lock()
-	dirty := s.dirty && !s.closed
-	s.mu.Unlock()
+	dirty := s.dirty.Load() && !s.closed.Load()
 	var err error
 	if dirty {
 		_, err = s.freeze()
@@ -561,22 +625,28 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 		perAssignment[o.Assignment] = append(perAssignment[o.Assignment], shard.Observation{Key: o.Key, Weight: o.Weight})
 		accepted++
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	// Pin the epoch (read lock), then serialize only against producers on
+	// the same lane: concurrent /offer requests on distinct lanes ingest
+	// in parallel.
+	s.ingestMu.RLock()
+	if s.closed.Load() {
+		s.ingestMu.RUnlock()
 		writeError(w, http.StatusServiceUnavailable, "%v", errClosed)
 		return
 	}
+	slot := s.ingest.slot(s.laneRR.Add(1))
+	slot.mu.Lock()
 	for b, obs := range perAssignment {
 		if len(obs) > 0 {
-			s.ingest.OfferBatch(b, obs)
+			slot.ml.OfferBatch(b, obs)
 		}
 	}
+	slot.mu.Unlock()
 	if accepted > 0 {
-		s.dirty = true
+		s.dirty.Store(true)
 	}
-	epoch := s.epoch
-	s.mu.Unlock()
+	epoch := int(s.epochNow.Load())
+	s.ingestMu.RUnlock()
 	s.offers.Add(int64(accepted))
 	s.offerBatches.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "epoch": epoch})
@@ -618,15 +688,18 @@ type ingestState struct {
 	buffered int
 	accepted int
 	epoch    int
+	lane     uint32 // round-robin ticket pinned for the whole stream (connection affinity)
 }
 
 func (s *Server) newIngestState() *ingestState {
 	st := &ingestState{srv: s, per: s.obsBufs.Get().(*[][]shard.Observation)}
 	// Seed the reported epoch with the current one so a request whose
-	// records are all skipped (or empty) still reports a real epoch.
-	s.mu.Lock()
-	st.epoch = s.epoch
-	s.mu.Unlock()
+	// records are all skipped (or empty) still reports a real epoch, and
+	// pin a lane so every flush of this stream lands on the same slot —
+	// the producer-side sync.Pool and pending batches stay core-affine
+	// for the stream's lifetime.
+	st.epoch = int(s.epochNow.Load())
+	st.lane = s.laneRR.Add(1)
 	return st
 }
 
@@ -644,8 +717,9 @@ func (st *ingestState) add(assignment int, key string, weight float64) error {
 	return nil
 }
 
-// flush hands the buffered observations to the epoch sketchers under one
-// lock acquisition and resets the buffers for reuse.
+// flush hands the buffered observations to the stream's pinned lane under
+// one epoch read lock plus one lane lock, and resets the buffers for
+// reuse. Streams pinned to distinct lanes flush concurrently.
 //
 //cws:hotpath
 func (st *ingestState) flush() error {
@@ -653,22 +727,27 @@ func (st *ingestState) flush() error {
 		return nil
 	}
 	s := st.srv
-	//cws:allow-alloc one lock per ingestFlushEvery records is the designed flush boundary, amortized to ~0 per record
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	//cws:allow-alloc one epoch pin per ingestFlushEvery records is the designed flush boundary, amortized to ~0 per record
+	s.ingestMu.RLock()
+	if s.closed.Load() {
+		s.ingestMu.RUnlock()
 		return errClosed
 	}
+	slot := s.ingest.slot(st.lane)
+	//cws:allow-alloc one lane lock per flush, paired with the epoch pin above
+	slot.mu.Lock()
 	per := *st.per
 	for b, obs := range per {
 		if len(obs) > 0 {
-			s.ingest.OfferBatch(b, obs)
+			slot.ml.OfferBatch(b, obs)
 		}
 	}
-	s.dirty = true
-	st.epoch = s.epoch
-	//cws:allow-alloc paired with the flush-boundary Lock above
-	s.mu.Unlock()
+	//cws:allow-alloc flush-boundary unlock
+	slot.mu.Unlock()
+	s.dirty.Store(true)
+	st.epoch = int(s.epochNow.Load())
+	//cws:allow-alloc flush-boundary unlock
+	s.ingestMu.RUnlock()
 	s.offers.Add(int64(st.buffered))
 	st.accepted += st.buffered
 	st.buffered = 0
@@ -899,17 +978,23 @@ func (e *persistError) Unwrap() error { return e.err }
 func (s *Server) freeze() (*snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, errClosed
 	}
-	epochSketches, merged, err := freezeAndMerge(s.ingest, s.cum)
-	// The old sketchers are terminally frozen either way; always re-arm.
-	// The old epoch's offers are consumed on success and discarded on
-	// every failure path below, so the fresh epoch starts clean either
-	// way — a failed freeze must not leave dirty set, or Shutdown would
-	// later mint (and persist) a phantom empty epoch.
-	s.ingest = newEpochSketchers(s.cfg)
-	s.dirty = false
+	// Detach the epoch under the ingest write lock — held only for the
+	// swap — and arm the next epoch before any freeze work runs, so
+	// producers stream into the new epoch while the old one is frozen,
+	// merged, and persisted off the ingest path. The old epoch's offers
+	// are consumed on success and discarded on every failure path below,
+	// so the fresh epoch starts clean either way — a failed freeze must
+	// not leave dirty set, or Shutdown would later mint (and persist) a
+	// phantom empty epoch.
+	s.ingestMu.Lock()
+	old := s.ingest
+	s.ingest = newEpochIngest(s.cfg)
+	s.dirty.Store(false)
+	s.ingestMu.Unlock()
+	epochSketches, merged, err := freezeAndMerge(old.ms, s.cum)
 	if err != nil {
 		return nil, err
 	}
@@ -928,6 +1013,7 @@ func (s *Server) freeze() (*snapshot, error) {
 		s.persists.Add(1)
 	}
 	s.epoch++
+	s.epochNow.Store(int64(s.epoch))
 	s.cum = merged
 	// A fresh ring slice every freeze: published snapshots hold the old one.
 	retained := make([]epochSet, 0, len(s.retained)+1)
@@ -946,25 +1032,27 @@ func (s *Server) freeze() (*snapshot, error) {
 // library's detection of pre-aggregation violations) into an error a
 // server can survive. It returns both the frozen epoch sketches (what the
 // store persists and the retention ring serves) and the merged cumulative
-// sketches. Every sketcher is frozen even when one fails: Sketch() is
-// what shuts a sketcher's worker goroutines down, so abandoning the rest
-// on the first failure would leak their workers on every failed freeze —
-// unbounded growth in a server designed to ride failed freezes out
-// indefinitely.
+// sketches. The per-assignment freezes are independent (each terminally
+// freezes its own sketcher and merges into its own cumulative sketch), so
+// they fan across shard.ParallelDo's bounded pool; with one schedulable
+// core this degenerates to the serial loop, and the error reported is the
+// lowest assignment index's — the one a serial pass would have hit first.
+// Every sketcher is frozen even when one fails: Sketch() is what shuts a
+// sketcher's worker goroutines down, so abandoning the rest on the first
+// failure would leak their workers on every failed freeze — unbounded
+// growth in a server designed to ride failed freezes out indefinitely.
 func freezeAndMerge(ingest *shard.MultiSketcher, cum []*sketch.BottomK) ([]*sketch.BottomK, []*sketch.BottomK, error) {
 	sketchers := ingest.Sketchers()
 	epochs := make([]*sketch.BottomK, len(sketchers))
 	out := make([]*sketch.BottomK, len(sketchers))
-	var firstErr error
-	for b, sk := range sketchers {
-		epochSketch, merged, err := freezeOne(sk, cum[b])
-		if err != nil && firstErr == nil {
-			firstErr = err
+	errs := make([]error, len(sketchers))
+	shard.ParallelDo(len(sketchers), 0, func(b int) {
+		epochs[b], out[b], errs[b] = freezeOne(sketchers[b], cum[b])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
 		}
-		epochs[b], out[b] = epochSketch, merged
-	}
-	if firstErr != nil {
-		return nil, nil, firstErr
 	}
 	return epochs, out, nil
 }

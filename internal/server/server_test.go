@@ -352,6 +352,7 @@ func TestFailedFreezeDoesNotLeakWorkers(t *testing.T) {
 		Assignments: 3,
 		Shards:      8,
 		Workers:     4,
+		Lanes:       2,
 	}
 	s, err := New(cfg)
 	if err != nil {
@@ -359,11 +360,11 @@ func TestFailedFreezeDoesNotLeakWorkers(t *testing.T) {
 	}
 	t.Cleanup(s.Close)
 	offerAll := func(key string, w float64) {
-		s.mu.Lock()
-		for b := 0; b < s.ingest.NumAssignments(); b++ {
-			s.ingest.Offer(b, key, w)
+		s.ingestMu.RLock()
+		for b := 0; b < s.ingest.ms.NumAssignments(); b++ {
+			s.ingest.ms.Offer(b, key, w)
 		}
-		s.mu.Unlock()
+		s.ingestMu.RUnlock()
 	}
 	offerAll("dup", 1)
 	if _, err := s.freeze(); err != nil {

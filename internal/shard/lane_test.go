@@ -1,0 +1,311 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"slices"
+	"sync"
+	"testing"
+
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+// driveLanes partitions the stream round-robin across the sketcher's lanes
+// and drives every lane from its own goroutine — the multi-core ingest
+// topology. The round-robin split keeps each key on exactly one lane (the
+// pre-aggregation contract) while interleaving lane progress as much as the
+// scheduler allows.
+func driveLanes(s *Sketcher, keys []string, weights []float64) {
+	lanes := s.Lanes()
+	var wg sync.WaitGroup
+	wg.Add(len(lanes))
+	for j, lane := range lanes {
+		go func(j int, lane *Lane) {
+			defer wg.Done()
+			for i := j; i < len(keys); i += len(lanes) {
+				lane.Offer(keys[i], weights[i])
+			}
+		}(j, lane)
+	}
+	wg.Wait()
+}
+
+// TestLaneSeamInvariance is the multi-core seam-invariance matrix: for
+// workers ∈ {1, 2, 7, GOMAXPROCS} × shards ∈ {1, 2, 7, 16} × both dispersed
+// coordination modes, a stream split across concurrently-driven lanes
+// freezes bit-identical — entries, r_k, r_{k+1} — to the single-stream
+// builder, no matter how the scheduler interleaves the lanes. Run under
+// -race in CI, this is the correctness oracle for the core-affine ingest
+// path.
+func TestLaneSeamInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	keys, weights := randomStream(rng, 4000, "lane")
+	workerSweep := []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+	slices.Sort(workerSweep)
+	workerSweep = slices.Compact(workerSweep)
+	for _, mode := range []rank.Coordination{rank.SharedSeed, rank.Independent} {
+		a := rank.Assigner{Family: rank.IPPS, Mode: mode, Seed: 83}
+		const k = 128
+		want := singleStream(a, 0, k, keys, weights)
+		for _, shards := range []int{1, 2, 7, 16} {
+			for _, workers := range workerSweep {
+				for _, lanes := range []int{2, 4} {
+					s := NewSketcherLanes(a, 0, k, shards, workers, lanes)
+					driveLanes(s, keys, weights)
+					label := fmt.Sprintf("%v shards=%d workers=%d lanes=%d", mode, shards, workers, lanes)
+					requireIdentical(t, s.Sketch(), want, label)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiLaneSeamInvariance extends the matrix to the multi-assignment
+// front-end: concurrent MultiLanes driving OfferVector (the hash-once path
+// under SharedSeed) freeze every assignment bit-identical to the
+// single-stream construction.
+func TestMultiLaneSeamInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	const n, numAsg, k = 3000, 3, 96
+	keys := make([]string, n)
+	cols := make([][]float64, numAsg)
+	for b := range cols {
+		cols[b] = make([]float64, n)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mlane-%05d", i)
+		for b := range cols {
+			if rng.Float64() < 0.2 {
+				continue
+			}
+			cols[b][i] = math.Exp(rng.NormFloat64() * 2)
+		}
+	}
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, numAsg)
+		for b := range cols {
+			vecs[i][b] = cols[b][i]
+		}
+	}
+	for _, mode := range []rank.Coordination{rank.SharedSeed, rank.Independent} {
+		a := rank.Assigner{Family: rank.IPPS, Mode: mode, Seed: 227}
+		want := make([]*sketch.BottomK, numAsg)
+		for b := range want {
+			want[b] = singleStream(a, b, k, keys, cols[b])
+		}
+		for _, shards := range []int{1, 7, 16} {
+			m := NewMultiSketcherLanes(a, numAsg, k, shards, 2, 4)
+			mlanes := m.Lanes()
+			var wg sync.WaitGroup
+			wg.Add(len(mlanes))
+			for j, ml := range mlanes {
+				go func(j int, ml *MultiLane) {
+					defer wg.Done()
+					for i := j; i < n; i += len(mlanes) {
+						ml.OfferVector(keys[i], vecs[i])
+					}
+				}(j, ml)
+			}
+			wg.Wait()
+			for b, got := range m.Sketches() {
+				requireIdentical(t, got, want[b],
+					fmt.Sprintf("%v shards=%d assignment %d", mode, shards, b))
+			}
+		}
+	}
+}
+
+// TestLaneAscendingRankOrder is the adversarial pruning case under
+// concurrent lanes: with keys offered in globally ascending rank order,
+// once a shard's sample fills every later item is pruned, and each shard's
+// exact r_{k+1} is carried by whichever lane pruned the globally-first
+// pruned item. The per-lane minima merged at freeze must recover it exactly
+// — the frozen Threshold is bit-identical to the serial construction.
+func TestLaneAscendingRankOrder(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 233}
+	const n = 4000
+	keys := make([]string, n)
+	weights := make([]float64, n)
+	rng := rand.New(rand.NewSource(97))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("lasc-%05d", i)
+		weights[i] = math.Exp(rng.NormFloat64())
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = a.Rank(keys[i], 0, weights[i])
+	}
+	slices.SortFunc(order, func(x, y int) int {
+		switch {
+		case ranks[x] < ranks[y]:
+			return -1
+		case ranks[x] > ranks[y]:
+			return 1
+		default:
+			return 0
+		}
+	})
+	sortedKeys := make([]string, n)
+	sortedWeights := make([]float64, n)
+	for i, idx := range order {
+		sortedKeys[i] = keys[idx]
+		sortedWeights[i] = weights[idx]
+	}
+	for _, k := range []int{1, 16, 128} {
+		want := singleStream(a, 0, k, keys, weights)
+		for _, shards := range []int{1, 2, 7, 16} {
+			s := NewSketcherLanes(a, 0, k, shards, 2, 3)
+			driveLanes(s, sortedKeys, sortedWeights)
+			requireIdentical(t, s.Sketch(), want,
+				fmt.Sprintf("ascending lanes k=%d shards=%d", k, shards))
+		}
+	}
+}
+
+// TestLaneDuplicateKeyPanic: the duplicate-key contract violation must
+// surface from the parallel freeze exactly as it does from the serial one —
+// as a panic on the goroutine calling Sketch, not a crash on an internal
+// worker — even when the duplicate was offered from two different lanes.
+func TestLaneDuplicateKeyPanic(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 239}
+	serialMsg := func() (msg any) {
+		defer func() { msg = recover() }()
+		b := sketch.NewBottomKBuilder(8)
+		b.Offer("dup", a.Rank("dup", 0, 1e9), 1e9)
+		b.Offer("dup", a.Rank("dup", 0, 1e9), 1e9)
+		b.Sketch()
+		return nil
+	}()
+	if serialMsg == nil {
+		t.Fatal("serial duplicate-key freeze did not panic")
+	}
+	// Force the parallel per-shard freeze path: more than one schedulable
+	// worker in ParallelDo requires shards > 1, so put the duplicate on a
+	// known sketcher and let every shard freeze concurrently.
+	s := NewSketcherLanes(a, 0, 8, 7, 2, 2)
+	lanes := s.Lanes()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for j := 0; j < 2; j++ {
+		go func(j int) {
+			defer wg.Done()
+			// The huge weight gives the duplicate a near-zero rank, so both
+			// copies are certainly admitted and retained in its shard.
+			lanes[j].Offer("dup", 1e9)
+			for i := 0; i < 50; i++ {
+				lanes[j].Offer(fmt.Sprintf("fill-%d-%d", j, i), 1+float64(i))
+			}
+		}(j)
+	}
+	wg.Wait()
+	defer func() {
+		msg := recover()
+		if msg == nil {
+			t.Fatal("parallel freeze of duplicate key did not panic")
+		}
+		if fmt.Sprint(msg) != fmt.Sprint(serialMsg) {
+			t.Fatalf("parallel freeze panic %q, want serial panic %q", msg, serialMsg)
+		}
+	}()
+	s.Sketch()
+}
+
+// TestLaneOfferZeroAllocs is the per-lane allocation budget: once a shard's
+// threshold is published, a pruned Offer on any lane — the steady-state
+// overwhelming majority — must not allocate. Lanes > 1 forces the batched
+// (non-direct) pipeline even on a single-core machine, so this measures the
+// multi-producer fast path, not the synchronous fallback.
+func TestLaneOfferZeroAllocs(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 241}
+	s := NewSketcherLanes(a, 0, 8, 1, 1, 2)
+	if s.direct {
+		t.Fatal("lanes=2 must disable direct mode")
+	}
+	warm := s.Lanes()[0]
+	for i := 0; i < 4096; i++ {
+		warm.Offer(fmt.Sprintf("warm-%05d", i), 1)
+	}
+	for i := 0; math.IsInf(s.builders[0].AdmissionThreshold(), 1); i++ {
+		if i > 1_000_000 {
+			t.Fatal("admission threshold never published")
+		}
+		runtime.Gosched()
+	}
+	for _, j := range []int{0, 1} {
+		lane := s.Lanes()[j]
+		allocs := testing.AllocsPerRun(500, func() {
+			lane.Offer("pruned-key", 1e-300)
+		})
+		if allocs != 0 {
+			t.Fatalf("lane %d pruned Offer allocates %v per op, want 0", j, allocs)
+		}
+	}
+	s.Sketch()
+}
+
+// TestLaneDefaults pins the constructor contract: lanes ≤ 0 selects
+// GOMAXPROCS, NewSketcher keeps the single-lane shape, and multiple lanes
+// disable the synchronous direct mode regardless of core count.
+func TestLaneDefaults(t *testing.T) {
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 251}
+	s := NewSketcherLanes(a, 0, 4, 2, 1, -1)
+	if s.NumLanes() != runtime.GOMAXPROCS(0) {
+		t.Errorf("defaulted lanes = %d, want GOMAXPROCS = %d", s.NumLanes(), runtime.GOMAXPROCS(0))
+	}
+	s.Sketch()
+	if n := NewSketcher(a, 0, 4, 2, 1).NumLanes(); n != 1 {
+		t.Errorf("NewSketcher lanes = %d, want 1", n)
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if s := NewSketcherLanes(a, 0, 4, 1, 1, 2); s.direct {
+		t.Error("lanes=2 selected direct mode under GOMAXPROCS=1")
+	}
+	if s := NewSketcherLanes(a, 0, 4, 1, 1, 1); !s.direct {
+		t.Error("lanes=1 workers=1 under GOMAXPROCS=1 should select direct mode")
+	}
+}
+
+// TestParallelDo pins the fan-out primitive itself: full index coverage at
+// any limit, serial fallback, and panic propagation choosing the lowest
+// index — the same panic a serial loop would surface first.
+func TestParallelDo(t *testing.T) {
+	for _, limit := range []int{0, 1, 3, 64} {
+		const n = 100
+		var hits [n]int32
+		var mu sync.Mutex
+		ParallelDo(n, limit, func(i int) {
+			mu.Lock()
+			hits[i]++
+			mu.Unlock()
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("limit=%d: f(%d) ran %d times, want 1", limit, i, h)
+			}
+		}
+	}
+	got := func() (msg any) {
+		defer func() { msg = recover() }()
+		// limit > 1 forces the concurrent path even on one core; every odd
+		// index panics and the lowest (1) must win.
+		ParallelDo(10, 4, func(i int) {
+			if i%2 == 1 {
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+		})
+		return nil
+	}()
+	if got != "boom-1" {
+		t.Fatalf("ParallelDo propagated panic %v, want boom-1", got)
+	}
+	ParallelDo(0, 4, func(int) { t.Fatal("n=0 must not call f") })
+}

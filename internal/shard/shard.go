@@ -1,6 +1,7 @@
 // Package shard implements sharded, concurrent ingestion of one weight
 // assignment's aggregated (key, weight) stream, with a threshold-pruned,
-// steady-state-zero-allocation producer fast path.
+// steady-state-zero-allocation producer fast path and core-affine producer
+// lanes for multi-core ingest.
 //
 // The construction rests on three facts. First, per-assignment sketching is
 // a one-pass, O(k)-state operation (Section 3 of the paper), so a stream can
@@ -21,22 +22,41 @@
 // shard builder's published threshold (sketch.BottomKBuilder.
 // AdmissionThreshold, a relaxed atomic), and — for the few admitted items —
 // the unit seed from which the receiving worker computes the exact rank.
-// Admitted items travel in sync.Pool-recycled batches through per-worker
+// Admitted items travel in pool-recycled batches through per-worker
 // channels, so the steady state allocates nothing.
 //
-// Exactness is preserved bit for bit. Pruning cannot change the retained
-// entries: thresholds only decrease, so an item whose rank provably exceeds
-// a stale threshold is rejected by every later Offer too. Pruning could
-// only lose the (k+1)-st smallest rank r_{k+1} (the frozen sketch's
-// Threshold, which the estimators condition on) — so the producer tracks
-// the exact minimum rank among the items it pruned per shard (lazily: the
-// quantile is evaluated only when the one-multiply bound says the item
-// might improve the running minimum, which happens O(log n) times) and
-// feeds it to the builder at freeze via NoteRejected. The frozen sketch is
-// therefore bit-identical — same entries, same r_k(I), same r_{k+1}(I) —
-// to the single-stream construction, for every shard count and both
-// dispersed coordination modes; the shard tests and the ingest experiment
-// enforce this.
+// # Core-affine lanes
+//
+// Producer-side state lives in a Lane: per-worker pending batches, a pinned
+// batch pool, and the per-shard pruned-rank minima. A Sketcher built with
+// NewSketcherLanes exposes L lanes; each lane is single-producer, but
+// distinct lanes may offer concurrently from different goroutines (one per
+// core). This is safe without any lane-to-lane synchronization because the
+// hot path is the pruned-rejection path: the admission threshold is a
+// published atomic that only ever decreases, so a stale read is
+// conservative, and a pruned item touches nothing but the lane's own
+// prunedMin array. Only the rare admitted item crosses a channel to the
+// worker that owns its shard (shard s is owned by worker s mod W — a fixed
+// partition, so no builder is ever touched by two goroutines). Recycled
+// batches return to the sending lane's own sync.Pool, whose per-P caches
+// keep a batch's memory on the core that fills it.
+//
+// Exactness is preserved bit for bit, per lane count and interleaving.
+// Pruning cannot change the retained entries: thresholds only decrease, so
+// an item whose rank provably exceeds a stale threshold is rejected by every
+// later Offer too. Pruning could only lose the (k+1)-st smallest rank
+// r_{k+1} (the frozen sketch's Threshold, which the estimators condition on)
+// — so each lane tracks the exact minimum rank among the items it pruned per
+// shard (lazily: the quantile is evaluated only when the one-multiply bound
+// says the item might improve the running minimum, which happens O(log n)
+// times) and the freeze merges the lane minima into the builders via
+// NoteRejected. Both the retained bottom-k (a min under the total
+// (rank, key) order) and r_{k+1} (a min over pruned/evicted ranks) are
+// order-independent, so the frozen sketch cannot depend on how offers
+// interleave across lanes: it is bit-identical — same entries, same r_k(I),
+// same r_{k+1}(I) — to the single-stream construction, for every shard,
+// worker, and lane count and both dispersed coordination modes; the shard
+// tests and the ingest/scale experiments enforce this.
 //
 // Routing reuses the rank hash rather than a separate shard hash: one FNV
 // pass per offer instead of two. Which shard a key lands on can therefore
@@ -74,10 +94,14 @@ type item struct {
 	shard  int32
 }
 
-// batchPool recycles item batches between producers and workers; steady
-// state ingestion allocates nothing. Batches are stored by pointer so
-// Put/Get do not box the slice header.
-var batchPool = sync.Pool{New: func() any { b := make([]item, 0, batchSize); return &b }}
+// batch carries admitted items from a lane to a worker together with the
+// pool it came from — the sending lane's pinned pool — so the worker can
+// return the drained batch to the lane that fills it. sync.Pool's per-P
+// caches then keep a batch's memory resident on the core driving that lane.
+type batch struct {
+	items []item
+	home  *sync.Pool
+}
 
 // ShardOf returns the shard index of key under a seed-free partition into
 // shards disjoint pieces. Retained for callers partitioning key spaces
@@ -93,10 +117,12 @@ func ShardOf(key string, shards int) int {
 // replacement for a single-stream sketcher: the frozen sketch is
 // bit-identical to the one-builder construction.
 //
-// Offer must be called from a single goroutine (the producer); the
-// concurrency is internal. Sketch terminates the pipeline: it flushes
-// pending batches, waits for the workers, and merges — Offer must not be
-// called afterwards.
+// The Sketcher's own Offer methods delegate to lane 0 and must be called
+// from a single goroutine; for concurrent producers, build with
+// NewSketcherLanes and give each producer goroutine its own Lane. Sketch
+// terminates the pipeline: it flushes every lane, waits for the workers, and
+// merges — no lane may Offer afterwards, and all producers must have
+// stopped before it is called.
 type Sketcher struct {
 	family     rank.Family
 	assignment int
@@ -105,20 +131,28 @@ type Sketcher struct {
 	workers    int
 	direct     bool                     // no worker goroutines: producer offers admitted items synchronously
 	builders   []*sketch.BottomKBuilder // one per shard; builders[s] is owned by worker s % workers
-	chans      []chan *[]item           // one per worker (nil in direct mode)
-	pending    []*[]item                // producer-side batch per worker (nil in direct mode)
-	prunedMin  []float64                // per shard: exact min rank among producer-pruned items
+	chans      []chan *batch            // one per worker (nil in direct mode)
+	lanes      []*Lane
 	wg         sync.WaitGroup
 	closed     bool
 }
 
-// NewSketcher creates a sharded sketcher for assignment index assignment
-// with per-assignment sample size k. shards must be ≥ 1; workers ≤ 0 selects
-// GOMAXPROCS, and the worker count is capped at the shard count (shard s is
-// owned by worker s mod workers, so extra workers would idle). The assigner
-// must be a dispersed mode (SharedSeed or Independent);
-// IndependentDifferences requires colocated weights and panics.
+// NewSketcher creates a single-producer sharded sketcher (one lane) for
+// assignment index assignment with per-assignment sample size k. shards must
+// be ≥ 1; workers ≤ 0 selects GOMAXPROCS, and the worker count is capped at
+// the shard count (shard s is owned by worker s mod workers, so extra
+// workers would idle). The assigner must be a dispersed mode (SharedSeed or
+// Independent); IndependentDifferences requires colocated weights and
+// panics.
 func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sketcher {
+	return NewSketcherLanes(assigner, assignment, k, shards, workers, 1)
+}
+
+// NewSketcherLanes is NewSketcher with an explicit producer-lane count:
+// the returned Sketcher carries lanes independent producer front-ends
+// (Lanes), each single-goroutine but mutually concurrent, so L cores can
+// drive one assignment's ingest at once. lanes ≤ 0 selects GOMAXPROCS.
+func NewSketcherLanes(assigner rank.Assigner, assignment, k, shards, workers, lanes int) *Sketcher {
 	if shards < 1 {
 		panic(fmt.Sprintf("shard: invalid shard count %d", shards))
 	}
@@ -128,13 +162,18 @@ func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sk
 	if workers > shards {
 		workers = shards
 	}
-	// With one worker and one schedulable core there is no parallelism for
-	// the channel hop to buy — producer and worker would just take turns on
-	// the same CPU — so admitted items are offered synchronously instead:
-	// no goroutines, no batches, and the producer sees threshold updates
-	// immediately, which makes pruning strictly more effective. The frozen
-	// sketch is identical either way.
-	direct := workers == 1 && runtime.GOMAXPROCS(0) == 1
+	if lanes <= 0 {
+		lanes = runtime.GOMAXPROCS(0)
+	}
+	// With one producer lane, one worker, and one schedulable core there is
+	// no parallelism for the channel hop to buy — producer and worker would
+	// just take turns on the same CPU — so admitted items are offered
+	// synchronously instead: no goroutines, no batches, and the producer
+	// sees threshold updates immediately, which makes pruning strictly more
+	// effective. With more than one lane the builders have concurrent
+	// producers and the worker hand-off is load-bearing, so direct mode is
+	// off. The frozen sketch is identical either way.
+	direct := lanes == 1 && workers == 1 && runtime.GOMAXPROCS(0) == 1
 	s := &Sketcher{
 		family:     assigner.Family,
 		assignment: assignment,
@@ -143,7 +182,6 @@ func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sk
 		workers:    workers,
 		direct:     direct,
 		builders:   make([]*sketch.BottomKBuilder, shards),
-		prunedMin:  make([]float64, shards),
 	}
 	// Every shard builder carries the assignment's configuration
 	// fingerprint: the shard sketches are bottom-k sketches of (disjoint
@@ -153,59 +191,90 @@ func NewSketcher(assigner rank.Assigner, assignment, k, shards, workers int) *Sk
 	fp := assigner.Fingerprint(assignment, k)
 	for i := range s.builders {
 		s.builders[i] = sketch.NewBottomKBuilderWithFingerprint(k, fp)
-		s.prunedMin[i] = math.Inf(1)
 	}
-	if direct {
-		return s
+	if !direct {
+		s.chans = make([]chan *batch, workers)
+		for w := range s.chans {
+			s.chans[w] = make(chan *batch, 4)
+		}
+		s.wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go s.drain(s.chans[w])
+		}
 	}
-	s.chans = make([]chan *[]item, workers)
-	s.pending = make([]*[]item, workers)
-	for w := range s.chans {
-		s.chans[w] = make(chan *[]item, 4)
-		s.pending[w] = batchPool.Get().(*[]item)
-	}
-	s.wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go s.drain(s.chans[w])
+	s.lanes = make([]*Lane, lanes)
+	for i := range s.lanes {
+		s.lanes[i] = newLane(s)
 	}
 	return s
 }
 
 // drain consumes batches, computing each item's rank from its precomputed
-// unit seed and offering it to its shard's builder, then recycles the batch.
-// The fixed shard→worker ownership means no builder is ever touched by two
-// goroutines.
-func (s *Sketcher) drain(ch <-chan *[]item) {
+// unit seed and offering it to its shard's builder, then recycles the batch
+// into the pool of the lane that sent it. The fixed shard→worker ownership
+// means no builder is ever touched by two goroutines.
+func (s *Sketcher) drain(ch <-chan *batch) {
 	defer s.wg.Done()
-	for bp := range ch {
-		for _, it := range *bp {
+	for b := range ch {
+		for _, it := range b.items {
 			s.builders[it.shard].Offer(it.key, s.family.Quantile(it.weight, it.u), it.weight)
 		}
-		*bp = (*bp)[:0]
-		batchPool.Put(bp)
+		b.items = b.items[:0]
+		b.home.Put(b)
 	}
 }
 
-// Offer presents one aggregated key with its weight in this assignment.
-// Keys must be pre-aggregated (each key offered at most once), exactly as
-// for the single-stream sketcher. Nonpositive, NaN, and +Inf weights are
-// never sampled and are rejected here, before any hashing or routing cost.
+// Lane is one producer front-end of a Sketcher: per-worker pending batches,
+// a pinned batch pool, and the lane's own per-shard pruned-rank minima.
+// A Lane must be driven by a single goroutine at a time, but distinct lanes
+// of the same Sketcher may offer concurrently — the builders' published
+// admission thresholds make pruning exact under any interleaving, and only
+// admitted items (rare in steady state) cross a channel to the worker owning
+// their shard.
+type Lane struct {
+	s         *Sketcher
+	pending   []*batch  // per worker (nil in direct mode)
+	prunedMin []float64 // per shard: exact min rank among items this lane pruned
+	pool      sync.Pool // pinned batch pool: drained batches return here
+}
+
+func newLane(s *Sketcher) *Lane {
+	l := &Lane{s: s, prunedMin: make([]float64, s.shards)}
+	for i := range l.prunedMin {
+		l.prunedMin[i] = math.Inf(1)
+	}
+	l.pool.New = func() any { return &batch{items: make([]item, 0, batchSize), home: &l.pool} }
+	if !s.direct {
+		l.pending = make([]*batch, s.workers)
+		for w := range l.pending {
+			l.pending[w] = l.pool.Get().(*batch)
+		}
+	}
+	return l
+}
+
+// Offer presents one aggregated key with its weight in this assignment on
+// this lane. Keys must be pre-aggregated (each key offered at most once
+// across all lanes), exactly as for the single-stream sketcher.
+// Nonpositive, NaN, and +Inf weights are never sampled and are rejected
+// here, before any hashing or routing cost.
 //
 //cws:hotpath
-func (s *Sketcher) Offer(key string, weight float64) {
+func (l *Lane) Offer(key string, weight float64) {
 	if !(weight > 0) || math.IsInf(weight, 1) {
 		return
 	}
-	s.offerHashed(key, hashing.Hash64(s.hashSeed, key), weight)
+	l.offerHashed(key, hashing.Hash64(l.s.hashSeed, key), weight)
 }
 
 // offerHashed is the post-hash fast path: route, prune against the routed
 // shard's published admission threshold, and batch the survivors. h must be
-// Hash64(s.hashSeed, key) — MultiSketcher computes it once per key and fans
-// it to every assignment's sketcher under SharedSeed coordination.
+// Hash64(s.hashSeed, key) — MultiLane computes it once per key and fans it
+// to every assignment's lane under SharedSeed coordination.
 //
 //cws:hotpath
-func (s *Sketcher) offerHashed(key string, h uint64, weight float64) {
+func (l *Lane) offerHashed(key string, h uint64, weight float64) {
+	s := l.s
 	if s.closed {
 		panic("shard: Offer after Sketch")
 	}
@@ -216,9 +285,9 @@ func (s *Sketcher) offerHashed(key string, h uint64, weight float64) {
 		// be the shard's r_{k+1}, so keep the exact minimum pruned rank.
 		// The quantile is evaluated only when the one-multiply bound says
 		// the running minimum might improve.
-		if s.family.SeedMayRankBelow(u, weight, s.prunedMin[sh]) {
-			if r := s.family.Quantile(weight, u); r < s.prunedMin[sh] {
-				s.prunedMin[sh] = r
+		if s.family.SeedMayRankBelow(u, weight, l.prunedMin[sh]) {
+			if r := s.family.Quantile(weight, u); r < l.prunedMin[sh] {
+				l.prunedMin[sh] = r
 			}
 		}
 		return
@@ -228,14 +297,40 @@ func (s *Sketcher) offerHashed(key string, h uint64, weight float64) {
 		return
 	}
 	w := int(sh) % s.workers
-	p := s.pending[w]
+	b := l.pending[w]
 	//cws:allow-alloc pooled batch buffers are pre-sized to batchSize; append never grows past the pool's capacity in steady state
-	*p = append(*p, item{key: key, u: u, weight: weight, shard: int32(sh)})
-	if len(*p) == batchSize {
+	b.items = append(b.items, item{key: key, u: u, weight: weight, shard: int32(sh)})
+	if len(b.items) == batchSize {
 		//cws:allow-alloc hand-off of a full batch every batchSize offers; channel capacity is sized so steady-state sends do not block
-		s.chans[w] <- p
-		s.pending[w] = batchPool.Get().(*[]item)
+		s.chans[w] <- b
+		l.pending[w] = l.pool.Get().(*batch)
 	}
+}
+
+// OfferBatch presents a batch of aggregated observations on this lane,
+// equivalent to calling Offer for each in order.
+//
+//cws:hotpath
+func (l *Lane) OfferBatch(obs []Observation) {
+	for _, o := range obs {
+		l.Offer(o.Key, o.Weight)
+	}
+}
+
+// Offer presents one aggregated key with its weight in this assignment on
+// the Sketcher's default lane (lane 0). See Lane.Offer.
+//
+//cws:hotpath
+func (s *Sketcher) Offer(key string, weight float64) {
+	s.lanes[0].Offer(key, weight)
+}
+
+// offerHashed is the default lane's post-hash fast path; see
+// Lane.offerHashed.
+//
+//cws:hotpath
+func (s *Sketcher) offerHashed(key string, h uint64, weight float64) {
+	s.lanes[0].offerHashed(key, h, weight)
 }
 
 // Observation is one aggregated (key, weight) stream element, as accepted
@@ -245,30 +340,36 @@ type Observation struct {
 	Weight float64
 }
 
-// OfferBatch presents a batch of aggregated observations, equivalent to
-// calling Offer for each in order. Like Offer it must be called from a
-// single producer goroutine at a time; callers that serialize producers
-// behind a lock (the HTTP server's ingest path) use it to amortize the
-// lock acquisition and call overhead over the whole batch.
+// OfferBatch presents a batch of aggregated observations on the default
+// lane, equivalent to calling Offer for each in order. Like Offer it must be
+// called from a single producer goroutine at a time; callers that serialize
+// producers behind a lock (the HTTP server's ingest path) use it to amortize
+// the lock acquisition and call overhead over the whole batch.
 //
 //cws:hotpath
 func (s *Sketcher) OfferBatch(obs []Observation) {
-	for _, o := range obs {
-		s.Offer(o.Key, o.Weight)
-	}
+	s.lanes[0].OfferBatch(obs)
 }
+
+// Lanes returns the Sketcher's producer lanes. Each lane must be driven by
+// at most one goroutine at a time; distinct lanes may be driven
+// concurrently.
+func (s *Sketcher) Lanes() []*Lane { return s.lanes }
 
 // Sketch flushes the pipeline, waits for the workers, reports the pruned
 // rank minima, and merges the shard sketches into the bottom-k sketch of
-// the full assignment. Unlike the single-stream builder this is terminal:
-// the pipeline is shut down and further Offers panic. Sketch may be called
-// again; it returns the same frozen result.
+// the full assignment, freezing the per-shard builders across a bounded
+// worker pool (per-shard freeze is embarrassingly parallel: the builders
+// are independent). Unlike the single-stream builder this is terminal: the
+// pipeline is shut down and further Offers panic. All producers must have
+// stopped before Sketch is called. Sketch may be called again; it returns
+// the same frozen result.
 func (s *Sketcher) Sketch() *sketch.BottomK {
 	s.close()
 	parts := make([]*sketch.BottomK, len(s.builders))
-	for i, b := range s.builders {
-		parts[i] = b.Sketch()
-	}
+	ParallelDo(len(s.builders), 0, func(i int) {
+		parts[i] = s.builders[i].Sketch()
+	})
 	merged, err := sketch.Merge(parts...)
 	if err != nil {
 		// The builders were all created with one fingerprint, so a mismatch
@@ -278,29 +379,34 @@ func (s *Sketcher) Sketch() *sketch.BottomK {
 	return merged
 }
 
-// close flushes pending batches, closes the worker channels, waits for the
-// drain goroutines to finish, and merges the per-shard pruned-rank minima
-// into the now-quiescent builders (the step that keeps r_{k+1} exact under
-// producer-side pruning). Idempotent.
+// close flushes every lane's pending batches, closes the worker channels,
+// waits for the drain goroutines to finish, and merges the per-lane,
+// per-shard pruned-rank minima into the now-quiescent builders (the step
+// that keeps r_{k+1} exact under producer-side pruning: NoteRejected takes a
+// minimum, so the order lanes are folded in cannot matter). Idempotent.
 func (s *Sketcher) close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
 	if !s.direct {
-		for w, bp := range s.pending {
-			if len(*bp) > 0 {
-				s.chans[w] <- bp
-			} else {
-				batchPool.Put(bp)
+		for _, l := range s.lanes {
+			for w, b := range l.pending {
+				if len(b.items) > 0 {
+					s.chans[w] <- b
+				}
+				l.pending[w] = nil
 			}
-			s.pending[w] = nil
-			close(s.chans[w])
+		}
+		for _, ch := range s.chans {
+			close(ch)
 		}
 		s.wg.Wait()
 	}
-	for sh, r := range s.prunedMin {
-		s.builders[sh].NoteRejected(r)
+	for _, l := range s.lanes {
+		for sh, r := range l.prunedMin {
+			s.builders[sh].NoteRejected(r)
+		}
 	}
 }
 
@@ -310,6 +416,9 @@ func (s *Sketcher) NumShards() int { return int(s.shards) }
 // NumWorkers returns the effective worker count (after clamping to the
 // shard count).
 func (s *Sketcher) NumWorkers() int { return s.workers }
+
+// NumLanes returns the producer-lane count.
+func (s *Sketcher) NumLanes() int { return len(s.lanes) }
 
 // Assignment returns the assignment index this sketcher serves.
 func (s *Sketcher) Assignment() int { return s.assignment }
@@ -321,36 +430,57 @@ func (s *Sketcher) Assignment() int { return s.assignment }
 // exactly once and the raw 64-bit word fanned to every assignment's
 // builders: the per-assignment hash×B cost collapses to ×1.
 //
-// Like Sketcher, all Offer variants must be called from a single producer
-// goroutine; Sketches is terminal.
+// The MultiSketcher's own Offer variants delegate to lane 0 of every
+// sketcher and must be called from a single producer goroutine; for
+// concurrent producers use Lanes, which pairs up lane j of every assignment
+// into one MultiLane. Sketches is terminal.
 type MultiSketcher struct {
 	shared    bool
 	sketchers []*Sketcher
+	mlanes    []*MultiLane
 }
 
-// NewMultiSketcher creates one sharded sketcher per assignment index
-// 0..assignments-1, all under the given assigner and per-assignment sample
-// size k.
+// NewMultiSketcher creates one single-producer sharded sketcher per
+// assignment index 0..assignments-1, all under the given assigner and
+// per-assignment sample size k.
 func NewMultiSketcher(assigner rank.Assigner, assignments, k, shards, workers int) *MultiSketcher {
+	return NewMultiSketcherLanes(assigner, assignments, k, shards, workers, 1)
+}
+
+// NewMultiSketcherLanes is NewMultiSketcher with an explicit producer-lane
+// count; lanes ≤ 0 selects GOMAXPROCS. Lane j of every assignment's
+// sketcher is bundled into MultiLane j, so L producer goroutines can each
+// drive all assignments concurrently.
+func NewMultiSketcherLanes(assigner rank.Assigner, assignments, k, shards, workers, lanes int) *MultiSketcher {
 	if assignments < 1 {
 		panic(fmt.Sprintf("shard: need at least one assignment, got %d", assignments))
 	}
 	sketchers := make([]*Sketcher, assignments)
 	for b := range sketchers {
-		sketchers[b] = NewSketcher(assigner, b, k, shards, workers)
+		sketchers[b] = NewSketcherLanes(assigner, b, k, shards, workers, lanes)
 	}
-	return &MultiSketcher{shared: assigner.Mode == rank.SharedSeed, sketchers: sketchers}
+	m := &MultiSketcher{shared: assigner.Mode == rank.SharedSeed, sketchers: sketchers}
+	m.mlanes = make([]*MultiLane, len(sketchers[0].lanes))
+	for j := range m.mlanes {
+		ml := &MultiLane{m: m, lanes: make([]*Lane, assignments)}
+		for b := range sketchers {
+			ml.lanes[b] = sketchers[b].lanes[j]
+		}
+		m.mlanes[j] = ml
+	}
+	return m
 }
 
 // Offer presents one aggregated key with its weight in one assignment —
-// the dispersed-stream entry point.
+// the dispersed-stream entry point (default lane).
 //
 //cws:hotpath
 func (m *MultiSketcher) Offer(assignment int, key string, weight float64) {
 	m.sketchers[assignment].Offer(key, weight)
 }
 
-// OfferBatch presents a batch of observations for one assignment.
+// OfferBatch presents a batch of observations for one assignment (default
+// lane).
 //
 //cws:hotpath
 func (m *MultiSketcher) OfferBatch(assignment int, obs []Observation) {
@@ -358,17 +488,50 @@ func (m *MultiSketcher) OfferBatch(assignment int, obs []Observation) {
 }
 
 // OfferVector presents one key with its weight in every assignment at once
-// (colocated-style input). Under SharedSeed the key is hashed exactly once;
-// under Independent each assignment needs its own hash by definition.
+// (default lane); see MultiLane.OfferVector.
 //
 //cws:hotpath
 func (m *MultiSketcher) OfferVector(key string, weights []float64) {
-	if len(weights) != len(m.sketchers) {
+	m.mlanes[0].OfferVector(key, weights)
+}
+
+// MultiLane is one producer front-end of a MultiSketcher: lane j of every
+// assignment's sketcher. Like Lane it is single-goroutine, but distinct
+// MultiLanes may offer concurrently.
+type MultiLane struct {
+	m     *MultiSketcher
+	lanes []*Lane // one per assignment
+}
+
+// Offer presents one aggregated key with its weight in one assignment on
+// this lane.
+//
+//cws:hotpath
+func (ml *MultiLane) Offer(assignment int, key string, weight float64) {
+	ml.lanes[assignment].Offer(key, weight)
+}
+
+// OfferBatch presents a batch of observations for one assignment on this
+// lane.
+//
+//cws:hotpath
+func (ml *MultiLane) OfferBatch(assignment int, obs []Observation) {
+	ml.lanes[assignment].OfferBatch(obs)
+}
+
+// OfferVector presents one key with its weight in every assignment at once
+// (colocated-style input) on this lane. Under SharedSeed the key is hashed
+// exactly once; under Independent each assignment needs its own hash by
+// definition.
+//
+//cws:hotpath
+func (ml *MultiLane) OfferVector(key string, weights []float64) {
+	if len(weights) != len(ml.lanes) {
 		panic("shard: weight vector length mismatch")
 	}
-	if !m.shared {
+	if !ml.m.shared {
 		for b, w := range weights {
-			m.sketchers[b].Offer(key, w)
+			ml.lanes[b].Offer(key, w)
 		}
 		return
 	}
@@ -380,25 +543,33 @@ func (m *MultiSketcher) OfferVector(key string, weights []float64) {
 		}
 		if !hashed {
 			// All sketchers share hashSeed under SharedSeed coordination.
-			h = hashing.Hash64(m.sketchers[b].hashSeed, key)
+			h = hashing.Hash64(ml.m.sketchers[b].hashSeed, key)
 			hashed = true
 		}
-		m.sketchers[b].offerHashed(key, h, w)
+		ml.lanes[b].offerHashed(key, h, w)
 	}
 }
+
+// Lanes returns the MultiSketcher's producer lanes; MultiLane j bundles
+// lane j of every assignment's sketcher.
+func (m *MultiSketcher) Lanes() []*MultiLane { return m.mlanes }
 
 // Sketchers returns the per-assignment sketchers in assignment order (for
 // callers that freeze them individually, e.g. to isolate per-assignment
 // contract violations).
 func (m *MultiSketcher) Sketchers() []*Sketcher { return m.sketchers }
 
-// Sketches terminally freezes every assignment's pipeline and returns the
-// frozen sketches in assignment order.
+// Sketches terminally freezes every assignment's pipeline across a bounded
+// worker pool and returns the frozen sketches in assignment order. A panic
+// raised by a freeze (the duplicate-key contract violation) surfaces on the
+// calling goroutine exactly as it does from a serial loop; when several
+// assignments panic, the lowest assignment index wins, matching the serial
+// order.
 func (m *MultiSketcher) Sketches() []*sketch.BottomK {
 	out := make([]*sketch.BottomK, len(m.sketchers))
-	for b, s := range m.sketchers {
-		out[b] = s.Sketch()
-	}
+	ParallelDo(len(m.sketchers), 0, func(b int) {
+		out[b] = m.sketchers[b].Sketch()
+	})
 	return out
 }
 

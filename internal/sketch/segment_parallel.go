@@ -1,0 +1,102 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// EncodeSegmentParallel is EncodeSegment with the per-sketch encodes fanned
+// across a bounded worker pool. The embedded encodes are independent — each
+// sketch becomes one deterministic length-prefixed binary-codec blob — so
+// concurrent encoding followed by in-order assembly produces output
+// byte-for-byte identical to the serial encoder, including the CRC-32C
+// trailer (the segment test pins this). With one schedulable core (or one
+// sketch) it degenerates to the serial loop. Error semantics match
+// EncodeSegment: the error for the lowest failing assignment index is
+// returned — the one a serial pass would have hit first — and nothing is
+// written to w on failure.
+func EncodeSegmentParallel(w io.Writer, metas []WireMeta, sketches []*BottomK) (uint32, error) {
+	if len(metas) != len(sketches) {
+		return 0, fmt.Errorf("sketch: %d metas for %d sketches", len(metas), len(sketches))
+	}
+	if len(sketches) == 0 {
+		return 0, fmt.Errorf("sketch: empty segment")
+	}
+	if len(sketches) > math.MaxInt32 {
+		return 0, fmt.Errorf("sketch: %d sketches not encodable in one segment", len(sketches))
+	}
+	parts := make([][]byte, len(sketches))
+	errs := make([]error, len(sketches))
+	encodeOne := func(b int) {
+		var one bytes.Buffer
+		if err := EncodeBottomK(&one, CodecBinary, metas[b], sketches[b]); err != nil {
+			errs[b] = fmt.Errorf("sketch: encoding segment sketch %d: %w", b, err)
+			return
+		}
+		if one.Len() > math.MaxInt32 {
+			errs[b] = fmt.Errorf("sketch: segment sketch %d of %d bytes not encodable", b, one.Len())
+			return
+		}
+		parts[b] = one.Bytes()
+	}
+	limit := runtime.GOMAXPROCS(0)
+	if limit > len(sketches) {
+		limit = len(sketches)
+	}
+	if limit <= 1 {
+		for b := range sketches {
+			encodeOne(b)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(limit)
+		for p := 0; p < limit; p++ {
+			go func() {
+				defer wg.Done()
+				for {
+					b := int(next.Add(1)) - 1
+					if b >= len(sketches) {
+						return
+					}
+					encodeOne(b)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	total := segmentHeaderSize
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, total+segmentTrailerSize))
+	buf.Write(segmentMagic[:])
+	buf.WriteByte(segmentVersion)
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], uint32(len(sketches)))
+	buf.Write(scratch[:])
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(p)))
+		buf.Write(scratch[:])
+		buf.Write(p)
+	}
+	crc := crc32.Checksum(buf.Bytes(), castagnoli)
+	binary.LittleEndian.PutUint32(scratch[:], crc)
+	buf.Write(scratch[:])
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return crc, nil
+}

@@ -1,0 +1,89 @@
+package sketch
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"coordsample/internal/rank"
+)
+
+// buildManySketches builds a fingerprinted sketch set wide enough to keep a
+// parallel encoder's pool busy, with a mix of empty, underfull, and overfull
+// sketches.
+func buildManySketches(t *testing.T, assignments, k int) ([]WireMeta, []*BottomK) {
+	t.Helper()
+	a := rank.Assigner{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 17}
+	metas := make([]WireMeta, assignments)
+	sketches := make([]*BottomK, assignments)
+	rng := rand.New(rand.NewSource(9))
+	for b := range sketches {
+		metas[b] = WireMeta{Family: a.Family, Mode: a.Mode, Seed: a.Seed, Assignment: b}
+		bld := NewBottomKBuilderWithFingerprint(k, a.Fingerprint(b, k))
+		n := (b % 3) * 4 * k // 0, underfull, overfull
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("key-%02d-%04d", b, i)
+			w := math.Exp(rng.NormFloat64())
+			bld.Offer(key, a.Rank(key, b, w), w)
+		}
+		sketches[b] = bld.Sketch()
+	}
+	return metas, sketches
+}
+
+// TestEncodeSegmentParallelByteIdentical is the store-parallelism contract:
+// the concurrent segment encoder must produce output byte-for-byte equal to
+// the serial one — same framing, same embedded blobs, same CRC trailer — so
+// durable files and their manifest records are independent of how many
+// cores encoded them. GOMAXPROCS is raised so the concurrent path is
+// exercised even on a single-core machine.
+func TestEncodeSegmentParallelByteIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	for _, assignments := range []int{1, 2, 9} {
+		metas, sketches := buildManySketches(t, assignments, 32)
+		var serial, parallel bytes.Buffer
+		wantCRC, err := EncodeSegment(&serial, metas, sketches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCRC, err := EncodeSegmentParallel(&parallel, metas, sketches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotCRC != wantCRC {
+			t.Fatalf("assignments=%d: parallel CRC %#x, serial %#x", assignments, gotCRC, wantCRC)
+		}
+		if !bytes.Equal(parallel.Bytes(), serial.Bytes()) {
+			t.Fatalf("assignments=%d: parallel encoding differs from serial (%d vs %d bytes)",
+				assignments, parallel.Len(), serial.Len())
+		}
+	}
+}
+
+// TestEncodeSegmentParallelErrorParity: a failing encode reports the same
+// error a serial pass would hit first (lowest assignment index), and writes
+// nothing.
+func TestEncodeSegmentParallelErrorParity(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	metas, sketches := buildManySketches(t, 4, 16)
+	bad := append([]WireMeta(nil), metas...)
+	bad[1] = metas[0] // sketch 1 described as assignment 0: fingerprint mismatch
+	bad[2] = metas[0]
+	var serialBuf, parallelBuf bytes.Buffer
+	_, serialErr := EncodeSegment(&serialBuf, bad, sketches)
+	_, parallelErr := EncodeSegmentParallel(&parallelBuf, bad, sketches)
+	if serialErr == nil || parallelErr == nil {
+		t.Fatalf("mismatched metas must fail: serial=%v parallel=%v", serialErr, parallelErr)
+	}
+	if serialErr.Error() != parallelErr.Error() {
+		t.Fatalf("parallel error %q, want serial error %q", parallelErr, serialErr)
+	}
+	if parallelBuf.Len() != 0 {
+		t.Fatalf("failed parallel encode wrote %d bytes", parallelBuf.Len())
+	}
+}

@@ -448,7 +448,10 @@ func (s *Store) AppendEpoch(sketches []*sketch.BottomK) (int, error) {
 	sketches = append([]*sketch.BottomK(nil), sketches...)
 	epoch := s.epoch + 1
 	var buf bytes.Buffer
-	crc, err := sketch.EncodeSegment(&buf, s.meta, sketches)
+	// The parallel encoder is byte-identical to the serial one (the sketch
+	// tests pin this), so segment bytes and manifest CRCs are independent of
+	// the core count that persisted them.
+	crc, err := sketch.EncodeSegmentParallel(&buf, s.meta, sketches)
 	if err != nil {
 		return 0, fmt.Errorf("store: encoding epoch %d: %w", epoch, err)
 	}
@@ -520,7 +523,7 @@ func (s *Store) compact() error {
 		return err
 	}
 	var buf bytes.Buffer
-	crc, err := sketch.EncodeSegment(&buf, s.meta, base)
+	crc, err := sketch.EncodeSegmentParallel(&buf, s.meta, base)
 	if err != nil {
 		return fmt.Errorf("store: encoding cumulative segment: %w", err)
 	}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# check_bench_regression.sh — gate the ingest fast path against regression.
+#
+# Usage: sh scripts/check_bench_regression.sh <ingest-experiment-output> [min-speedup]
+#
+# The checked-in BENCH_ingest.json records absolute offers/s on the machine
+# that produced it; comparing absolute throughput across CI runners (other
+# CPUs, other core counts, noisy neighbors) would flap. The ingest
+# experiment instead re-measures the PR-3 legacy path — the exact pipeline
+# BENCH_ingest.json's baseline rows record — in the same run, on the same
+# machine, over the same stream, and reports each fast-path row's speedup
+# against it. That in-run ratio is machine-independent, so the gate is:
+# every sharded-pruned row must hold at least MIN_SPEEDUP (default 0.85,
+# i.e. the pruned path may not fall more than 15% behind the legacy path
+# it replaced — at any core count, including 1). Absolute comparison
+# against BENCH_ingest.json is meaningful only at -scale 1 on the machine
+# that recorded it; regenerate the record there when the numbers move.
+#
+# The bit-identity columns are re-checked too: a "false" anywhere means a
+# frozen sketch or served answer diverged from the single-stream builder.
+
+set -eu
+
+OUT="${1:?usage: check_bench_regression.sh <ingest-experiment-output> [min-speedup]}"
+MIN="${2:-0.85}"
+
+if [ ! -f "$OUT" ]; then
+    echo "check_bench_regression: no such file: $OUT" >&2
+    exit 1
+fi
+
+if grep -q "false" "$OUT"; then
+    echo "check_bench_regression: a bit-identity column is false in $OUT" >&2
+    exit 1
+fi
+
+awk -v min="$MIN" '
+$2 == "sharded-pruned" {
+    rows++
+    spd = $6
+    sub(/x$/, "", spd)
+    if (spd + 0 < min + 0) {
+        printf "check_bench_regression: %s shards=%s pruned path at %sx of the PR-3 legacy path (floor %sx)\n", $1, $3, spd, min
+        bad = 1
+    }
+}
+END {
+    if (rows == 0) {
+        print "check_bench_regression: no sharded-pruned rows found (wrong input file?)"
+        exit 1
+    }
+    if (bad) exit 1
+    printf "check_bench_regression: %d pruned rows all within %sx of the in-run PR-3 baseline\n", rows, min
+}
+' "$OUT"

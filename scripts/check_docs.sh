@@ -88,6 +88,30 @@ if [ -f internal/estimate/estimator.go ]; then
     fi
 fi
 
+# --- 4b. scaling-layer docs exist ---
+# The core-affine lane/parallel-freeze machinery is easy to regress
+# silently in docs: as long as the lane code exists, DESIGN.md must keep
+# the core-affine section, EXPERIMENTS.md must document the scale and
+# loadtest experiments, and README.md must show the -lanes quickstart.
+if [ -f internal/shard/parallel.go ]; then
+    if ! grep -qi "core-affine" DESIGN.md; then
+        echo "DESIGN.md: missing the core-affine lanes / parallel freeze section for internal/shard's Lane seam"
+        fail=1
+    fi
+    if ! grep -q '`scale`' EXPERIMENTS.md; then
+        echo "EXPERIMENTS.md: missing the scale experiment section"
+        fail=1
+    fi
+    if ! grep -q '`loadtest`' EXPERIMENTS.md; then
+        echo "EXPERIMENTS.md: missing the loadtest experiment section"
+        fail=1
+    fi
+    if ! grep -q '\-lanes' README.md; then
+        echo "README.md: missing the -lanes scaling quickstart"
+        fail=1
+    fi
+fi
+
 # --- 5. doc examples are gofmt-clean ---
 examples=$(gofmt -l example_test.go 2>/dev/null)
 if [ -n "$examples" ]; then
