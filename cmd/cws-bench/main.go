@@ -61,6 +61,8 @@ func main() {
 	workers := flag.Int("workers", 0, "cap process parallelism and per-assignment ingestion workers (0 = GOMAXPROCS)")
 	conns := flag.Int("conns", 0, "client connections for the loadtest experiment (0 = sweep defaults)")
 	addr := flag.String("addr", "", "target an already-running cws-serve at host:port for the loadtest experiment (default: in-process server)")
+	peers := flag.Int("peers", 0, "member count for the cluster experiment (0 = 3)")
+	overload := flag.Bool("overload", false, "loadtest overload mode: tiny ingest-admission bound, clients honor 429 Retry-After")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file (the BENCH_*.json perf records)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
@@ -82,7 +84,7 @@ func main() {
 
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 
-	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Shards: *shards, Workers: *workers, Conns: *conns, Addr: *addr}
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Shards: *shards, Workers: *workers, Conns: *conns, Addr: *addr, Peers: *peers, Overload: *overload}
 	if *ks != "" {
 		for _, part := range strings.Split(*ks, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(part))

@@ -20,9 +20,29 @@
 // -retain most recent epochs stay individually queryable as time windows
 // (GET /query?epochs=3..7 answers any aggregate over exactly epochs 3–7);
 // older epochs are compacted into the cumulative segment so disk stays
-// bounded. On SIGINT/SIGTERM the server drains in-flight requests,
-// auto-freezes the open epoch (persisting it when durable), and exits
-// cleanly — offers acknowledged before the signal survive the restart.
+// bounded. On SIGINT/SIGTERM the server drains in-flight requests
+// (readiness flips false first, so load balancers stop routing), auto-
+// freezes the open epoch (persisting it when durable), and exits cleanly —
+// offers acknowledged before the signal survive the restart.
+//
+// # Cluster mode
+//
+// -peers turns the node into one member of a scatter-gather cluster. The
+// comma-separated peer list (identical, same order, on every member — the
+// order IS the keyspace partition) plus -self make the node own the keys
+// the routing hash maps to its index; misrouted offers are rejected with
+// 400 so the disjointness the exact merge rests on cannot be broken
+// silently. Every member also mounts the router endpoints:
+//
+//	GET  /cluster/query   scatter-gather answer over all peers (exact
+//	                      merge; degraded=true + coverage on partial
+//	                      failure)
+//	POST /cluster/freeze  two-phase cluster-wide epoch turn
+//	GET  /cluster/health  per-peer up/degraded/down state
+//
+// Peer failures are handled with per-peer deadlines, bounded retries with
+// exponential backoff and jitter, hedged second requests, and a background
+// readiness prober that walks dead peers back in through probation.
 //
 // Usage:
 //
@@ -35,14 +55,22 @@
 //	curl 'localhost:7070/query?agg=L1&epochs=3..7'     # time window
 //	curl 'localhost:7070/query?agg=sum&b=0&prefix=192.168.'
 //	curl 'localhost:7070/sketch?b=0' > site.0.cws      # feed to cws-merge
-//	curl 'localhost:7070/sketch?b=0&epochs=3..7' > win.0.cws
-//	curl localhost:7070/healthz
+//	curl localhost:7070/healthz/ready
 //	curl localhost:7070/debug/vars
+//
+//	# 3-node cluster (run one per host; same -peers everywhere):
+//	cws-serve -addr :7070 -peers a:7070,b:7070,c:7070 -self 0
+//	curl 'a:7070/cluster/query?agg=L1'
+//	curl -X POST a:7070/cluster/freeze
 //
 // The sampling configuration (IPPS ranks, shared-seed coordination —
 // matching cws-sketch) must agree with every other site whose sketches
 // these are to be combined with: same -seed and -k. A -data-dir remembers
 // its configuration and refuses to open under a different one.
+//
+// -faults injects deterministic failures at named points (see the
+// internal/faults grammar) for robustness testing; never set it in
+// production.
 package main
 
 import (
@@ -55,6 +83,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,21 +100,54 @@ func main() {
 	lanes := flag.Int("lanes", 0, "concurrent ingest lanes: requests on distinct lanes offer in parallel (0 = GOMAXPROCS)")
 	dataDir := flag.String("data-dir", "", "durable epoch store directory (empty = memory only; epochs are lost on exit)")
 	retain := flag.Int("retain", 8, "recent epochs kept individually for epoch-range queries (older ones are compacted)")
+	peers := flag.String("peers", "", "comma-separated host:port of every cluster member incl. this one, identical order everywhere (empty = single node)")
+	self := flag.Int("self", 0, "this node's index in -peers")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent ingest requests before shedding with 429 (0 = unbounded)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query evaluation deadline (0 = unbounded)")
+	faultSpec := flag.String("faults", "", "fault-injection spec for robustness testing (e.g. 'store.segment-write:err,on=3'); never set in production")
 	flag.Parse()
 
-	cfg := coordsample.ServerConfig{
-		Sample:      coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: *seed, K: *k},
-		Assignments: *assignments,
-		Shards:      *shards,
-		Workers:     *workers,
-		Lanes:       *lanes,
-		Retain:      *retain,
+	fset, err := coordsample.ParseFaults(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
+		os.Exit(2)
 	}
+	cfg := coordsample.ServerConfig{
+		Sample:       coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: *seed, K: *k},
+		Assignments:  *assignments,
+		Shards:       *shards,
+		Workers:      *workers,
+		Lanes:        *lanes,
+		Retain:       *retain,
+		Faults:       fset,
+		MaxInflight:  *maxInflight,
+		QueryTimeout: *queryTimeout,
+	}
+
+	// Cluster mode: this node owns the slice of the keyspace the routing
+	// hash assigns to -self, and mounts the scatter-gather router.
+	var router *coordsample.ClusterRouter
+	if *peers != "" {
+		list := strings.Split(*peers, ",")
+		router, err = coordsample.NewClusterRouter(coordsample.ClusterConfig{
+			Peers:       list,
+			Self:        *self,
+			Sample:      cfg.Sample,
+			Assignments: *assignments,
+			Faults:      fset,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
+			os.Exit(2)
+		}
+		defer router.Close()
+		cfg.OwnsKey = router.OwnsKey
+	}
+
 	var st *coordsample.EpochStore
 	if *dataDir != "" {
-		var err error
 		st, err = coordsample.OpenStore(coordsample.StoreConfig{
-			Dir: *dataDir, Retain: *retain, Sample: cfg.Sample, Assignments: *assignments,
+			Dir: *dataDir, Retain: *retain, Sample: cfg.Sample, Assignments: *assignments, Faults: fset,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
@@ -103,6 +165,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	handler := http.Handler(srv)
+	if router != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", router)
+		mux.Handle("/", srv)
+		handler = mux
+		router.Start()
+	}
+
 	// Listen before logging so the printed address carries the real port
 	// (":0" resolves to an ephemeral one — the e2e tests depend on it).
 	ln, err := net.Listen("tcp", *addr)
@@ -114,15 +185,25 @@ func main() {
 	if st != nil {
 		durability = "durable in " + *dataDir
 	}
-	log.Printf("cws-serve: listening on %s (%d assignments, k=%d, seed=%d, %d shards/assignment, %s)",
-		ln.Addr(), *assignments, *k, *seed, *shards, durability)
+	mode := "single node"
+	if router != nil {
+		mode = fmt.Sprintf("cluster member %d of %d", *self, len(strings.Split(*peers, ",")))
+	}
+	if fset != nil {
+		log.Printf("cws-serve: FAULT INJECTION ACTIVE at %v — this node will deliberately fail", fset.Points())
+	}
+	log.Printf("cws-serve: listening on %s (%d assignments, k=%d, seed=%d, %d shards/assignment, %s, %s)",
+		ln.Addr(), *assignments, *k, *seed, *shards, durability, mode)
 
-	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := coordsample.NewHTTPServer(*addr, handler)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
 		stop() // restore default signal behavior: a second signal kills hard
+		// Flip readiness first so load balancers and cluster peers stop
+		// routing here before in-flight requests are drained.
+		srv.SetDraining(true)
 		log.Printf("cws-serve: signal received; draining requests")
 		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

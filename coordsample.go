@@ -59,10 +59,13 @@ package coordsample
 
 import (
 	"io"
+	"net/http"
 
+	"coordsample/internal/cluster"
 	"coordsample/internal/core"
 	"coordsample/internal/dataset"
 	"coordsample/internal/estimate"
+	"coordsample/internal/faults"
 	"coordsample/internal/rank"
 	"coordsample/internal/server"
 	"coordsample/internal/shard"
@@ -427,6 +430,50 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // accepts whatever configuration the store holds.
 func OpenStore(cfg StoreConfig) (*EpochStore, error) {
 	return store.Open(cfg)
+}
+
+// Fault injection and the cluster serving layer (cmd/cws-serve -peers).
+type (
+	// FaultSet is a parsed set of named injectable fault points, threaded
+	// through ServerConfig.Faults / ClusterConfig.Faults (and the -faults
+	// flag of cws-serve). A nil *FaultSet — the production state — injects
+	// nothing and costs one nil check per guarded operation. See the
+	// internal/faults package documentation for the spec grammar.
+	FaultSet = faults.Set
+	// ClusterRouter is the scatter-gather front end over a set of
+	// cws-serve peers: exact merged answers when every peer responds,
+	// graceful degradation (degraded=true plus a coverage fraction) when
+	// some do not, and a two-phase cluster-wide epoch freeze. See the
+	// internal/cluster package documentation for the exactness argument
+	// and failure policy.
+	ClusterRouter = cluster.Router
+	// ClusterConfig configures a ClusterRouter: the ordered peer list
+	// (the order IS the keyspace partition), this node's index, the
+	// shared sampling configuration, and the retry/hedge/health policy.
+	ClusterConfig = cluster.Config
+)
+
+// ParseFaults parses a fault-injection spec ("point:err,on=3;other:latency=50ms").
+// The empty spec returns a nil set, which injects nothing.
+func ParseFaults(spec string) (*FaultSet, error) {
+	return faults.Parse(spec)
+}
+
+// NewClusterRouter creates the scatter-gather router over cfg.Peers.
+// Mount it next to a Server (it serves the /cluster/* endpoints), wire
+// its OwnsKey into ServerConfig.OwnsKey so the node rejects misrouted
+// keys, Start it to run the background health prober, and Close it on
+// shutdown.
+func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) {
+	return cluster.New(cfg)
+}
+
+// NewHTTPServer wraps a handler in an http.Server hardened for the open
+// internet: header/read/idle timeouts so idle or deliberately slow
+// (Slowloris) connections cannot pin goroutines forever. cws-serve uses
+// it; embedders mounting a Server themselves should too.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return server.NewHTTPServer(addr, handler)
 }
 
 // Aggregate-function constructors.

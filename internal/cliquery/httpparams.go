@@ -1,0 +1,63 @@
+package cliquery
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"coordsample/internal/dataset"
+	"coordsample/internal/estimate"
+)
+
+// HTTPParams is the parsed query-string vocabulary of GET /query, shared
+// by the single-node server and the cluster scatter-gather router so both
+// front ends accept the identical parameter grammar and dispatch through
+// the same AnswerVia path.
+type HTTPParams struct {
+	Agg    string             // query name (required)
+	B      int                // assignment index for "sum" (default 0)
+	L      int                // ℓ for "lth" (default 1)
+	R      []int              // assignment subset (nil = all)
+	Prefix string             // raw key-prefix predicate ("" = none)
+	Pred   dataset.Pred       // compiled Prefix (nil = all keys)
+	Est    estimate.Estimator // estimator family (default AW)
+	Epochs string             // raw epoch-window selector ("" = cumulative)
+}
+
+// ParseHTTPParams parses the GET /query parameters against n assignments.
+// Error messages are client-facing (they travel in 400 bodies).
+func ParseHTTPParams(q url.Values, n int) (HTTPParams, error) {
+	var p HTTPParams
+	p.Agg = q.Get("agg")
+	if p.Agg == "" {
+		return p, fmt.Errorf("missing agg parameter (want one of %s)", Queries)
+	}
+	var err error
+	if p.B, err = intParam(q.Get("b"), 0); err != nil {
+		return p, fmt.Errorf("bad b parameter: %w", err)
+	}
+	if p.L, err = intParam(q.Get("l"), 1); err != nil {
+		return p, fmt.Errorf("bad l parameter: %w", err)
+	}
+	if p.R, err = ParseR(q.Get("R"), n); err != nil {
+		return p, fmt.Errorf("bad R parameter: %w", err)
+	}
+	if p.Prefix = q.Get("prefix"); p.Prefix != "" {
+		prefix := p.Prefix
+		p.Pred = func(key string) bool { return strings.HasPrefix(key, prefix) }
+	}
+	if p.Est, err = estimate.ParseEstimator(q.Get("est")); err != nil {
+		return p, fmt.Errorf("bad est parameter: %w", err)
+	}
+	p.Epochs = q.Get("epochs")
+	return p, nil
+}
+
+// intParam parses an optional integer parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

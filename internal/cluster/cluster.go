@@ -1,0 +1,789 @@
+// Package cluster is the multi-node serving layer: a scatter-gather
+// router over a set of cws-serve peers that partitions the keyspace,
+// gathers fingerprinted wire-codec sketches from every reachable peer, and
+// answers the full cliquery vocabulary over their exact merge.
+//
+// # Why scale-out is exact
+//
+// The keyspace is partitioned with the seed-independent routing hash
+// (shard.ShardOf): key k belongs to peer ShardOf(k, n). Every key
+// therefore lives on exactly one peer, the peers' key sets are disjoint,
+// and by the merge lemma — coordinated bottom-k sketches of disjoint key
+// sets merge into the bit-exact sketch of the union — the router's merged
+// sketch set is bit-identical to what a single process ingesting the whole
+// stream would hold. Horizontal scale is purely an engineering problem,
+// exactly as the paper's mergeable-summary design promises; nothing about
+// the estimators changes.
+//
+// Each node guards the partition itself (server.Config.OwnsKey): a
+// misrouted offer is rejected with 400 rather than silently breaking the
+// disjointness the exactness argument rests on.
+//
+// # Failure handling
+//
+// Every peer fetch runs under a per-peer deadline with bounded retries,
+// exponential backoff with deterministic seeded jitter, and a hedged
+// second request for the slowest straggler. Peer health is tracked as
+// up/degraded/down: consecutive failures (from queries or the background
+// readiness prober) demote a peer, DownAfter of them mark it down, and a
+// down peer is skipped by queries — only the prober talks to it, and a
+// successful probe re-admits it through a degraded probation state.
+//
+// # Graceful degradation
+//
+// When a peer stays unreachable past its retry budget, the router answers
+// from the survivors instead of failing the query: the response carries
+// degraded=true, a coverage fraction (the reached peers' share of the
+// keyspace — ShardOf assigns each of n peers 1/n of the hash space), and
+// per-peer status. The estimate is then the exact answer over the covered
+// partitions' keys — a *subpopulation* of the full keyspace, not a scaled
+// guess; callers that need the full population divide by coverage under a
+// uniform-mass assumption or wait for the peer to return. A query fails
+// outright (503) only when no peer at all is reachable.
+//
+// # Two-phase freeze
+//
+// POST /cluster/freeze advances the epoch cluster-wide in two phases:
+// phase one freezes every reachable peer (each peer persists and
+// acknowledges its own epoch durably — the store's manifest line remains
+// the single acknowledgement point); phase two publishes the outcome: the
+// per-peer epochs on success, or a degraded report naming the peers whose
+// freeze failed (502). A peer that died mid-freeze loses only its
+// unacknowledged epoch — its acknowledged history recovers bit-identically
+// on restart, which the chaos e2e (SIGKILL mid-freeze) pins.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"coordsample/internal/cliquery"
+	"coordsample/internal/core"
+	"coordsample/internal/faults"
+	"coordsample/internal/shard"
+	"coordsample/internal/sketch"
+)
+
+// The cluster layer's injectable fault points (router side; the peer's
+// serving-side points are server.FaultSketches and server.FaultFreeze).
+const (
+	// FaultFetch fires before each sketch-fetch attempt: "err" fails the
+	// attempt without touching the network, "latency" delays it (the
+	// hedge's straggler), "drop" abandons it as a transport failure.
+	FaultFetch = "peer.fetch"
+	// FaultFreeze fires before each phase-one peer freeze: "err" fails
+	// that peer's freeze, producing a degraded publish.
+	FaultFreeze = "peer.freeze"
+)
+
+// PeerState is a peer's health as the router sees it.
+type PeerState int
+
+const (
+	// Up: consecutive successes; queried normally.
+	Up PeerState = iota
+	// Degraded: recent failure, or probation after coming back from
+	// Down; still queried.
+	Degraded
+	// Down: DownAfter consecutive failures; skipped by queries until a
+	// background probe succeeds.
+	Down
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Degraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// Config configures a Router.
+type Config struct {
+	// Peers is every cluster member's host:port, self included, in the
+	// same order on every node — the order is the partition: key k
+	// belongs to Peers[shard.ShardOf(k, len(Peers))].
+	Peers []string
+	// Self is this node's index in Peers (-1 for a standalone router
+	// that is not itself a peer).
+	Self int
+	// Sample and Assignments mirror the peers' serving configuration;
+	// fetched sketches are fingerprint-verified against it.
+	Sample      core.Config
+	Assignments int
+	// PeerTimeout bounds one fetch attempt (default 2s).
+	PeerTimeout time.Duration
+	// Retries is the per-peer retry budget beyond the first attempt
+	// (default 2; -1 for none).
+	Retries int
+	// RetryBase is the exponential backoff base (default 50ms); attempt
+	// i waits RetryBase<<i plus deterministic jitter.
+	RetryBase time.Duration
+	// HedgeAfter launches a hedged second request if the first has not
+	// answered (default 250ms; -1 disables hedging).
+	HedgeAfter time.Duration
+	// ProbeInterval is the background readiness-probe period (default
+	// 1s; probing starts with Start).
+	ProbeInterval time.Duration
+	// DownAfter is how many consecutive failures mark a peer down
+	// (default 3).
+	DownAfter int
+	// Seed drives the retry jitter deterministically (tests); the zero
+	// seed is fine in production.
+	Seed int64
+	// Faults injects router-side failures (FaultFetch, FaultFreeze);
+	// nil injects nothing.
+	Faults *faults.Set
+	// Client overrides the HTTP client (tests); nil builds a pooled one.
+	Client *http.Client
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 250 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	}
+	return c
+}
+
+// peer is one cluster member's address and tracked health.
+type peer struct {
+	addr string
+
+	mu    sync.Mutex
+	state PeerState
+	fails int // consecutive failures
+	oks   int // consecutive successes since the last failure
+	epoch int // last epoch observed from this peer
+}
+
+// fail records one failed interaction; downAfter consecutive failures mark
+// the peer down.
+func (p *peer) fail(downAfter int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails++
+	p.oks = 0
+	if p.fails >= downAfter {
+		p.state = Down
+	} else {
+		p.state = Degraded
+	}
+}
+
+// ok records one successful interaction. A down peer re-enters through
+// Degraded probation; two consecutive successes restore Up.
+func (p *peer) ok(epoch int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails = 0
+	p.oks++
+	if epoch >= 0 {
+		p.epoch = epoch
+	}
+	if p.state == Down {
+		p.state = Degraded
+		p.oks = 1
+		return
+	}
+	if p.oks >= 2 {
+		p.state = Up
+	} else if p.state != Up {
+		p.state = Degraded
+	}
+}
+
+// status snapshots the peer's health.
+func (p *peer) status() (PeerState, int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state, p.fails, p.epoch
+}
+
+// Router is the scatter-gather cluster front end. Create it with New,
+// optionally Start the background prober, mount it as an http.Handler
+// (it serves /cluster/query, /cluster/freeze, /cluster/health), and Close
+// it on shutdown.
+type Router struct {
+	cfg   Config
+	peers []*peer
+	mux   *http.ServeMux
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New creates a Router over cfg.Peers.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	if cfg.Self < -1 || cfg.Self >= len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: self index %d out of range for %d peers", cfg.Self, len(cfg.Peers))
+	}
+	if err := cfg.Sample.Check(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Assignments < 1 {
+		return nil, fmt.Errorf("cluster: need at least one assignment, got %d", cfg.Assignments)
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:    cfg,
+		jitter: rand.New(rand.NewSource(cfg.Seed)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, addr := range cfg.Peers {
+		r.peers = append(r.peers, &peer{addr: addr})
+	}
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("/cluster/query", r.handleQuery)
+	r.mux.HandleFunc("/cluster/freeze", r.handleFreeze)
+	r.mux.HandleFunc("/cluster/health", r.handleHealth)
+	return r, nil
+}
+
+// OwnsKey reports whether this node owns key under the cluster partition —
+// the guard wired into server.Config.OwnsKey. A standalone router
+// (Self < 0) owns nothing.
+func (r *Router) OwnsKey(key string) bool {
+	return r.cfg.Self >= 0 && shard.ShardOf(key, len(r.cfg.Peers)) == r.cfg.Self
+}
+
+// Owner returns the address of the peer owning key.
+func (r *Router) Owner(key string) string {
+	return r.cfg.Peers[shard.ShardOf(key, len(r.cfg.Peers))]
+}
+
+// ServeHTTP dispatches the /cluster/* endpoints.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+// Start launches the background readiness prober. Optional: without it,
+// health state is fed by query traffic alone and a down peer is never
+// re-probed between queries.
+func (r *Router) Start() {
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the prober (if started) and releases idle connections.
+func (r *Router) Close() {
+	r.once.Do(func() {
+		close(r.stop)
+		select {
+		case <-r.done:
+		case <-time.After(time.Second):
+		}
+	})
+	r.cfg.Client.CloseIdleConnections()
+}
+
+// probeAll checks every peer's /healthz/ready once. Probes feed the same
+// health state machine as queries — and are the only path by which a down
+// peer can come back.
+func (r *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range r.peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.PeerTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+p.addr+"/healthz/ready", nil)
+			if err != nil {
+				p.fail(r.cfg.DownAfter)
+				return
+			}
+			resp, err := r.cfg.Client.Do(req)
+			if err != nil {
+				p.fail(r.cfg.DownAfter)
+				return
+			}
+			defer resp.Body.Close()
+			_, _ = io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				// Ready=false (draining) or an error: stop routing to it.
+				p.fail(r.cfg.DownAfter)
+				return
+			}
+			p.ok(-1)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// backoff returns the wait before retry attempt i (0-based), exponential
+// with deterministic seeded jitter in [0, RetryBase).
+func (r *Router) backoff(i int) time.Duration {
+	r.jitterMu.Lock()
+	j := time.Duration(r.jitter.Int63n(int64(r.cfg.RetryBase)))
+	r.jitterMu.Unlock()
+	return r.cfg.RetryBase<<i + j
+}
+
+// fetchResult is one peer's gathered sketch set.
+type fetchResult struct {
+	sketches []*sketch.BottomK
+	epoch    int
+}
+
+// fetchOnce performs one /sketches fetch attempt against a peer, fully
+// validating the returned segment (CRC, wire-codec revalidation, assignment
+// order, fingerprints) before trusting it — a torn or corrupted response is
+// a typed error here, never a short sketch set.
+func (r *Router) fetchOnce(ctx context.Context, addr, epochs string) (*fetchResult, error) {
+	if out := r.cfg.Faults.Act(FaultFetch); out.Err != nil || out.Drop {
+		if out.Err != nil {
+			return nil, fmt.Errorf("cluster: fetching %s: %w", addr, out.Err)
+		}
+		return nil, fmt.Errorf("cluster: fetching %s: %w", addr, io.ErrUnexpectedEOF)
+	}
+	u := "http://" + addr + "/sketches"
+	if epochs != "" {
+		u += "?epochs=" + url.QueryEscape(epochs)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading %s: %w", addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s returned status %d: %s", addr, resp.StatusCode, firstLine(body))
+	}
+	epoch, err := strconv.Atoi(resp.Header.Get("X-CWS-Epoch"))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s sent no X-CWS-Epoch: %w", addr, err)
+	}
+	decoded, err := sketch.DecodeSegment(body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: segment from %s failed validation: %w", addr, err)
+	}
+	if len(decoded) != r.cfg.Assignments {
+		return nil, fmt.Errorf("cluster: %s sent %d sketches for %d assignments", addr, len(decoded), r.cfg.Assignments)
+	}
+	assigner := r.cfg.Sample.Assigner()
+	sketches := make([]*sketch.BottomK, r.cfg.Assignments)
+	for b, d := range decoded {
+		if d.BottomK == nil {
+			return nil, fmt.Errorf("cluster: %s sketch %d is not a bottom-k sketch", addr, b)
+		}
+		if d.Meta.Assignment != b {
+			return nil, fmt.Errorf("cluster: %s sketch %d describes assignment %d", addr, b, d.Meta.Assignment)
+		}
+		if want := assigner.Fingerprint(b, r.cfg.Sample.K); d.BottomK.Fingerprint() != want {
+			return nil, fmt.Errorf("cluster: %s sketch %d fingerprint %016x does not match the cluster configuration (%016x) — merging would corrupt every estimate", addr, b, d.BottomK.Fingerprint(), want)
+		}
+		sketches[b] = d.BottomK
+	}
+	return &fetchResult{sketches: sketches, epoch: epoch}, nil
+}
+
+// firstLine truncates a response body for error messages.
+func firstLine(b []byte) string {
+	const max = 200
+	for i, c := range b {
+		if c == '\n' || i >= max {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// fetchHedged runs one attempt with an optional hedged second request: if
+// the first has not answered after HedgeAfter, an identical request races
+// it and the first success wins. Hedging spends one extra request to cut
+// the tail latency a single slow peer imposes on every scatter.
+func (r *Router) fetchHedged(ctx context.Context, addr, epochs string) (*fetchResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.PeerTimeout)
+	defer cancel()
+	if r.cfg.HedgeAfter < 0 {
+		return r.fetchOnce(ctx, addr, epochs)
+	}
+	type res struct {
+		fr  *fetchResult
+		err error
+	}
+	ch := make(chan res, 2)
+	launch := func() { fr, err := r.fetchOnce(ctx, addr, epochs); ch <- res{fr, err} }
+	go launch()
+	hedge := time.NewTimer(r.cfg.HedgeAfter)
+	defer hedge.Stop()
+	launched := 1
+	var firstErr error
+	for got := 0; got < launched; {
+		select {
+		case <-hedge.C:
+			if launched == 1 {
+				launched = 2
+				go launch()
+			}
+		case out := <-ch:
+			got++
+			if out.err == nil {
+				return out.fr, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+// fetch gathers one peer's sketches under the full failure policy:
+// per-attempt deadline, bounded retries with exponential backoff and
+// jitter, hedging within each attempt. Success and exhaustion both feed
+// the peer's health state.
+func (r *Router) fetch(ctx context.Context, p *peer, epochs string) (*fetchResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				lastErr = ctx.Err()
+				p.fail(r.cfg.DownAfter)
+				return nil, lastErr
+			case <-time.After(r.backoff(attempt - 1)):
+			}
+		}
+		fr, err := r.fetchHedged(ctx, p.addr, epochs)
+		if err == nil {
+			p.ok(fr.epoch)
+			return fr, nil
+		}
+		lastErr = err
+	}
+	p.fail(r.cfg.DownAfter)
+	return nil, lastErr
+}
+
+// peerReport is one peer's entry in a response's per-peer status list.
+type peerReport struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	Epoch int    `json:"epoch"`
+	Error string `json:"error,omitempty"`
+}
+
+// scatter fetches from every non-down peer concurrently. It returns the
+// reached peers' results (indexed like cfg.Peers, nil where unreached) and
+// the per-peer reports.
+func (r *Router) scatter(ctx context.Context, epochs string) ([]*fetchResult, []peerReport) {
+	results := make([]*fetchResult, len(r.peers))
+	reports := make([]peerReport, len(r.peers))
+	var wg sync.WaitGroup
+	for i, p := range r.peers {
+		state, _, epoch := p.status()
+		reports[i] = peerReport{Addr: p.addr, State: state.String(), Epoch: epoch}
+		if state == Down {
+			reports[i].Error = "down; skipped (a background probe must succeed before it is queried again)"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			fr, err := r.fetch(ctx, p, epochs)
+			state, _, epoch := p.status()
+			reports[i].State, reports[i].Epoch = state.String(), epoch
+			if err != nil {
+				reports[i].Error = err.Error()
+				return
+			}
+			results[i] = fr
+			reports[i].Epoch = fr.epoch
+		}(i, p)
+	}
+	wg.Wait()
+	return results, reports
+}
+
+// merge combines the reached peers' sketch sets into the exact merged
+// per-assignment sketches (disjoint key sets by the ownership guard).
+func (r *Router) merge(results []*fetchResult) ([]*sketch.BottomK, error) {
+	parts := make([][]*sketch.BottomK, r.cfg.Assignments)
+	for _, fr := range results {
+		if fr == nil {
+			continue
+		}
+		for b, sk := range fr.sketches {
+			parts[b] = append(parts[b], sk)
+		}
+	}
+	merged := make([]*sketch.BottomK, r.cfg.Assignments)
+	for b, ps := range parts {
+		m, err := sketch.Merge(ps...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: merging assignment %d: %w", b, err)
+		}
+		merged[b] = m
+	}
+	return merged, nil
+}
+
+// handleQuery is GET /cluster/query: the scatter-gather answer to the
+// same parameter grammar as a single node's GET /query, plus the
+// degradation fields (degraded, coverage, peers).
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	p, err := cliquery.ParseHTTPParams(req.URL.Query(), r.cfg.Assignments)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results, reports := r.scatter(req.Context(), p.Epochs)
+	reached := 0
+	for _, fr := range results {
+		if fr != nil {
+			reached++
+		}
+	}
+	if reached == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": "no cluster peer reachable", "peers": reports,
+		})
+		return
+	}
+	merged, err := r.merge(results)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	summary, err := core.CombineDispersed(r.cfg.Sample, merged)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "cluster: %v", err)
+		return
+	}
+	label, v, stderr, err := cliquery.AnswerVia(summary, p.Agg, p.B, p.R, p.L, p.Pred, p.Est, cliquery.Direct)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	total := len(r.peers)
+	resp := map[string]any{
+		"agg":       p.Agg,
+		"label":     label,
+		"estimate":  v,
+		"estimator": p.Est.Name(),
+		"degraded":  reached < total,
+		"coverage":  float64(reached) / float64(total),
+		"reached":   reached,
+		"total":     total,
+		"peers":     reports,
+	}
+	if p.Epochs != "" {
+		resp["epochs"] = p.Epochs
+	}
+	if !isNaN(stderr) {
+		resp["stderr"] = stderr
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFreeze is POST /cluster/freeze: the two-phase cluster epoch turn.
+// Phase one freezes every reachable peer concurrently (each peer's own
+// durable manifest append is its acknowledgement point); phase two
+// publishes the outcome — per-peer epochs on full success, a degraded
+// report (502) when any peer's freeze failed.
+func (r *Router) handleFreeze(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	type freezeOut struct {
+		epoch int
+		err   error
+	}
+	outs := make([]freezeOut, len(r.peers))
+	var wg sync.WaitGroup
+	for i, p := range r.peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			outs[i] = r.freezeOne(req.Context(), p)
+		}(i, p)
+	}
+	wg.Wait()
+	epochs := make(map[string]int)
+	var failed []string
+	reports := make([]peerReport, len(r.peers))
+	for i, p := range r.peers {
+		state, _, epoch := p.status()
+		reports[i] = peerReport{Addr: p.addr, State: state.String(), Epoch: epoch}
+		if outs[i].err != nil {
+			failed = append(failed, p.addr)
+			reports[i].Error = outs[i].err.Error()
+			continue
+		}
+		epochs[p.addr] = outs[i].epoch
+	}
+	published := len(failed) == 0
+	code := http.StatusOK
+	if !published {
+		code = http.StatusBadGateway
+	}
+	writeJSON(w, code, map[string]any{
+		"published": published,
+		"degraded":  !published,
+		"epochs":    epochs,
+		"failed":    failed,
+		"peers":     reports,
+	})
+}
+
+// freezeOne is phase one for a single peer: one POST /freeze under the
+// peer deadline. Freeze is deliberately not retried — it is not
+// idempotent (a retried freeze whose first attempt actually succeeded
+// would mint an extra empty epoch; harmless for exactness, but noise in
+// the epoch history).
+func (r *Router) freezeOne(ctx context.Context, p *peer) (out struct {
+	epoch int
+	err   error
+}) {
+	if o := r.cfg.Faults.Act(FaultFreeze); o.Err != nil {
+		out.err = fmt.Errorf("cluster: freezing %s: %w", p.addr, o.Err)
+		p.fail(r.cfg.DownAfter)
+		return out
+	}
+	// Freezing (merge + fsync) legitimately outlasts a fetch deadline;
+	// give it 5× the per-fetch budget.
+	ctx, cancel := context.WithTimeout(ctx, 5*r.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+p.addr+"/freeze", nil)
+	if err != nil {
+		out.err = fmt.Errorf("cluster: %w", err)
+		return out
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		out.err = fmt.Errorf("cluster: freezing %s: %w", p.addr, err)
+		p.fail(r.cfg.DownAfter)
+		return out
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		out.err = fmt.Errorf("cluster: freezing %s: %w", p.addr, err)
+		p.fail(r.cfg.DownAfter)
+		return out
+	}
+	if resp.StatusCode != http.StatusOK {
+		out.err = fmt.Errorf("cluster: %s freeze returned status %d: %s", p.addr, resp.StatusCode, firstLine(body))
+		p.fail(r.cfg.DownAfter)
+		return out
+	}
+	var fr struct {
+		Epoch int `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &fr); err != nil {
+		out.err = fmt.Errorf("cluster: %s freeze response: %w", p.addr, err)
+		p.fail(r.cfg.DownAfter)
+		return out
+	}
+	p.ok(fr.Epoch)
+	out.epoch = fr.Epoch
+	return out
+}
+
+// handleHealth is GET /cluster/health: every peer's tracked state.
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	reports := make([]peerReport, len(r.peers))
+	down := 0
+	for i, p := range r.peers {
+		state, fails, epoch := p.status()
+		reports[i] = peerReport{Addr: p.addr, State: state.String(), Epoch: epoch}
+		if fails > 0 {
+			reports[i].Error = fmt.Sprintf("%d consecutive failure(s)", fails)
+		}
+		if state == Down {
+			down++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"peers":    reports,
+		"total":    len(reports),
+		"down":     down,
+		"self":     r.cfg.Self,
+		"coverage": float64(len(reports)-down) / float64(len(reports)),
+	})
+}
+
+// PeerStates snapshots every peer's state (tests and cws-serve logging).
+func (r *Router) PeerStates() map[string]PeerState {
+	out := make(map[string]PeerState, len(r.peers))
+	for _, p := range r.peers {
+		state, _, _ := p.status()
+		out[p.addr] = state
+	}
+	return out
+}
+
+// isNaN avoids importing math for one comparison.
+func isNaN(f float64) bool { return f != f }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

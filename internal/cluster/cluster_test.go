@@ -1,0 +1,567 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"coordsample/internal/core"
+	"coordsample/internal/faults"
+	"coordsample/internal/rank"
+	"coordsample/internal/server"
+	"coordsample/internal/shard"
+)
+
+var testSample = core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 11, K: 32}
+
+const testAssignments = 2
+
+// testOffers is a deterministic two-assignment weighted stream with key
+// churn, spread across the whole partition.
+func testOffers(n int, seed int64) []server.Offer {
+	rng := rand.New(rand.NewSource(seed))
+	var offers []server.Offer
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("host-%05d", i)
+		base := math.Exp(rng.NormFloat64() * 2)
+		if rng.Float64() < 0.9 {
+			offers = append(offers, server.Offer{Assignment: 0, Key: key, Weight: base * (0.5 + rng.Float64())})
+		}
+		if rng.Float64() < 0.9 {
+			offers = append(offers, server.Offer{Assignment: 1, Key: key, Weight: base * (0.5 + rng.Float64())})
+		}
+	}
+	return offers
+}
+
+// testCluster is K in-process peers plus a Router over them, all served
+// over real HTTP round-trips.
+type testCluster struct {
+	router   *Router
+	routerTS *httptest.Server
+	servers  []*server.Server
+	peerTS   []*httptest.Server
+	addrs    []string
+}
+
+// newTestCluster builds a k-peer cluster. cfg tweaks the router's failure
+// policy (Peers/Self/Sample/Assignments are filled in); peerFaults[i]
+// injects serving-side faults into peer i.
+func newTestCluster(t *testing.T, k int, cfg Config, peerFaults map[int]*faults.Set) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < k; i++ {
+		i := i
+		s, err := server.New(server.Config{
+			Sample:      testSample,
+			Assignments: testAssignments,
+			Shards:      2,
+			Lanes:       1,
+			Faults:      peerFaults[i],
+			OwnsKey:     func(key string) bool { return shard.ShardOf(key, k) == i },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		tc.servers = append(tc.servers, s)
+		tc.peerTS = append(tc.peerTS, ts)
+		tc.addrs = append(tc.addrs, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	cfg.Peers = tc.addrs
+	cfg.Self = -1
+	cfg.Sample = testSample
+	cfg.Assignments = testAssignments
+	if cfg.PeerTimeout == 0 {
+		cfg.PeerTimeout = 10 * time.Second
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = -1 // hedging off unless a test turns it on
+	}
+	cfg.Seed = 1
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	tc.router = r
+	tc.routerTS = httptest.NewServer(r)
+	t.Cleanup(tc.routerTS.Close)
+	return tc
+}
+
+// ingest routes each offer to its owning peer — the partition clients are
+// expected to honor — and posts the per-peer batches.
+func (tc *testCluster) ingest(t *testing.T, offers []server.Offer) {
+	t.Helper()
+	batches := make([][]server.Offer, len(tc.addrs))
+	for _, o := range offers {
+		i := shard.ShardOf(o.Key, len(tc.addrs))
+		batches[i] = append(batches[i], o)
+	}
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		postJSON(t, tc.peerTS[i].URL+"/offer", map[string]any{"offers": batch})
+	}
+}
+
+// getJSON fetches url and decodes the JSON body, returning the status too.
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: decoding body: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func postJSON(t *testing.T, url string, body any) map[string]any {
+	t.Helper()
+	var buf strings.Builder
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+// clusterFreeze drives POST /cluster/freeze and returns (status, body).
+func (tc *testCluster) clusterFreeze(t *testing.T) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(tc.routerTS.URL+"/cluster/freeze", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// referenceEstimates runs the same offers through ONE node owning every
+// key — the no-cluster baseline — and returns its /query answers for the
+// given parameter strings.
+func referenceEstimates(t *testing.T, offers []server.Offer, params []string) map[string]float64 {
+	t.Helper()
+	s, err := server.New(server.Config{Sample: testSample, Assignments: testAssignments, Shards: 2, Lanes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	postJSON(t, ts.URL+"/offer", map[string]any{"offers": offers})
+	postJSON(t, ts.URL+"/freeze", nil)
+	out := make(map[string]float64, len(params))
+	for _, p := range params {
+		code, body := getJSON(t, ts.URL+"/query?"+p)
+		if code != http.StatusOK {
+			t.Fatalf("reference query %q: status %d: %v", p, code, body)
+		}
+		out[p] = body["estimate"].(float64)
+	}
+	return out
+}
+
+// queryParams is the agg vocabulary every exactness test sweeps.
+var queryParams = []string{
+	"agg=sum&b=0",
+	"agg=sum&b=1",
+	"agg=max",
+	"agg=min",
+	"agg=L1",
+	"agg=lth&l=2",
+	"agg=jaccard",
+	"agg=sum&b=0&prefix=host-000",
+	"agg=sum&b=0&est=discarded",
+}
+
+// TestClusterQueryExactMatchesSingleNode: the headline exactness claim.
+// Keys partitioned across 3 peers by the routing hash form disjoint key
+// sets, so the router's merged answer is bit-identical to one node
+// ingesting the whole stream — for every aggregate, predicate, and
+// estimator in the query vocabulary.
+func TestClusterQueryExactMatchesSingleNode(t *testing.T) {
+	offers := testOffers(400, 7)
+	tc := newTestCluster(t, 3, Config{}, nil)
+	tc.ingest(t, offers)
+
+	code, fz := tc.clusterFreeze(t)
+	if code != http.StatusOK || fz["published"] != true {
+		t.Fatalf("cluster freeze: status %d, body %v", code, fz)
+	}
+	epochs := fz["epochs"].(map[string]any)
+	if len(epochs) != 3 {
+		t.Fatalf("freeze published %d peer epochs, want 3: %v", len(epochs), epochs)
+	}
+	for addr, e := range epochs {
+		if e.(float64) != 1 {
+			t.Fatalf("peer %s froze epoch %v, want 1", addr, e)
+		}
+	}
+
+	want := referenceEstimates(t, offers, queryParams)
+	for _, p := range queryParams {
+		code, body := getJSON(t, tc.routerTS.URL+"/cluster/query?"+p)
+		if code != http.StatusOK {
+			t.Fatalf("cluster query %q: status %d: %v", p, code, body)
+		}
+		if got := body["estimate"].(float64); got != want[p] {
+			t.Errorf("query %q: cluster %v != single-node %v (exactness broken)", p, got, want[p])
+		}
+		if body["degraded"] != false {
+			t.Errorf("query %q reported degraded with all peers up", p)
+		}
+		if cov := body["coverage"].(float64); cov != 1.0 {
+			t.Errorf("query %q coverage %v, want 1", p, cov)
+		}
+		if body["reached"].(float64) != 3 {
+			t.Errorf("query %q reached %v peers, want 3", p, body["reached"])
+		}
+	}
+}
+
+// TestTransientFetchFaultRetried: a single injected fetch failure is
+// absorbed by the retry budget — the answer stays exact and non-degraded.
+func TestTransientFetchFaultRetried(t *testing.T) {
+	offers := testOffers(200, 8)
+	for _, action := range []string{"err", "drop"} {
+		fs := faults.MustParse(FaultFetch + ":" + action + ",on=1")
+		tc := newTestCluster(t, 3, Config{Faults: fs}, nil)
+		tc.ingest(t, offers)
+		tc.clusterFreeze(t)
+
+		want := referenceEstimates(t, offers, []string{"agg=sum&b=0"})
+		code, body := getJSON(t, tc.routerTS.URL+"/cluster/query?agg=sum&b=0")
+		if code != http.StatusOK {
+			t.Fatalf("%s: query status %d: %v", action, code, body)
+		}
+		if body["degraded"] != false {
+			t.Errorf("%s: one transient fault degraded the answer: %v", action, body["peers"])
+		}
+		if got := body["estimate"].(float64); got != want["agg=sum&b=0"] {
+			t.Errorf("%s: estimate %v != reference %v", action, got, want["agg=sum&b=0"])
+		}
+		// 3 first attempts + exactly 1 retry of the faulted one.
+		if hits := fs.Hits(FaultFetch); hits != 4 {
+			t.Errorf("%s: fetch point hit %d times, want 4 (3 scatters + 1 retry)", action, hits)
+		}
+	}
+}
+
+// TestTornPeerResponseCaughtAndRetried: a torn /sketches body from a peer
+// must fail segment validation as a typed decode error — never pass as a
+// short sketch set — and the retry must recover exactness.
+func TestTornPeerResponseCaughtAndRetried(t *testing.T) {
+	offers := testOffers(200, 9)
+	peerFS := faults.MustParse(server.FaultSketches + ":torn,on=1")
+	tc := newTestCluster(t, 3, Config{}, map[int]*faults.Set{1: peerFS})
+	tc.ingest(t, offers)
+	tc.clusterFreeze(t)
+
+	want := referenceEstimates(t, offers, []string{"agg=sum&b=0"})
+	code, body := getJSON(t, tc.routerTS.URL+"/cluster/query?agg=sum&b=0")
+	if code != http.StatusOK {
+		t.Fatalf("query status %d: %v", code, body)
+	}
+	if body["degraded"] != false {
+		t.Errorf("torn response degraded the answer: %v", body["peers"])
+	}
+	if got := body["estimate"].(float64); got != want["agg=sum&b=0"] {
+		t.Errorf("estimate %v != reference %v after torn-response retry", got, want["agg=sum&b=0"])
+	}
+	if hits := peerFS.Hits(server.FaultSketches); hits < 2 {
+		t.Errorf("peer /sketches served %d times, want ≥ 2 (torn + retried)", hits)
+	}
+}
+
+// TestHedgedRequestCutsStragglerLatency: with hedging on, one straggling
+// attempt (injected 3s latency) does not hold the whole scatter hostage —
+// the hedged duplicate answers and the query completes fast and exact.
+func TestHedgedRequestCutsStragglerLatency(t *testing.T) {
+	offers := testOffers(200, 10)
+	fs := faults.MustParse(FaultFetch + ":latency=3s,on=1")
+	tc := newTestCluster(t, 3, Config{Faults: fs, HedgeAfter: 20 * time.Millisecond, Retries: -1}, nil)
+	tc.ingest(t, offers)
+	tc.clusterFreeze(t)
+
+	want := referenceEstimates(t, offers, []string{"agg=sum&b=0"})
+	start := time.Now()
+	code, body := getJSON(t, tc.routerTS.URL+"/cluster/query?agg=sum&b=0")
+	elapsed := time.Since(start)
+	if code != http.StatusOK {
+		t.Fatalf("query status %d: %v", code, body)
+	}
+	if body["degraded"] != false {
+		t.Errorf("hedged query degraded: %v", body["peers"])
+	}
+	if got := body["estimate"].(float64); got != want["agg=sum&b=0"] {
+		t.Errorf("estimate %v != reference %v", got, want["agg=sum&b=0"])
+	}
+	if elapsed >= 2*time.Second {
+		t.Errorf("query took %v despite hedging; the straggler was waited out", elapsed)
+	}
+	if hits := fs.Hits(FaultFetch); hits != 4 {
+		t.Errorf("fetch point hit %d times, want 4 (3 scatters + 1 hedge)", hits)
+	}
+}
+
+// TestDeadPeerDegradesGracefully: with one peer gone past its retry
+// budget the router answers from the survivors — degraded=true, coverage
+// 2/3, and the estimate is the EXACT answer over the surviving
+// partitions' keys (the reference being a single node holding only those
+// keys). A follow-up query skips the peer entirely (it is down).
+func TestDeadPeerDegradesGracefully(t *testing.T) {
+	offers := testOffers(300, 11)
+	tc := newTestCluster(t, 3, Config{Retries: -1, DownAfter: 1, PeerTimeout: 2 * time.Second}, nil)
+	tc.ingest(t, offers)
+	tc.clusterFreeze(t)
+	tc.peerTS[2].Close() // SIGKILL stand-in: the peer vanishes mid-serving
+
+	var survivors []server.Offer
+	for _, o := range offers {
+		if shard.ShardOf(o.Key, 3) != 2 {
+			survivors = append(survivors, o)
+		}
+	}
+	want := referenceEstimates(t, survivors, []string{"agg=sum&b=0"})
+
+	code, body := getJSON(t, tc.routerTS.URL+"/cluster/query?agg=sum&b=0")
+	if code != http.StatusOK {
+		t.Fatalf("degraded query status %d, want 200 (graceful): %v", code, body)
+	}
+	if body["degraded"] != true {
+		t.Fatalf("dead peer not reported: %v", body)
+	}
+	if cov := body["coverage"].(float64); math.Abs(cov-2.0/3.0) > 1e-12 {
+		t.Errorf("coverage %v, want 2/3", cov)
+	}
+	if body["reached"].(float64) != 2 || body["total"].(float64) != 3 {
+		t.Errorf("reached/total %v/%v, want 2/3", body["reached"], body["total"])
+	}
+	if got := body["estimate"].(float64); got != want["agg=sum&b=0"] {
+		t.Errorf("degraded estimate %v != survivors-only reference %v (must be the exact subpopulation answer)", got, want["agg=sum&b=0"])
+	}
+
+	// DownAfter=1: the failure marked the peer down, so the next query
+	// skips it instead of burning its deadline again.
+	if st := tc.router.PeerStates()[tc.addrs[2]]; st != Down {
+		t.Fatalf("dead peer state %v, want down", st)
+	}
+	_, body = getJSON(t, tc.routerTS.URL+"/cluster/query?agg=sum&b=0")
+	found := false
+	for _, pr := range body["peers"].([]any) {
+		m := pr.(map[string]any)
+		if m["addr"] == tc.addrs[2] {
+			found = true
+			if !strings.Contains(m["error"].(string), "skipped") {
+				t.Errorf("down peer was queried again: %v", m)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("down peer missing from the per-peer report: %v", body["peers"])
+	}
+}
+
+// TestNoPeerReachableIs503: graceful degradation ends where coverage
+// does — zero reachable peers is an error, not an empty answer.
+func TestNoPeerReachableIs503(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{Retries: -1, PeerTimeout: 2 * time.Second}, nil)
+	tc.ingest(t, testOffers(50, 12))
+	tc.clusterFreeze(t)
+	tc.peerTS[0].Close()
+	tc.peerTS[1].Close()
+
+	code, body := getJSON(t, tc.routerTS.URL+"/cluster/query?agg=sum&b=0")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("zero-coverage query status %d, want 503: %v", code, body)
+	}
+	if !strings.Contains(body["error"].(string), "no cluster peer reachable") {
+		t.Errorf("error %q does not name the condition", body["error"])
+	}
+}
+
+// TestTwoPhaseFreezeDegradedOnPeerFailure: when one peer's phase-one
+// freeze fails, phase two publishes a degraded report (502) naming it —
+// and the next freeze (fault exhausted) publishes cleanly, with the
+// recovered peer simply one epoch behind.
+func TestTwoPhaseFreezeDegradedOnPeerFailure(t *testing.T) {
+	offers := testOffers(200, 13)
+	fs := faults.MustParse(FaultFreeze + ":err,on=2")
+	tc := newTestCluster(t, 3, Config{Faults: fs}, nil)
+	tc.ingest(t, offers)
+
+	code, body := tc.clusterFreeze(t)
+	if code != http.StatusBadGateway {
+		t.Fatalf("partial freeze status %d, want 502: %v", code, body)
+	}
+	if body["published"] != false || body["degraded"] != true {
+		t.Fatalf("partial freeze not reported degraded: %v", body)
+	}
+	failed := body["failed"].([]any)
+	if len(failed) != 1 {
+		t.Fatalf("failed list %v, want exactly the faulted peer", failed)
+	}
+	if epochs := body["epochs"].(map[string]any); len(epochs) != 2 {
+		t.Fatalf("published epochs %v, want the 2 surviving peers", epochs)
+	}
+
+	code, body = tc.clusterFreeze(t)
+	if code != http.StatusOK || body["published"] != true {
+		t.Fatalf("clean freeze after fault exhausted: status %d, body %v", code, body)
+	}
+	epochs := body["epochs"].(map[string]any)
+	behind := failed[0].(string)
+	for addr, e := range epochs {
+		want := 2.0
+		if addr == behind {
+			want = 1.0 // missed one turn; catches up, never diverges
+		}
+		if e.(float64) != want {
+			t.Errorf("peer %s at epoch %v after recovery freeze, want %v", addr, e, want)
+		}
+	}
+}
+
+// TestPeerStateMachine: the health transitions the router promises —
+// failures degrade then down at DownAfter, recovery re-enters through
+// degraded probation, and two consecutive successes restore up.
+func TestPeerStateMachine(t *testing.T) {
+	p := &peer{addr: "x"}
+	p.fail(3)
+	if st, _, _ := p.status(); st != Degraded {
+		t.Fatalf("after 1 failure: %v, want degraded", st)
+	}
+	p.fail(3)
+	p.fail(3)
+	if st, _, _ := p.status(); st != Down {
+		t.Fatalf("after 3 failures: %v, want down", st)
+	}
+	p.ok(5)
+	if st, _, epoch := p.status(); st != Degraded || epoch != 5 {
+		t.Fatalf("first success after down: %v epoch %d, want degraded probation at epoch 5", st, epoch)
+	}
+	p.ok(5)
+	if st, _, _ := p.status(); st != Up {
+		t.Fatalf("second consecutive success: %v, want up", st)
+	}
+	p.fail(3)
+	if st, _, _ := p.status(); st != Degraded {
+		t.Fatalf("fresh failure from up: %v, want degraded", st)
+	}
+}
+
+// TestProberTracksReadiness: the background prober feeds the same state
+// machine through GET /healthz/ready — a draining peer goes down, and
+// repeated successful probes walk it back up through probation.
+func TestProberTracksReadiness(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{DownAfter: 2}, nil)
+	tc.servers[0].SetDraining(true)
+	tc.router.probeAll()
+	tc.router.probeAll()
+	if st := tc.router.PeerStates()[tc.addrs[0]]; st != Down {
+		t.Fatalf("draining peer after 2 probes: %v, want down", st)
+	}
+	if st := tc.router.PeerStates()[tc.addrs[1]]; st == Down {
+		t.Fatalf("healthy peer marked down")
+	}
+	tc.servers[0].SetDraining(false)
+	tc.router.probeAll()
+	if st := tc.router.PeerStates()[tc.addrs[0]]; st != Degraded {
+		t.Fatalf("first good probe: %v, want degraded probation", st)
+	}
+	tc.router.probeAll()
+	if st := tc.router.PeerStates()[tc.addrs[0]]; st != Up {
+		t.Fatalf("second good probe: %v, want up", st)
+	}
+}
+
+// TestClusterHealthEndpoint: /cluster/health reports every peer with its
+// tracked state and the cluster's coverage.
+func TestClusterHealthEndpoint(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{}, nil)
+	code, body := getJSON(t, tc.routerTS.URL+"/cluster/health")
+	if code != http.StatusOK {
+		t.Fatalf("health status %d: %v", code, body)
+	}
+	if body["total"].(float64) != 3 || body["down"].(float64) != 0 {
+		t.Fatalf("health totals %v/%v, want 3/0", body["total"], body["down"])
+	}
+	if body["coverage"].(float64) != 1.0 {
+		t.Fatalf("health coverage %v, want 1", body["coverage"])
+	}
+	if len(body["peers"].([]any)) != 3 {
+		t.Fatalf("health lists %d peers, want 3", len(body["peers"].([]any)))
+	}
+}
+
+// TestOwnsKeyMatchesOwner: the guard wired into each peer and the
+// router's routing view agree on every key.
+func TestOwnsKeyMatchesOwner(t *testing.T) {
+	addrs := []string{"a:1", "b:2", "c:3"}
+	r, err := New(Config{Peers: addrs, Self: 1, Sample: testSample, Assignments: testAssignments})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("host-%05d", i)
+		owns := r.OwnsKey(key)
+		if owns != (r.Owner(key) == addrs[1]) {
+			t.Fatalf("key %q: OwnsKey=%v but Owner=%s", key, owns, r.Owner(key))
+		}
+		if shard.ShardOf(key, 3) == 1 && !owns {
+			t.Fatalf("key %q: partition says self, OwnsKey says no", key)
+		}
+	}
+}
+
+// TestConfigValidation: New rejects nonsense configurations.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Sample: testSample, Assignments: 1}); err == nil {
+		t.Error("no peers accepted")
+	}
+	if _, err := New(Config{Peers: []string{"a:1"}, Self: 3, Sample: testSample, Assignments: 1}); err == nil {
+		t.Error("out-of-range self accepted")
+	}
+	if _, err := New(Config{Peers: []string{"a:1"}, Self: 0, Sample: core.Config{}, Assignments: 1}); err == nil {
+		t.Error("invalid sample config accepted")
+	}
+	if _, err := New(Config{Peers: []string{"a:1"}, Self: 0, Sample: testSample, Assignments: 0}); err == nil {
+		t.Error("zero assignments accepted")
+	}
+}

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"unweighted", "jaccard",
 		"ablation_family", "ablation_sketch", "ablation_fixedk", "ablation_generic",
 		"sharding", "serve", "ingest", "store", "estimators",
-		"scale", "loadtest",
+		"scale", "loadtest", "cluster",
 	}
 	for _, id := range wantIDs {
 		if _, ok := Find(id); !ok {

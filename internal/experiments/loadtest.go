@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +16,26 @@ import (
 	"coordsample/internal/rank"
 	"coordsample/internal/server"
 	"coordsample/internal/sketch"
+)
+
+// overloadInflight is the deliberately tiny admission bound of the
+// Options.Overload loadtest mode: with far more client connections than
+// admitted ingests, most requests are shed and must be retried.
+const overloadInflight = 2
+
+// Overload-mode clients stream each chunk as a paced chunked upload
+// (overloadPiece bytes every overloadPace) instead of one buffered body.
+// The admission bound counts requests that HOLD a slot, and a handler
+// only holds one for longer than its own CPU time when it parks waiting
+// for body bytes: a fully-buffered loopback upload sits complete in the
+// kernel socket buffer before the handler runs, so handlers finish
+// back-to-back and the inflight count never accumulates (on a single-core
+// host it literally cannot exceed the running handler). Slow producers
+// are the scenario shedding exists for — requests piling up on the lanes
+// while their bodies trickle in — so the overload load shape models them.
+const (
+	overloadPiece = 4096
+	overloadPace  = 500 * time.Microsecond
 )
 
 func init() {
@@ -77,10 +100,14 @@ func runLoadtest(opts Options) Result {
 		connsSweep = []int{4}
 	}
 
+	title := fmt.Sprintf("network load test, %d offers (%d keys × %d assignments) streamed over binary /ingest, k=%d, %d-offer chunks per request",
+		offered, ds.NumKeys(), numAsg, k, loadChunk)
+	if opts.Overload {
+		title += fmt.Sprintf(" — OVERLOAD: server admits %d concurrent ingests, clients honor 429 Retry-After", overloadInflight)
+	}
 	t := Table{
-		Title: fmt.Sprintf("network load test, %d offers (%d keys × %d assignments) streamed over binary /ingest, k=%d, %d-offer chunks per request",
-			offered, ds.NumKeys(), numAsg, k, loadChunk),
-		Columns: []string{"conns", "offers/s", "MB/s", "freeze", "identical"},
+		Title:   title,
+		Columns: []string{"conns", "offers/s", "MB/s", "sheds(429)", "freeze", "identical"},
 	}
 	for _, conns := range connsSweep {
 		t.AddRow(runLoadCell(opts, cfg, cols, offered, numAsg, conns, refL1)...)
@@ -135,28 +162,47 @@ func runLoadCell(opts Options, cfg core.Config, cols []ingestColumn, offered, nu
 
 	var wg sync.WaitGroup
 	errs := make([]error, conns)
+	sheds := make([]int, conns)
 	start := time.Now()
 	for c := 0; c < conns; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			client := newLoadClient()
+			rng := rand.New(rand.NewSource(int64(opts.Seed) + int64(c)))
 			for _, chunk := range chunks[c] {
-				resp, err := client.Post(base+"/ingest", server.ContentTypeBinaryIngest, bytes.NewReader(chunk))
-				if err != nil {
-					errs[c] = err
-					return
-				}
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					errs[c] = fmt.Errorf("POST /ingest: status %d", resp.StatusCode)
-					return
+				for {
+					resp, err := postChunk(client, base, chunk, opts.Overload)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+					if resp.StatusCode != http.StatusTooManyRequests {
+						errs[c] = fmt.Errorf("POST /ingest: status %d", resp.StatusCode)
+						return
+					}
+					// Shed: honor Retry-After with full jitter (a fleet of
+					// clients retrying in lockstep would just collide again).
+					sheds[c]++
+					after, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+					if err != nil || after < 1 {
+						after = 1
+					}
+					time.Sleep(time.Duration(rng.Int63n(int64(time.Duration(after) * time.Second))))
 				}
 			}
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	totalSheds := 0
+	for _, s := range sheds {
+		totalSheds += s
+	}
 	for _, err := range errs {
 		if err != nil {
 			panic(fmt.Sprintf("loadtest: %v", err))
@@ -192,9 +238,44 @@ func runLoadCell(opts Options, cfg core.Config, cols []ingestColumn, offered, nu
 		fmt.Sprintf("%d", conns),
 		fsci(float64(offered) / elapsed.Seconds()),
 		fmt.Sprintf("%.1f", float64(totalBytes)/(1<<20)/elapsed.Seconds()),
+		fmt.Sprintf("%d", totalSheds),
 		freeze,
 		identical,
 	}
+}
+
+// postChunk sends one pre-encoded chunk to /ingest. The normal mode posts
+// the chunk as a single buffered body; overload mode streams it as a paced
+// chunked upload so the handler holds its admission slot while parked on
+// body reads (see the overloadPiece comment). A shed (429) aborts the
+// stream mid-body — the server closes the connection under the client, the
+// writer goroutine exits on the pipe error, and the retry reconnects.
+func postChunk(client *http.Client, base string, chunk []byte, overload bool) (*http.Response, error) {
+	if !overload {
+		return client.Post(base+"/ingest", server.ContentTypeBinaryIngest, bytes.NewReader(chunk))
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		for b := chunk; len(b) > 0; {
+			n := overloadPiece
+			if n > len(b) {
+				n = len(b)
+			}
+			if _, err := pw.Write(b[:n]); err != nil {
+				return // shed mid-stream: transport closed the body
+			}
+			b = b[n:]
+			time.Sleep(overloadPace)
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequest("POST", base+"/ingest", pr)
+	if err != nil {
+		pr.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", server.ContentTypeBinaryIngest)
+	return client.Do(req)
 }
 
 // loadTarget returns the base URL to drive and its shutdown function:
@@ -204,7 +285,11 @@ func loadTarget(opts Options, cfg core.Config, numAsg int) (string, func()) {
 	if opts.Addr != "" {
 		return "http://" + opts.Addr, func() {}
 	}
-	srv, err := server.New(server.Config{Sample: cfg, Assignments: numAsg, Shards: 8, Workers: opts.Workers, Lanes: 0})
+	maxInflight := 0
+	if opts.Overload {
+		maxInflight = overloadInflight
+	}
+	srv, err := server.New(server.Config{Sample: cfg, Assignments: numAsg, Shards: 8, Workers: opts.Workers, Lanes: 0, MaxInflight: maxInflight})
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,265 @@
+// Package faults provides named, injectable fault points: the controlled
+// failures that let the robustness layers of this repository — the durable
+// epoch store's typed-error contracts and the cluster serving layer's
+// retry/degradation machinery — be *tested*, deterministically, instead of
+// hoped about.
+//
+// A fault Set is parsed from a compact spec string (the -faults flag of
+// cws-serve) naming points and what each injects:
+//
+//	store.segment-write:err,on=3
+//	peer.fetch:latency=50ms,every=2
+//	peer.response:torn,on=1;peer.freeze:err,from=2
+//
+// Each instrumented site calls Act(name) exactly once per operation; the
+// Set counts the hit, applies the point's latency, and reports whether the
+// schedule fires an error, a torn payload, or a dropped response on this
+// hit. Scheduling is purely hit-count-deterministic — "on=3" fires on the
+// third hit of that point in this process, every run, under any
+// interleaving of *other* points — which is what makes chaos tests
+// reproducible oracles instead of flaky dice rolls.
+//
+// Production pays one nil check: every method is safe on a nil *Set and
+// returns the zero Outcome immediately, so un-faulted builds thread a nil
+// Set through the same code paths for free.
+//
+// # Spec grammar
+//
+//	spec    = point *(";" point)
+//	point   = name ":" attr *("," attr)
+//	attr    = "err" | "torn" | "drop"              (actions)
+//	        | "latency=" duration                  (applied on scheduled hits)
+//	        | "on=" N | "from=" N | "every=" N     (schedule; default: every hit)
+//
+// A point needs at least one action or a latency; on/from/every are
+// mutually exclusive. Hits are 1-based: "on=1" fires the first call.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// InjectedError is the typed error every firing fault point returns, so
+// tests (and curious operators) can tell an injected failure from a real
+// one with errors.As.
+type InjectedError struct {
+	Point string // fault point name
+	Hit   int    // 1-based hit count at which the point fired
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected failure at %q (hit %d)", e.Point, e.Hit)
+}
+
+// Outcome is what one hit of a fault point injects. The zero Outcome (and
+// everything a nil Set returns) injects nothing.
+type Outcome struct {
+	// Err is the injected error, non-nil when the point's "err" action
+	// fired on this hit. It is always an *InjectedError.
+	Err error
+	// Torn reports that the site should truncate its payload (a torn
+	// write or a torn response) on this hit.
+	Torn bool
+	// Drop reports that the site should abandon the operation without a
+	// response (a dropped connection) on this hit.
+	Drop bool
+}
+
+// point is one named fault point's configuration and hit counter.
+type point struct {
+	err     bool
+	torn    bool
+	drop    bool
+	latency time.Duration
+	on      int // fire exactly on the on-th hit
+	from    int // fire on every hit ≥ from
+	every   int // fire on every every-th hit
+	hits    int
+}
+
+// scheduled reports whether hit n (1-based) is one this point fires on.
+func (p *point) scheduled(n int) bool {
+	switch {
+	case p.on > 0:
+		return n == p.on
+	case p.from > 0:
+		return n >= p.from
+	case p.every > 0:
+		return n%p.every == 0
+	default:
+		return true
+	}
+}
+
+// Set is a parsed collection of fault points. All methods are safe for
+// concurrent use and safe on a nil receiver (which injects nothing).
+type Set struct {
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+// Parse builds a Set from a spec string (see the package documentation for
+// the grammar). The empty spec yields a nil Set — the disabled state.
+func Parse(spec string) (*Set, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	s := &Set{points: make(map[string]*point)}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, attrs, ok := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("faults: point %q: want name:attr[,attr...]", part)
+		}
+		if _, dup := s.points[name]; dup {
+			return nil, fmt.Errorf("faults: point %q configured twice", name)
+		}
+		p := &point{}
+		for _, attr := range strings.Split(attrs, ",") {
+			attr = strings.TrimSpace(attr)
+			key, val, hasVal := strings.Cut(attr, "=")
+			var err error
+			switch key {
+			case "err":
+				p.err = true
+			case "torn":
+				p.torn = true
+			case "drop":
+				p.drop = true
+			case "latency":
+				if !hasVal {
+					return nil, fmt.Errorf("faults: point %q: latency needs a duration", name)
+				}
+				if p.latency, err = time.ParseDuration(val); err != nil || p.latency < 0 {
+					return nil, fmt.Errorf("faults: point %q: bad latency %q", name, val)
+				}
+			case "on", "from", "every":
+				if !hasVal {
+					return nil, fmt.Errorf("faults: point %q: %s needs a hit count", name, key)
+				}
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faults: point %q: bad %s value %q", name, key, val)
+				}
+				switch key {
+				case "on":
+					p.on = n
+				case "from":
+					p.from = n
+				case "every":
+					p.every = n
+				}
+			default:
+				return nil, fmt.Errorf("faults: point %q: unknown attribute %q", name, attr)
+			}
+		}
+		scheds := 0
+		for _, v := range []int{p.on, p.from, p.every} {
+			if v > 0 {
+				scheds++
+			}
+		}
+		if scheds > 1 {
+			return nil, fmt.Errorf("faults: point %q: on/from/every are mutually exclusive", name)
+		}
+		if !p.err && !p.torn && !p.drop && p.latency == 0 {
+			return nil, fmt.Errorf("faults: point %q: no action (want err, torn, drop, or latency)", name)
+		}
+		s.points[name] = p
+	}
+	if len(s.points) == 0 {
+		return nil, nil
+	}
+	return s, nil
+}
+
+// MustParse is Parse for tests and package-level specs; it panics on a bad
+// spec.
+func MustParse(spec string) *Set {
+	s, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Act records one hit at the named fault point and returns what it injects
+// on this hit. Unconfigured points (and a nil Set) inject nothing. The
+// point's latency, if any, is applied (synchronously) before returning,
+// but only on scheduled hits — "latency=50ms,every=2" delays every second
+// call and leaves the rest untouched.
+func (s *Set) Act(name string) Outcome {
+	if s == nil {
+		return Outcome{}
+	}
+	s.mu.Lock()
+	p, ok := s.points[name]
+	if !ok {
+		s.mu.Unlock()
+		return Outcome{}
+	}
+	p.hits++
+	n := p.hits
+	fire := p.scheduled(n)
+	latency := p.latency
+	s.mu.Unlock()
+	if !fire {
+		return Outcome{}
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	var out Outcome
+	if p.err {
+		out.Err = &InjectedError{Point: name, Hit: n}
+	}
+	out.Torn = p.torn
+	out.Drop = p.drop
+	return out
+}
+
+// Hits reports how many times the named point has been hit (0 for
+// unconfigured points and nil Sets). Tests use it to assert that the
+// instrumented sites are actually reached.
+func (s *Set) Hits(name string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// Points lists the configured point names, sorted — for log lines that
+// announce what a process is running with.
+func (s *Set) Points() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.points))
+	for name := range s.points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tear truncates data to half its length — the canonical torn-payload
+// transformation sites apply when Act reports Torn. Centralized so every
+// torn fault means the same thing in tests and docs.
+func Tear(data []byte) []byte { return data[:len(data)/2] }

@@ -1,0 +1,212 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	out := s.Act("store.segment-write")
+	if out.Err != nil || out.Torn || out.Drop {
+		t.Fatalf("nil Set injected %+v", out)
+	}
+	if s.Hits("store.segment-write") != 0 {
+		t.Fatalf("nil Set counted hits")
+	}
+	if s.Points() != nil {
+		t.Fatalf("nil Set has points")
+	}
+}
+
+func TestParseEmptyYieldsNil(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";", " ; ; "} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if s != nil {
+			t.Fatalf("Parse(%q) = %v, want nil", spec, s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"noattrs",            // missing colon
+		":err",               // missing name
+		"p:bogus",            // unknown attribute
+		"p:latency",          // latency without value
+		"p:latency=xyz",      // unparseable duration
+		"p:latency=-5ms",     // negative latency
+		"p:err,on=0",         // hit counts are 1-based
+		"p:err,on=x",         // non-numeric
+		"p:err,on=2,every=3", // mutually exclusive schedules
+		"p:on=3",             // schedule without action
+		"p:err;p:drop",       // duplicate point
+		"p:err,from",         // from without value
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestOnFiresExactlyOnce(t *testing.T) {
+	s := MustParse("p:err,on=3")
+	for i := 1; i <= 5; i++ {
+		out := s.Act("p")
+		if (out.Err != nil) != (i == 3) {
+			t.Fatalf("hit %d: err=%v", i, out.Err)
+		}
+		if i == 3 {
+			var inj *InjectedError
+			if !errors.As(out.Err, &inj) || inj.Point != "p" || inj.Hit != 3 {
+				t.Fatalf("hit 3: error %v not *InjectedError{p,3}", out.Err)
+			}
+		}
+	}
+	if got := s.Hits("p"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+}
+
+func TestFromFiresFromNOn(t *testing.T) {
+	s := MustParse("p:drop,from=3")
+	for i := 1; i <= 5; i++ {
+		if out := s.Act("p"); out.Drop != (i >= 3) {
+			t.Fatalf("hit %d: drop=%v", i, out.Drop)
+		}
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	s := MustParse("p:torn,every=2")
+	for i := 1; i <= 6; i++ {
+		if out := s.Act("p"); out.Torn != (i%2 == 0) {
+			t.Fatalf("hit %d: torn=%v", i, out.Torn)
+		}
+	}
+}
+
+func TestDefaultScheduleFiresAlways(t *testing.T) {
+	s := MustParse("p:err")
+	for i := 1; i <= 3; i++ {
+		if out := s.Act("p"); out.Err == nil {
+			t.Fatalf("hit %d: no error", i)
+		}
+	}
+}
+
+func TestCombinedActions(t *testing.T) {
+	s := MustParse("p:err,torn,drop,on=1")
+	out := s.Act("p")
+	if out.Err == nil || !out.Torn || !out.Drop {
+		t.Fatalf("combined actions: %+v", out)
+	}
+	if out := s.Act("p"); out.Err != nil || out.Torn || out.Drop {
+		t.Fatalf("hit 2 fired: %+v", out)
+	}
+}
+
+func TestUnconfiguredPointIsInert(t *testing.T) {
+	s := MustParse("p:err")
+	if out := s.Act("q"); out.Err != nil || out.Torn || out.Drop {
+		t.Fatalf("unconfigured point injected %+v", out)
+	}
+	if s.Hits("q") != 0 {
+		t.Fatalf("unconfigured point counted hits")
+	}
+}
+
+func TestLatencyOnlyScheduledHits(t *testing.T) {
+	s := MustParse("p:latency=30ms,on=2")
+	start := time.Now()
+	s.Act("p")
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("unscheduled hit slept %v", d)
+	}
+	start = time.Now()
+	s.Act("p")
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("scheduled hit slept only %v", d)
+	}
+}
+
+func TestMultiplePoints(t *testing.T) {
+	s := MustParse("a:err,on=1; b:drop,every=1")
+	if out := s.Act("a"); out.Err == nil {
+		t.Fatalf("a did not fire")
+	}
+	if out := s.Act("b"); !out.Drop {
+		t.Fatalf("b did not fire")
+	}
+	got := s.Points()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Points = %v", got)
+	}
+}
+
+func TestConcurrentActIsDeterministicInAggregate(t *testing.T) {
+	// Under concurrency individual hit numbers race, but the total count
+	// and the number of firings of an every=2 schedule are exact.
+	s := MustParse("p:err,every=2")
+	const goroutines, perG = 8, 250
+	var wg sync.WaitGroup
+	var fired sync.Map
+	errs := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if out := s.Act("p"); out.Err != nil {
+					errs[g]++
+					var inj *InjectedError
+					if !errors.As(out.Err, &inj) {
+						t.Errorf("not an InjectedError: %v", out.Err)
+						return
+					}
+					if _, dup := fired.LoadOrStore(inj.Hit, true); dup {
+						t.Errorf("hit %d fired twice", inj.Hit)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range errs {
+		total += n
+	}
+	if want := goroutines * perG / 2; total != want {
+		t.Fatalf("fired %d times, want %d", total, want)
+	}
+	if got := s.Hits("p"); got != goroutines*perG {
+		t.Fatalf("Hits = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestTearHalves(t *testing.T) {
+	data := []byte("0123456789")
+	torn := Tear(data)
+	if len(torn) != 5 {
+		t.Fatalf("Tear kept %d bytes", len(torn))
+	}
+	if Tear([]byte{}) == nil {
+		// Tear of an empty slice stays an empty (non-nil in, len-0 out) slice.
+		t.Fatalf("Tear(empty) = nil")
+	}
+}
+
+func TestInjectedErrorMessage(t *testing.T) {
+	e := &InjectedError{Point: "store.segment-write", Hit: 3}
+	want := fmt.Sprintf("faults: injected failure at %q (hit 3)", "store.segment-write")
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+}

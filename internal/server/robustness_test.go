@@ -1,0 +1,399 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"coordsample/internal/core"
+	"coordsample/internal/faults"
+	"coordsample/internal/rank"
+	"coordsample/internal/sketch"
+)
+
+func robustCfg() Config {
+	return Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 11, K: 32},
+		Assignments: 2,
+		Shards:      2,
+		Lanes:       1,
+	}
+}
+
+// TestHealthSplitLiveVsReady: /healthz/live stays 200 through drain and
+// close; /healthz/ready flips to 503 on SetDraining (and back), and stays
+// 503 after Close.
+func TestHealthSplitLiveVsReady(t *testing.T) {
+	s, ts := newTestServer(t, robustCfg())
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if got := status("/healthz/live"); got != http.StatusOK {
+		t.Fatalf("live: %d", got)
+	}
+	if got := status("/healthz/ready"); got != http.StatusOK {
+		t.Fatalf("ready before drain: %d", got)
+	}
+	s.SetDraining(true)
+	if got := status("/healthz/ready"); got != http.StatusServiceUnavailable {
+		t.Fatalf("ready while draining: %d", got)
+	}
+	if got := status("/healthz/live"); got != http.StatusOK {
+		t.Fatalf("live while draining: %d", got)
+	}
+	s.SetDraining(false)
+	if got := status("/healthz/ready"); got != http.StatusOK {
+		t.Fatalf("ready after drain cancelled: %d", got)
+	}
+	s.Close()
+	if got := status("/healthz/ready"); got != http.StatusServiceUnavailable {
+		t.Fatalf("ready after close: %d", got)
+	}
+	if got := status("/healthz/live"); got != http.StatusOK {
+		t.Fatalf("live after close: %d", got)
+	}
+}
+
+// TestOverloadSheddingReturns429: with MaxInflight=1, concurrent ingest
+// requests beyond the bound are shed with 429 + Retry-After while the
+// admitted request proceeds, and the cws.sheds counter records them.
+func TestOverloadSheddingReturns429(t *testing.T) {
+	cfg := robustCfg()
+	cfg.MaxInflight = 1
+	s, ts := newTestServer(t, cfg)
+
+	// Hold the single ingest slot with a streaming request whose body we
+	// keep open until the shed assertions are done.
+	pr, pw := io.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	holderErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", pr)
+		if err != nil {
+			holderErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		holderErr <- nil
+	}()
+	if _, err := pw.Write([]byte(`{"assignment":0,"key":"held","weight":1}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the holder's request is inside the handler.
+	for i := 0; s.inflight.Load() == 0; i++ {
+		if i > 2000 {
+			t.Fatal("holder request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := tryPostJSON(ts.URL+"/offer", Offer{Assignment: 0, Key: "shed-me", Weight: 1})
+	if err == nil {
+		t.Fatalf("offer admitted past MaxInflight: %v", resp)
+	}
+	if !strings.Contains(err.Error(), "429") && !strings.Contains(fmt.Sprint(resp), "saturated") {
+		t.Fatalf("shed response: %v / %v", err, resp)
+	}
+	// Direct check for the status code and Retry-After header.
+	httpResp, err := http.Post(ts.URL+"/offer", "application/json", strings.NewReader(`{"assignment":0,"key":"x","weight":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	_, _ = io.Copy(io.Discard, httpResp.Body)
+	if httpResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status %d, want 429", httpResp.StatusCode)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	pw.Close()
+	wg.Wait()
+	if err := <-holderErr; err != nil {
+		t.Fatalf("held ingest stream failed: %v", err)
+	}
+	if s.sheds.Value() < 2 {
+		t.Fatalf("cws.sheds = %d, want >= 2", s.sheds.Value())
+	}
+	// The slot is free again: the next request is admitted.
+	if _, err := tryPostJSON(ts.URL+"/offer", Offer{Assignment: 0, Key: "after", Weight: 1}); err != nil {
+		t.Fatalf("offer after release: %v", err)
+	}
+}
+
+// TestQueryTimeoutReturns503: a query exceeding QueryTimeout is cut off
+// with 503 by the per-query deadline, and a generous deadline leaves
+// normal queries untouched.
+func TestQueryTimeoutReturns503(t *testing.T) {
+	cfg := robustCfg()
+	cfg.QueryTimeout = time.Nanosecond // every query exceeds it
+	_, ts := newTestServer(t, cfg)
+	resp, err := http.Get(ts.URL + "/query?agg=total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+
+	cfg2 := robustCfg()
+	cfg2.QueryTimeout = 30 * time.Second // generous: queries answer normally
+	_, ts2 := newTestServer(t, cfg2)
+	resp2, err := http.Get(ts2.URL + "/query?agg=total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	_, _ = io.Copy(io.Discard, resp2.Body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 under a generous deadline", resp2.StatusCode)
+	}
+}
+
+// TestSlowlorisDisconnected is the regression test for the hardened
+// http.Server: a client that dribbles an incomplete header must be
+// disconnected by ReadHeaderTimeout instead of pinning a server goroutine
+// forever — and the hardened defaults must all be set.
+func TestSlowlorisDisconnected(t *testing.T) {
+	s, err := New(robustCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := NewHTTPServer("127.0.0.1:0", s)
+	if hs.ReadHeaderTimeout <= 0 || hs.ReadTimeout <= 0 || hs.IdleTimeout <= 0 {
+		t.Fatalf("hardened server leaves a timeout unset: %+v", hs)
+	}
+	hs.ReadHeaderTimeout = 200 * time.Millisecond // scaled down for the test
+	ln, err := net.Listen("tcp", hs.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Dribble a partial request line and never finish the headers.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		// A 408 response body also proves the server cut us off; EOF is the
+		// bare disconnect. Either way the read must not hit our deadline.
+		_, err = io.Copy(io.Discard, conn)
+		if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+			t.Fatal("server kept the slow connection past ReadHeaderTimeout")
+		}
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server kept the slow connection past ReadHeaderTimeout")
+	}
+}
+
+// TestSketchesSegmentEndpoint: GET /sketches returns one decodable,
+// fingerprint-verified segment carrying every assignment's cumulative
+// sketch and the snapshot epoch header — bit-identical to the snapshot's
+// sketches.
+func TestSketchesSegmentEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, robustCfg())
+	for _, o := range testStream(300, 3) {
+		postJSON(t, ts.URL+"/offer", o)
+	}
+	postJSON(t, ts.URL+"/freeze", nil)
+
+	resp, err := http.Get(ts.URL + "/sketches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-CWS-Epoch"); got != "1" {
+		t.Fatalf("X-CWS-Epoch = %q, want 1", got)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := sketch.DecodeSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.snap.Load()
+	if len(decoded) != len(snap.sketches) {
+		t.Fatalf("%d sketches, want %d", len(decoded), len(snap.sketches))
+	}
+	for b, d := range decoded {
+		want := snap.sketches[b]
+		if d.BottomK == nil || d.BottomK.Fingerprint() != want.Fingerprint() || d.BottomK.Size() != want.Size() {
+			t.Fatalf("sketch %d differs from the snapshot", b)
+		}
+		for i, e := range want.Entries() {
+			if d.BottomK.Entries()[i] != e {
+				t.Fatalf("sketch %d entry %d differs", b, i)
+			}
+		}
+	}
+}
+
+// TestSketchesFaultInjection: the /sketches fault point's torn response is
+// caught by segment validation as a typed error (never a silently short
+// sketch set), err returns 500, and drop severs the connection.
+func TestSketchesFaultInjection(t *testing.T) {
+	cfg := robustCfg()
+	cfg.Faults = faults.MustParse(FaultSketches + ":torn,on=1")
+	_, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "k", Weight: 1})
+	postJSON(t, ts.URL+"/freeze", nil)
+
+	resp, err := http.Get(ts.URL + "/sketches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading torn body: %v (the tear must be a clean short body, not a transport error)", err)
+	}
+	if _, err := sketch.DecodeSegment(data); err == nil {
+		t.Fatal("torn segment decoded without error")
+	}
+	// Hit 2: the fault no longer fires; the same URL now round-trips.
+	resp2, err := http.Get(ts.URL + "/sketches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sketch.DecodeSegment(data2); err != nil {
+		t.Fatalf("clean fetch failed to decode: %v", err)
+	}
+
+	cfgErr := robustCfg()
+	cfgErr.Faults = faults.MustParse(FaultSketches + ":err")
+	_, tsErr := newTestServer(t, cfgErr)
+	respErr, err := http.Get(tsErr.URL + "/sketches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respErr.Body.Close()
+	_, _ = io.Copy(io.Discard, respErr.Body)
+	if respErr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("err fault: status %d, want 500", respErr.StatusCode)
+	}
+
+	cfgDrop := robustCfg()
+	cfgDrop.Faults = faults.MustParse(FaultSketches + ":drop")
+	_, tsDrop := newTestServer(t, cfgDrop)
+	respDrop, err := http.Get(tsDrop.URL + "/sketches")
+	if err == nil {
+		// The abort may surface as an error on Do or mid-body; both count.
+		_, rerr := io.ReadAll(respDrop.Body)
+		respDrop.Body.Close()
+		if rerr == nil {
+			t.Fatal("dropped response arrived intact")
+		}
+	}
+}
+
+// TestFreezeFaultInjection: an injected freeze failure surfaces as 500,
+// leaves the serving snapshot unchanged, and the next freeze succeeds
+// (the poisoned epoch's offers are discarded, like every failed freeze).
+func TestFreezeFaultInjection(t *testing.T) {
+	cfg := robustCfg()
+	cfg.Faults = faults.MustParse(FaultFreeze + ":err,on=1")
+	s, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "k1", Weight: 1})
+
+	_, err := tryPostJSON(ts.URL+"/freeze", nil)
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("injected freeze failure: %v", err)
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("failed freeze published epoch %d", s.Epoch())
+	}
+	postJSON(t, ts.URL+"/offer", Offer{Assignment: 0, Key: "k2", Weight: 1})
+	out := postJSON(t, ts.URL+"/freeze", nil)
+	if out["epoch"].(float64) != 1 {
+		t.Fatalf("recovery freeze: %v", out)
+	}
+}
+
+// TestOwnsKeyGuardRejectsMisroutedKeys: with the cluster partition guard
+// installed, every ingest framing rejects keys the node does not own, and
+// owned keys pass.
+func TestOwnsKeyGuardRejectsMisroutedKeys(t *testing.T) {
+	cfg := robustCfg()
+	cfg.OwnsKey = func(key string) bool { return strings.HasPrefix(key, "mine-") }
+	_, ts := newTestServer(t, cfg)
+
+	if _, err := tryPostJSON(ts.URL+"/offer", Offer{Assignment: 0, Key: "mine-1", Weight: 1}); err != nil {
+		t.Fatalf("owned key rejected: %v", err)
+	}
+	if _, err := tryPostJSON(ts.URL+"/offer", Offer{Assignment: 0, Key: "theirs-1", Weight: 1}); err == nil {
+		t.Fatal("misrouted key accepted by /offer")
+	}
+
+	// NDJSON framing.
+	resp, err := http.Post(ts.URL+"/ingest", "application/json",
+		strings.NewReader(`{"assignment":0,"key":"theirs-2","weight":1}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("NDJSON misroute: status %d, want 400", resp.StatusCode)
+	}
+
+	// Binary framing.
+	var body []byte
+	body = AppendBinaryOffer(body, 0, "theirs-3", 1)
+	resp, err = http.Post(ts.URL+"/ingest", ContentTypeBinaryIngest, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("binary misroute: status %d, want 400", resp.StatusCode)
+	}
+	var owned []byte
+	owned = AppendBinaryOffer(owned, 0, "mine-2", 1)
+	resp, err = http.Post(ts.URL+"/ingest", ContentTypeBinaryIngest, bytes.NewReader(owned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owned binary key: status %d", resp.StatusCode)
+	}
+}

@@ -92,15 +92,19 @@
 //
 // # Endpoints
 //
-//	POST /offer        ingest one offer or a batch (JSON)
-//	POST /ingest       ingest a stream of offers (NDJSON or binary)
-//	POST /freeze       advance the epoch: freeze, persist, merge, swap
-//	GET  /query        answer an aggregate from the frozen snapshot
-//	                   (?epochs=lo..hi restricts to a retained time window)
-//	GET  /sketch       export a frozen sketch in the wire codec
-//	                   (?epochs=lo..hi exports the merged window sketch)
-//	GET  /healthz      liveness + epoch + retained window
-//	GET  /debug/vars   expvar-style counters (offers, queries, epoch, ...)
+//	POST /offer          ingest one offer or a batch (JSON)
+//	POST /ingest         ingest a stream of offers (NDJSON or binary)
+//	POST /freeze         advance the epoch: freeze, persist, merge, swap
+//	GET  /query          answer an aggregate from the frozen snapshot
+//	                     (?epochs=lo..hi restricts to a retained time window)
+//	GET  /sketch         export a frozen sketch in the wire codec
+//	                     (?epochs=lo..hi exports the merged window sketch)
+//	GET  /sketches       export every assignment's sketch as one segment
+//	                     (the cluster router's peer bulk-fetch RPC)
+//	GET  /healthz        liveness + epoch + retained window
+//	GET  /healthz/live   liveness only: the process is up
+//	GET  /healthz/ready  readiness: 503 while draining or closed
+//	GET  /debug/vars     expvar-style counters (offers, queries, epoch, ...)
 //
 // Query dispatch goes through internal/cliquery, the same path cws-sketch
 // and cws-merge use, so a query answered by the server is bit-identical to
@@ -123,15 +127,14 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"coordsample/internal/cliquery"
 	"coordsample/internal/core"
-	"coordsample/internal/dataset"
 	"coordsample/internal/estimate"
+	"coordsample/internal/faults"
 	"coordsample/internal/rank"
 	"coordsample/internal/shard"
 	"coordsample/internal/sketch"
@@ -169,7 +172,42 @@ type Config struct {
 	// epoch-range queries when no store is attached (with a store, the
 	// store's own retention governs and this field is ignored).
 	Retain int
+	// Faults injects failures at the serving layer's fault points (the
+	// freeze path and the /sketches peer endpoint — see FaultFreeze and
+	// FaultSketches); nil, the production state, injects nothing.
+	Faults *faults.Set
+	// MaxInflight, when > 0, bounds the ingest requests (/offer and
+	// /ingest) served concurrently: excess requests are shed with 429 +
+	// Retry-After instead of queueing on the lanes until latency
+	// collapses. ≤ 0 disables shedding.
+	MaxInflight int
+	// QueryTimeout, when > 0, bounds one /query evaluation via
+	// http.TimeoutHandler (the request context is cancelled and the
+	// client gets 503). ≤ 0 leaves queries unbounded.
+	QueryTimeout time.Duration
+	// OwnsKey, when non-nil, is the cluster partition guard: ingest
+	// rejects records whose key the hook refuses, so a misrouted client
+	// cannot break the disjoint-key-sets invariant the exact
+	// scatter-gather merge rests on.
+	OwnsKey func(key string) bool
 }
+
+// The serving layer's injectable fault points.
+const (
+	// FaultFreeze fires inside freeze after the epoch is detached (new
+	// offers already stream into the next epoch) and before it is
+	// frozen, persisted, or published: "latency" deterministically
+	// widens the mid-freeze window — the chaos harness SIGKILLs a peer
+	// inside it — and "err" fails the freeze as an unacknowledged
+	// persist failure (500; the serving snapshot is unchanged).
+	FaultFreeze = "server.freeze"
+	// FaultSketches fires in GET /sketches, the peer bulk-fetch RPC:
+	// "err" → 500, "torn" truncates the segment body (the router's
+	// decode must refuse it with a typed error), "drop" severs the
+	// connection without a response, "latency" delays it (straggler
+	// simulation — the router's hedge and retry food).
+	FaultSketches = "server.sketches"
+)
 
 // check validates user-supplied configuration without panicking.
 func (c Config) check() error {
@@ -357,8 +395,10 @@ type Server struct {
 
 	dirty    atomic.Bool   // offers accepted since the last freeze
 	closed   atomic.Bool   // Close was called; ingestion is shut down (set under ingestMu)
+	draining atomic.Bool   // SetDraining: readiness false ahead of shutdown
 	epochNow atomic.Int64  // s.epoch mirrored for lock-free reads on the ingest path
 	laneRR   atomic.Uint32 // round-robin lane assignment for producer requests
+	inflight atomic.Int64  // concurrently served ingest requests (shedding bound)
 
 	store *store.Store // nil = memory-only
 
@@ -383,6 +423,8 @@ type Server struct {
 	freezes          expvar.Int
 	freezeErrors     expvar.Int
 	sketchExports    expvar.Int
+	segmentExports   expvar.Int
+	sheds            expvar.Int
 	persists         expvar.Int
 	persistErrors    expvar.Int
 	compactionErrors expvar.Int
@@ -430,11 +472,37 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/offer", s.handleOffer)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/freeze", s.handleFreeze)
-	s.mux.HandleFunc("/query", s.handleQuery)
+	query := http.Handler(http.HandlerFunc(s.handleQuery))
+	if cfg.QueryTimeout > 0 {
+		// TimeoutHandler cancels the request context at the deadline and
+		// answers 503 — the per-query deadline of the hardened server.
+		query = http.TimeoutHandler(query, cfg.QueryTimeout, `{"error":"query deadline exceeded"}`)
+	}
+	s.mux.Handle("/query", query)
 	s.mux.HandleFunc("/sketch", s.handleSketch)
+	s.mux.HandleFunc("/sketches", s.handleSketches)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/healthz/live", s.handleLive)
+	s.mux.HandleFunc("/healthz/ready", s.handleReady)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
 	return s, nil
+}
+
+// NewHTTPServer wraps a handler in an http.Server hardened against slow
+// and idle clients: without these timeouts a handful of dribbling
+// connections (Slowloris) can pin every server goroutine forever.
+// ReadHeaderTimeout bounds the header dribble; ReadTimeout is generous
+// because streaming /ingest bodies are legitimately long-lived;
+// IdleTimeout reclaims parked keep-alive connections. Per-query deadlines
+// are Config.QueryTimeout's job, not the connection timeouts'.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // laneSlot is one ingest lane of the current epoch: a hash-once
@@ -551,6 +619,31 @@ func (s *Server) Shutdown() error {
 	return err
 }
 
+// SetDraining flips the server's readiness (GET /healthz/ready): a
+// draining server still answers every request, but load balancers and
+// cluster peers probing readiness stop routing new work to it. cws-serve
+// sets it on SIGTERM, ahead of the connection drain and final freeze.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// admitIngest applies the overload-shedding bound to one ingest request.
+// When MaxInflight is exceeded the request is shed with 429 + Retry-After
+// — an explicit, immediately retryable refusal instead of queueing on the
+// lanes until every client's latency collapses. The returned release must
+// be called when an admitted request finishes.
+func (s *Server) admitIngest(w http.ResponseWriter) (release func(), ok bool) {
+	if s.cfg.MaxInflight <= 0 {
+		return func() {}, true
+	}
+	if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.sheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest saturated (%d requests in flight); retry after backoff", s.cfg.MaxInflight)
+		return nil, false
+	}
+	return func() { s.inflight.Add(-1) }, true
+}
+
 // --- ingestion ---
 
 // Offer is one weighted observation of one assignment, as carried by
@@ -580,6 +673,11 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	release, ok := s.admitIngest(w)
+	if !ok {
+		return
+	}
+	defer release()
 	var req offerRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxOfferBody))
 	if err := dec.Decode(&req); err != nil {
@@ -612,6 +710,10 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 		}
 		if math.IsNaN(o.Weight) || math.IsInf(o.Weight, 0) || o.Weight < 0 {
 			writeError(w, http.StatusBadRequest, "offer %d: invalid weight %v", i, o.Weight)
+			return
+		}
+		if s.cfg.OwnsKey != nil && !s.cfg.OwnsKey(o.Key) {
+			writeError(w, http.StatusBadRequest, "offer %d: key %q is not owned by this node (misrouted; check the cluster partition)", i, o.Key)
 			return
 		}
 	}
@@ -779,6 +881,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	release, ok := s.admitIngest(w)
+	if !ok {
+		return
+	}
+	defer release()
 	st := s.newIngestState()
 	defer st.release()
 	var err error
@@ -846,6 +953,9 @@ func (s *Server) ingestNDJSON(st *ingestState, r *http.Request, w http.ResponseW
 		if err := s.checkOffer(n, o.Assignment, o.Key, o.Weight); err != nil {
 			return err
 		}
+		if s.cfg.OwnsKey != nil && !s.cfg.OwnsKey(o.Key) {
+			return fmt.Errorf("record %d: key %q is not owned by this node (misrouted; check the cluster partition)", n, o.Key)
+		}
 		if o.Weight == 0 {
 			continue
 		}
@@ -903,7 +1013,11 @@ func (s *Server) ingestBinary(st *ingestState, r *http.Request) error {
 			continue
 		}
 		//cws:allow-alloc the one deliberate allocation per accepted record: the sketch layer retains sampled keys, so they must not alias the reused buffer
-		if err := st.add(int(assignment), string(keyBuf), weight); err != nil {
+		key := string(keyBuf)
+		if s.cfg.OwnsKey != nil && !s.cfg.OwnsKey(key) {
+			return fmt.Errorf("record %d: key %q is not owned by this node (misrouted; check the cluster partition)", n, key)
+		}
+		if err := st.add(int(assignment), key, weight); err != nil {
 			return err
 		}
 	}
@@ -994,6 +1108,13 @@ func (s *Server) freeze() (*snapshot, error) {
 	s.ingest = newEpochIngest(s.cfg)
 	s.dirty.Store(false)
 	s.ingestMu.Unlock()
+	if out := s.cfg.Faults.Act(FaultFreeze); out.Err != nil {
+		// An injected freeze failure behaves like a persist failure: the
+		// epoch was never acknowledged, the serving snapshot is unchanged.
+		// (A latency-only point has already slept inside Act, widening the
+		// detached-but-unpublished window the chaos harness kills into.)
+		return nil, &persistError{err: out.Err}
+	}
 	epochSketches, merged, err := freezeAndMerge(old.ms, s.cum)
 	if err != nil {
 		return nil, err
@@ -1082,47 +1203,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	q := r.URL.Query()
-	agg := q.Get("agg")
-	if agg == "" {
-		writeError(w, http.StatusBadRequest, "missing agg parameter (want one of %s)", cliquery.Queries)
-		return
-	}
-	b, err := intParam(q.Get("b"), 0)
+	// The parameter grammar is shared with the cluster router (the ?est=
+	// estimator family name is folded into the memo keys by
+	// cliquery.AnswerVia, so the snapshot caches never alias across
+	// estimators).
+	p, err := cliquery.ParseHTTPParams(r.URL.Query(), s.cfg.Assignments)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad b parameter: %v", err)
-		return
-	}
-	l, err := intParam(q.Get("l"), 1)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad l parameter: %v", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	snap := s.snap.Load()
-	R, err := cliquery.ParseR(q.Get("R"), snap.summary.NumAssignments())
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad R parameter: %v", err)
-		return
-	}
-	var pred dataset.Pred
-	if prefix := q.Get("prefix"); prefix != "" {
-		pred = func(key string) bool { return strings.HasPrefix(key, prefix) }
-	}
-	// ?est= selects the estimator family (default "aw"); unknown names are
-	// a client error. The family name is folded into the memo keys by
-	// cliquery.AnswerVia, so the snapshot caches never alias across
-	// estimators.
-	est, err := estimate.ParseEstimator(q.Get("est"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad est parameter: %v", err)
-		return
-	}
 	// Default: the cumulative snapshot (all epochs). ?epochs=lo..hi
 	// answers over exactly that retained time window instead.
 	summary, via := snap.summary, cliquery.SummaryBuilder(snap.summaryFor)
-	resp := map[string]any{"agg": agg, "epoch": snap.epoch}
-	if eq := q.Get("epochs"); eq != "" {
-		lo, hi, err := cliquery.ParseEpochRange(eq)
+	resp := map[string]any{"agg": p.Agg, "epoch": snap.epoch}
+	if p.Epochs != "" {
+		lo, hi, err := cliquery.ParseEpochRange(p.Epochs)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad epochs parameter: %v", err)
 			return
@@ -1136,13 +1232,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp["epochs"] = fmt.Sprintf("%d..%d", lo, hi)
 		s.rangeQueries.Add(1)
 	}
-	label, v, stderr, err := cliquery.AnswerVia(summary, agg, b, R, l, pred, est, via)
+	label, v, stderr, err := cliquery.AnswerVia(summary, p.Agg, p.B, p.R, p.L, p.Pred, p.Est, via)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.queries.Add(1)
-	if est.Name() == estimate.DiscardedEstimator.Name() {
+	if p.Est.Name() == estimate.DiscardedEstimator.Name() {
 		s.queriesDiscarded.Add(1)
 	} else {
 		s.queriesAW.Add(1)
@@ -1150,7 +1246,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// The estimate travels as a JSON number; encoding/json emits the
 	// shortest representation that parses back to the identical float64,
 	// so the bit-identity guarantee survives the HTTP boundary.
-	resp["label"], resp["estimate"], resp["estimator"] = label, v, est.Name()
+	resp["label"], resp["estimate"], resp["estimator"] = label, v, p.Est.Name()
 	// stderr is NaN for ratio queries (jaccard), which JSON cannot carry —
 	// the field is simply omitted there.
 	if !math.IsNaN(stderr) {
@@ -1224,6 +1320,66 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	s.sketchExports.Add(1)
 }
 
+// handleSketches is the peer bulk-fetch RPC of the cluster layer: every
+// assignment's cumulative sketch (or the ?epochs=lo..hi window's) as one
+// multi-sketch segment — the same self-describing, CRC-closed framing the
+// durable store persists — with the snapshot epoch in X-CWS-Epoch. The
+// scatter-gather router decodes, checksums, and fingerprint-verifies the
+// segment before merging, so a torn or corrupted response surfaces as a
+// typed decode error, never as a silently wrong estimate.
+func (s *Server) handleSketches(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	out := s.cfg.Faults.Act(FaultSketches)
+	if out.Drop {
+		// Sever the connection without a response: the fetch side sees a
+		// transport error mid-read — the retry path's food.
+		panic(http.ErrAbortHandler)
+	}
+	if out.Err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", out.Err)
+		return
+	}
+	snap := s.snap.Load()
+	exported, epoch := snap.sketches, snap.epoch
+	if eq := r.URL.Query().Get("epochs"); eq != "" {
+		lo, hi, err := cliquery.ParseEpochRange(eq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad epochs parameter: %v", err)
+			return
+		}
+		rs, err := snap.rangeFor(s.cfg.Sample, lo, hi)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		exported = rs.sketches
+	}
+	metas := make([]sketch.WireMeta, len(exported))
+	for b := range metas {
+		metas[b] = sketch.WireMeta{Family: s.cfg.Sample.Family, Mode: s.cfg.Sample.Mode, Seed: s.cfg.Sample.Seed, Assignment: b}
+	}
+	var buf bytes.Buffer
+	if _, err := sketch.EncodeSegment(&buf, metas, exported); err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding segment: %v", err)
+		return
+	}
+	data := buf.Bytes()
+	if out.Torn {
+		// A torn response with a self-consistent Content-Length: the bytes
+		// arrive "successfully" and the corruption must be caught by the
+		// router's segment validation, not by the transport.
+		data = faults.Tear(data)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("X-CWS-Epoch", strconv.Itoa(epoch))
+	_, _ = w.Write(data)
+	s.segmentExports.Add(1)
+}
+
 // --- health and counters ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -1240,6 +1396,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["retained_epochs"] = fmt.Sprintf("%d..%d", snap.retained[0].epoch, snap.retained[len(snap.retained)-1].epoch)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLive is pure liveness: the process is up and serving HTTP. It
+// stays 200 through drain and even after Close — a live-but-not-ready
+// server still answers queries from its last snapshot.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "alive"})
+}
+
+// handleReady is readiness: whether new work should be routed here. False
+// (503) while draining toward shutdown or after Close — the signal load
+// balancers and the cluster health-checker act on. (Store recovery runs
+// inside New, so a listening server is by construction past it.)
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if s.draining.Load() || s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "epoch": snap.epoch})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "epoch": snap.epoch})
 }
 
 // handleVars serves the counters in the standard expvar JSON shape. The
@@ -1268,6 +1444,8 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "%q: %s,\n", "cws.freezes", s.freezes.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.freeze_errors", s.freezeErrors.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.sketch_exports", s.sketchExports.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.segment_exports", s.segmentExports.String())
+	fmt.Fprintf(w, "%q: %s,\n", "cws.sheds", s.sheds.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.store_persists", s.persists.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.store_persist_errors", s.persistErrors.String())
 	fmt.Fprintf(w, "%q: %s,\n", "cws.store_compaction_errors", s.compactionErrors.String())

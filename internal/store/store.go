@@ -89,6 +89,7 @@ import (
 	"syscall"
 
 	"coordsample/internal/core"
+	"coordsample/internal/faults"
 	"coordsample/internal/sketch"
 )
 
@@ -117,7 +118,36 @@ type Config struct {
 	// holds (the sketches are still fully self-validated).
 	Sample      core.Config
 	Assignments int
+	// Faults injects failures at the store's durability points (see the
+	// fault-point names below); nil — the production state — injects
+	// nothing.
+	Faults *faults.Set
 }
+
+// The store's injectable fault points. Each fires once per AppendEpoch
+// (or per compaction, for the segment points — compaction writes a
+// cumulative segment through the same path).
+const (
+	// FaultSegmentWrite covers writing a segment's bytes to its temp
+	// file: "err" simulates ENOSPC (the append fails, the epoch is never
+	// acknowledged); "torn" silently truncates the written bytes while
+	// reporting success — the manifest then acknowledges a size the file
+	// does not have, which recovery must refuse as a *CorruptError.
+	FaultSegmentWrite = "store.segment-write"
+	// FaultSegmentFsync covers fsyncing the segment temp file ("err"
+	// only).
+	FaultSegmentFsync = "store.segment-fsync"
+	// FaultManifestAppend covers appending an epoch's manifest line:
+	// "err" fails the append (setting the store's broken flag — further
+	// appends are refused until reopen); "err,torn" additionally leaves
+	// half the line in the file first, the partial bytes a real short
+	// write strands, which reopen must heal as a torn tail.
+	FaultManifestAppend = "store.manifest-append"
+	// FaultManifestFsync covers fsyncing the manifest after a successful
+	// append ("err" only; also sets broken — the line may or may not be
+	// durable, so the epoch must not be treated as acknowledged).
+	FaultManifestFsync = "store.manifest-fsync"
+)
 
 // CorruptError reports acknowledged store state that cannot be trusted: a
 // corrupt manifest line that is not a torn tail, or a referenced segment
@@ -198,6 +228,7 @@ type Store struct {
 	lock     *os.File          // flock-held LOCK file on writable stores
 	broken   bool              // a manifest append failed; appends refused until reopen
 	bytes    int64             // total bytes of referenced segment files
+	faults   *faults.Set       // injectable durability faults (nil in production)
 }
 
 // Open opens (creating, when writable and absent) the store at cfg.Dir and
@@ -205,7 +236,7 @@ type Store struct {
 // distinction and the package documentation for the recovery guarantees.
 func Open(cfg Config) (*Store, error) {
 	writable := cfg.Assignments != 0 || cfg.Sample != (core.Config{})
-	s := &Store{dir: cfg.Dir, retain: cfg.Retain, writable: writable}
+	s := &Store{dir: cfg.Dir, retain: cfg.Retain, writable: writable, faults: cfg.Faults}
 	if writable {
 		if err := cfg.Sample.Check(); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -460,6 +491,17 @@ func (s *Store) AppendEpoch(sketches []*sketch.BottomK) (int, error) {
 		return 0, err
 	}
 	line := manifestLine('E', epoch, name, buf.Len(), crc, fingerprints(sketches))
+	if out := s.faults.Act(FaultManifestAppend); out.Err != nil {
+		// Simulate a failed append; with "torn" it is a short write that
+		// stranded half the line in the file, exactly what a real partial
+		// WriteString leaves behind.
+		if out.Torn {
+			_, _ = s.manifest.WriteString(string(faults.Tear([]byte(line))))
+			_ = s.manifest.Sync()
+		}
+		s.broken = true
+		return 0, fmt.Errorf("store: appending manifest: %w", out.Err)
+	}
 	if _, err := s.manifest.WriteString(line); err != nil {
 		// The file may now hold a partial line; a further append would
 		// concatenate onto the junk and corrupt the record that follows.
@@ -467,6 +509,10 @@ func (s *Store) AppendEpoch(sketches []*sketch.BottomK) (int, error) {
 		// offset.
 		s.broken = true
 		return 0, fmt.Errorf("store: appending manifest: %w", err)
+	}
+	if out := s.faults.Act(FaultManifestFsync); out.Err != nil {
+		s.broken = true
+		return 0, fmt.Errorf("store: syncing manifest: %w", out.Err)
 	}
 	if err := s.manifest.Sync(); err != nil {
 		s.broken = true
@@ -594,6 +640,18 @@ func (s *Store) removeSegment(name string) {
 // fsync → rename → fsync(dir): after it returns, the file is durable under
 // its final name; a crash mid-call leaves at worst a *.tmp orphan.
 func (s *Store) writeFileDurably(name string, data []byte) error {
+	isSegment := strings.HasSuffix(name, ".seg")
+	if isSegment {
+		out := s.faults.Act(FaultSegmentWrite)
+		if out.Err != nil {
+			return fmt.Errorf("store: writing %s: %w", name, out.Err)
+		}
+		if out.Torn {
+			// A torn write that lies about success: the durable file holds
+			// half the bytes the manifest will acknowledge.
+			data = faults.Tear(data)
+		}
+	}
 	tmp, err := os.CreateTemp(s.dir, name+".tmp-")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -602,6 +660,12 @@ func (s *Store) writeFileDurably(name string, data []byte) error {
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: writing %s: %w", name, err)
+	}
+	if isSegment {
+		if out := s.faults.Act(FaultSegmentFsync); out.Err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: syncing %s: %w", name, out.Err)
+		}
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()

@@ -112,6 +112,38 @@ if [ -f internal/shard/parallel.go ]; then
     fi
 fi
 
+# --- 4c. cluster-layer docs exist ---
+# The scatter-gather cluster and the fault-injection substrate carry
+# user-facing semantics (degraded/coverage, -faults) that must not drift
+# from the docs: as long as the code exists, DESIGN.md must keep the
+# cluster and fault-injection sections, EXPERIMENTS.md must document the
+# cluster experiment, and README.md must show the -peers scale-out
+# quickstart.
+if [ -f internal/cluster/cluster.go ]; then
+    if ! grep -qi "scatter-gather cluster" DESIGN.md; then
+        echo "DESIGN.md: missing the scatter-gather cluster section for internal/cluster"
+        fail=1
+    fi
+    if ! grep -q "degraded" DESIGN.md || ! grep -q "coverage" DESIGN.md; then
+        echo "DESIGN.md: cluster section must document the degraded/coverage response semantics"
+        fail=1
+    fi
+    if ! grep -q '`cluster`' EXPERIMENTS.md; then
+        echo "EXPERIMENTS.md: missing the cluster experiment section"
+        fail=1
+    fi
+    if ! grep -q '\-peers' README.md; then
+        echo "README.md: missing the -peers scale-out quickstart"
+        fail=1
+    fi
+fi
+if [ -f internal/faults/faults.go ]; then
+    if ! grep -qi "fault injection" DESIGN.md; then
+        echo "DESIGN.md: missing the fault-injection section for internal/faults"
+        fail=1
+    fi
+fi
+
 # --- 5. doc examples are gofmt-clean ---
 examples=$(gofmt -l example_test.go 2>/dev/null)
 if [ -n "$examples" ]; then
