@@ -57,6 +57,16 @@
 //	curl 'localhost:7070/sketch?b=0' > site.0.cws      # feed to cws-merge
 //	curl localhost:7070/healthz/ready
 //	curl localhost:7070/debug/vars
+//	curl localhost:7070/metrics                        # Prometheus text format
+//	curl 'localhost:7070/query?agg=L1&trace=1'         # per-stage timing in the response
+//	curl localhost:7070/debug/traces                   # recent request traces
+//
+// GET /metrics exposes every layer's series — request/freeze/store latency
+// histograms, throughput counters, per-peer RPC and health series in
+// cluster mode, and fault-point hit/fire counters when -faults is set — in
+// the Prometheus text exposition format. Structured logs go to stderr
+// (-log-level, -log-format=text|json). -pprof additionally mounts the
+// net/http/pprof profiling endpoints under /debug/pprof/ (off by default).
 //
 //	# 3-node cluster (run one per host; same -peers everywhere):
 //	cws-serve -addr :7070 -peers a:7070,b:7070,c:7070 -self 0
@@ -78,9 +88,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -105,13 +115,29 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent ingest requests before shedding with 429 (0 = unbounded)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query evaluation deadline (0 = unbounded)")
 	faultSpec := flag.String("faults", "", "fault-injection spec for robustness testing (e.g. 'store.segment-write:err,on=3'); never set in production")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; profiling endpoints expose internals)")
 	flag.Parse()
+
+	logger, err := coordsample.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
+		os.Exit(2)
+	}
 
 	fset, err := coordsample.ParseFaults(*faultSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
 		os.Exit(2)
 	}
+
+	// One registry and one trace ring for the whole process: the server,
+	// the store, and the cluster router all publish into them, so a single
+	// GET /metrics scrape (and one /debug/traces ring) covers every layer.
+	reg := coordsample.NewMetricsRegistry()
+	traces := coordsample.NewTraceRing(256)
+
 	cfg := coordsample.ServerConfig{
 		Sample:       coordsample.Config{Family: coordsample.IPPS, Mode: coordsample.SharedSeed, Seed: *seed, K: *k},
 		Assignments:  *assignments,
@@ -122,6 +148,9 @@ func main() {
 		Faults:       fset,
 		MaxInflight:  *maxInflight,
 		QueryTimeout: *queryTimeout,
+		Metrics:      reg,
+		Traces:       traces,
+		Log:          logger,
 	}
 
 	// Cluster mode: this node owns the slice of the keyspace the routing
@@ -135,6 +164,9 @@ func main() {
 			Sample:      cfg.Sample,
 			Assignments: *assignments,
 			Faults:      fset,
+			Metrics:     reg,
+			Traces:      traces,
+			Log:         logger,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
@@ -148,6 +180,7 @@ func main() {
 	if *dataDir != "" {
 		st, err = coordsample.OpenStore(coordsample.StoreConfig{
 			Dir: *dataDir, Retain: *retain, Sample: cfg.Sample, Assignments: *assignments, Faults: fset,
+			Log: logger,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cws-serve: %v\n", err)
@@ -156,7 +189,7 @@ func main() {
 		defer st.Close()
 		cfg.Store = st
 		if st.Epoch() > 0 {
-			log.Printf("cws-serve: recovered %d epoch(s) from %s (%d bytes on disk)", st.Epoch(), *dataDir, st.DiskBytes())
+			logger.Info(fmt.Sprintf("recovered %d epoch(s) from %s (%d bytes on disk)", st.Epoch(), *dataDir, st.DiskBytes()))
 		}
 	}
 	srv, err := coordsample.NewServer(cfg)
@@ -165,14 +198,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	handler := http.Handler(srv)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
 	if router != nil {
-		mux := http.NewServeMux()
 		mux.Handle("/cluster/", router)
-		mux.Handle("/", srv)
-		handler = mux
 		router.Start()
 	}
+	if *pprofOn {
+		// Manual wiring instead of the package's DefaultServeMux side
+		// effect: profiling stays off this mux unless -pprof asked for it.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof profiling endpoints enabled at /debug/pprof/")
+	}
+	handler := http.Handler(mux)
 
 	// Listen before logging so the printed address carries the real port
 	// (":0" resolves to an ephemeral one — the e2e tests depend on it).
@@ -190,10 +232,10 @@ func main() {
 		mode = fmt.Sprintf("cluster member %d of %d", *self, len(strings.Split(*peers, ",")))
 	}
 	if fset != nil {
-		log.Printf("cws-serve: FAULT INJECTION ACTIVE at %v — this node will deliberately fail", fset.Points())
+		logger.Warn(fmt.Sprintf("FAULT INJECTION ACTIVE at %v — this node will deliberately fail", fset.Points()))
 	}
-	log.Printf("cws-serve: listening on %s (%d assignments, k=%d, seed=%d, %d shards/assignment, %s, %s)",
-		ln.Addr(), *assignments, *k, *seed, *shards, durability, mode)
+	logger.Info(fmt.Sprintf("listening on %s (%d assignments, k=%d, seed=%d, %d shards/assignment, %s, %s)",
+		ln.Addr(), *assignments, *k, *seed, *shards, durability, mode))
 
 	httpSrv := coordsample.NewHTTPServer(*addr, handler)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -204,23 +246,24 @@ func main() {
 		// Flip readiness first so load balancers and cluster peers stop
 		// routing here before in-flight requests are drained.
 		srv.SetDraining(true)
-		log.Printf("cws-serve: signal received; draining requests")
+		logger.Info("signal received; draining requests")
 		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
-			log.Printf("cws-serve: drain: %v", err)
+			logger.Warn(fmt.Sprintf("drain: %v", err))
 			httpSrv.Close()
 		}
 	}()
 
 	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("cws-serve: %v", err)
+		logger.Error(fmt.Sprintf("serve: %v", err))
+		os.Exit(1)
 	}
 	// Requests are drained: auto-freeze the open epoch (persisting it when
 	// durable) and release the ingestion workers.
 	if err := srv.Shutdown(); err != nil {
-		log.Printf("cws-serve: final freeze: %v", err)
+		logger.Error(fmt.Sprintf("final freeze: %v", err))
 		os.Exit(1)
 	}
-	log.Printf("cws-serve: shut down cleanly at epoch %d", srv.Epoch())
+	logger.Info(fmt.Sprintf("shut down cleanly at epoch %d", srv.Epoch()))
 }

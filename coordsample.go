@@ -59,6 +59,7 @@ package coordsample
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 
 	"coordsample/internal/cluster"
@@ -66,6 +67,7 @@ import (
 	"coordsample/internal/dataset"
 	"coordsample/internal/estimate"
 	"coordsample/internal/faults"
+	"coordsample/internal/obs"
 	"coordsample/internal/rank"
 	"coordsample/internal/server"
 	"coordsample/internal/shard"
@@ -466,6 +468,41 @@ func ParseFaults(spec string) (*FaultSet, error) {
 // shutdown.
 func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) {
 	return cluster.New(cfg)
+}
+
+// Observability layer: the metrics registry behind GET /metrics, the
+// request-trace ring behind GET /debug/traces, and the zero-allocation
+// latency histograms both are built on. One registry and one ring are
+// typically shared by every layer of a process (ServerConfig.Metrics/
+// Traces, ClusterConfig.Metrics/Traces), so a single scrape covers the
+// server, the store, and the cluster router.
+type (
+	// MetricsRegistry collects named series — counters, gauges, latency
+	// histograms — and renders them in the Prometheus text exposition
+	// format. It has no process-global state: two servers in one process
+	// get two registries.
+	MetricsRegistry = obs.Registry
+	// TraceRing retains the most recent per-request stage-timing traces.
+	TraceRing = obs.TraceRing
+	// LatencyHistogram is a fixed-size, lock-free, log-bucketed latency
+	// histogram; Record is zero-allocation and safe for any concurrency.
+	LatencyHistogram = obs.Histogram
+)
+
+// NewMetricsRegistry creates an empty metrics registry. Mount its Handler
+// (or pass it as ServerConfig.Metrics — the server mounts GET /metrics
+// itself).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceRing creates a ring retaining the last capacity request traces.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewTraceRing(capacity) }
+
+// NewLogger builds the structured logger cws-serve's -log-level and
+// -log-format flags configure: level is debug, info, warn, or error;
+// format is text or json. Components tag their records via the Log config
+// fields (ServerConfig.Log, StoreConfig.Log, ClusterConfig.Log).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
 }
 
 // NewHTTPServer wraps a handler in an http.Server hardened for the open

@@ -58,16 +58,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coordsample/internal/cliquery"
 	"coordsample/internal/core"
 	"coordsample/internal/faults"
+	"coordsample/internal/obs"
 	"coordsample/internal/shard"
 	"coordsample/internal/sketch"
 )
@@ -147,6 +150,19 @@ type Config struct {
 	Faults *faults.Set
 	// Client overrides the HTTP client (tests); nil builds a pooled one.
 	Client *http.Client
+	// Metrics, when non-nil, receives the router's per-peer series
+	// (RPC latency histograms, attempt/retry/hedge/transition counters,
+	// probe outcomes, state gauges). cws-serve shares the serving
+	// process's registry so one /metrics scrape covers both layers. Nil
+	// records into private histograms that are simply never scraped.
+	Metrics *obs.Registry
+	// Traces, when non-nil, is the ring recent /cluster/query traces are
+	// pushed into (shared with the server's /debug/traces in cws-serve).
+	Traces *obs.TraceRing
+	// Log, when non-nil, receives the router's structured log events
+	// (peer state transitions, degraded queries, freeze outcomes),
+	// tagged component=cluster. Nil discards them.
+	Log *slog.Logger
 }
 
 // withDefaults fills the zero values.
@@ -177,7 +193,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// peer is one cluster member's address and tracked health.
+// peer is one cluster member's address, tracked health, and per-peer RPC
+// metrics. The counters are typed atomics so the scatter goroutines, the
+// prober, and metric scrapes never contend on the health mutex.
 type peer struct {
 	addr string
 
@@ -186,13 +204,23 @@ type peer struct {
 	fails int // consecutive failures
 	oks   int // consecutive successes since the last failure
 	epoch int // last epoch observed from this peer
+
+	rpc         *obs.Histogram // per-RPC latency (fetch + hedge attempts)
+	attempts    atomic.Int64   // fetch attempts (retry loop iterations)
+	retries     atomic.Int64   // attempts beyond each fetch's first
+	hedges      atomic.Int64   // hedged second requests launched
+	hedgeWins   atomic.Int64   // fetches won by the hedged request
+	transitions atomic.Int64   // health state changes
+	probesOK    atomic.Int64   // readiness probes that passed
+	probesFail  atomic.Int64   // readiness probes that failed
 }
 
 // fail records one failed interaction; downAfter consecutive failures mark
-// the peer down.
-func (p *peer) fail(downAfter int) {
+// the peer down. Returns the transition for the caller to log.
+func (p *peer) fail(downAfter int) (from, to PeerState) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	from = p.state
 	p.fails++
 	p.oks = 0
 	if p.fails >= downAfter {
@@ -200,13 +228,19 @@ func (p *peer) fail(downAfter int) {
 	} else {
 		p.state = Degraded
 	}
+	if p.state != from {
+		p.transitions.Add(1)
+	}
+	return from, p.state
 }
 
 // ok records one successful interaction. A down peer re-enters through
-// Degraded probation; two consecutive successes restore Up.
-func (p *peer) ok(epoch int) {
+// Degraded probation; two consecutive successes restore Up. Returns the
+// transition for the caller to log.
+func (p *peer) ok(epoch int) (from, to PeerState) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	from = p.state
 	p.fails = 0
 	p.oks++
 	if epoch >= 0 {
@@ -215,13 +249,15 @@ func (p *peer) ok(epoch int) {
 	if p.state == Down {
 		p.state = Degraded
 		p.oks = 1
-		return
-	}
-	if p.oks >= 2 {
+	} else if p.oks >= 2 {
 		p.state = Up
 	} else if p.state != Up {
 		p.state = Degraded
 	}
+	if p.state != from {
+		p.transitions.Add(1)
+	}
+	return from, p.state
 }
 
 // status snapshots the peer's health.
@@ -236,9 +272,11 @@ func (p *peer) status() (PeerState, int, int) {
 // (it serves /cluster/query, /cluster/freeze, /cluster/health), and Close
 // it on shutdown.
 type Router struct {
-	cfg   Config
-	peers []*peer
-	mux   *http.ServeMux
+	cfg    Config
+	peers  []*peer
+	mux    *http.ServeMux
+	log    *slog.Logger
+	traces *obs.TraceRing
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -246,6 +284,22 @@ type Router struct {
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
+}
+
+// peerFail feeds one failure into a peer's health state and logs the
+// transition, if any.
+func (r *Router) peerFail(p *peer) {
+	if from, to := p.fail(r.cfg.DownAfter); from != to {
+		r.log.Warn("peer state changed", "peer", p.addr, "from", from.String(), "to", to.String())
+	}
+}
+
+// peerOK feeds one success into a peer's health state and logs the
+// transition, if any.
+func (r *Router) peerOK(p *peer, epoch int) {
+	if from, to := p.ok(epoch); from != to {
+		r.log.Info("peer state changed", "peer", p.addr, "from", from.String(), "to", to.String())
+	}
 }
 
 // New creates a Router over cfg.Peers.
@@ -265,12 +319,41 @@ func New(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	r := &Router{
 		cfg:    cfg,
+		log:    obs.Component(cfg.Log, "cluster"),
+		traces: cfg.Traces,
 		jitter: rand.New(rand.NewSource(cfg.Seed)),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	if r.traces == nil {
+		r.traces = obs.NewTraceRing(64)
+	}
 	for _, addr := range cfg.Peers {
-		r.peers = append(r.peers, &peer{addr: addr})
+		p := &peer{addr: addr, rpc: &obs.Histogram{}}
+		r.peers = append(r.peers, p)
+		if reg := cfg.Metrics; reg != nil {
+			p := p
+			l := obs.Label("peer", p.addr)
+			reg.RegisterHistogram("cws_peer_rpc_seconds",
+				"Peer sketch-fetch RPC latency, per attempt (hedges included).", l, p.rpc)
+			reg.CounterL("cws_peer_rpc_attempts_total", "Peer fetch attempts (retry-loop iterations).", l, p.attempts.Load)
+			reg.CounterL("cws_peer_rpc_retries_total", "Peer fetch attempts beyond each fetch's first.", l, p.retries.Load)
+			reg.CounterL("cws_peer_rpc_hedges_total", "Hedged second requests launched against the peer.", l, p.hedges.Load)
+			reg.CounterL("cws_peer_rpc_hedge_wins_total", "Peer fetches won by the hedged request.", l, p.hedgeWins.Load)
+			reg.CounterL("cws_peer_state_transitions_total", "Peer health state changes (up/degraded/down).", l, p.transitions.Load)
+			reg.CounterL("cws_peer_probes_total", "Readiness probe outcomes per peer.",
+				l+","+obs.Label("outcome", "ok"), p.probesOK.Load)
+			reg.CounterL("cws_peer_probes_total", "Readiness probe outcomes per peer.",
+				l+","+obs.Label("outcome", "fail"), p.probesFail.Load)
+			reg.GaugeL("cws_peer_state", "Peer health state: 0 up, 1 degraded, 2 down.", l, func() float64 {
+				state, _, _ := p.status()
+				return float64(state)
+			})
+			reg.GaugeL("cws_peer_epoch", "Last epoch observed from the peer.", l, func() float64 {
+				_, _, epoch := p.status()
+				return float64(epoch)
+			})
+		}
 	}
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("/cluster/query", r.handleQuery)
@@ -338,22 +421,26 @@ func (r *Router) probeAll() {
 			defer cancel()
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+p.addr+"/healthz/ready", nil)
 			if err != nil {
-				p.fail(r.cfg.DownAfter)
+				p.probesFail.Add(1)
+				r.peerFail(p)
 				return
 			}
 			resp, err := r.cfg.Client.Do(req)
 			if err != nil {
-				p.fail(r.cfg.DownAfter)
+				p.probesFail.Add(1)
+				r.peerFail(p)
 				return
 			}
 			defer resp.Body.Close()
 			_, _ = io.Copy(io.Discard, resp.Body)
 			if resp.StatusCode != http.StatusOK {
 				// Ready=false (draining) or an error: stop routing to it.
-				p.fail(r.cfg.DownAfter)
+				p.probesFail.Add(1)
+				r.peerFail(p)
 				return
 			}
-			p.ok(-1)
+			p.probesOK.Add(1)
+			r.peerOK(p, -1)
 		}(p)
 	}
 	wg.Wait()
@@ -448,19 +535,40 @@ func firstLine(b []byte) string {
 // the first has not answered after HedgeAfter, an identical request races
 // it and the first success wins. Hedging spends one extra request to cut
 // the tail latency a single slow peer imposes on every scatter.
-func (r *Router) fetchHedged(ctx context.Context, addr, epochs string) (*fetchResult, error) {
+func (r *Router) fetchHedged(ctx context.Context, tr *obs.Trace, p *peer, epochs string) (*fetchResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.PeerTimeout)
 	defer cancel()
+	rpcSpan := func(hedged bool) func() {
+		name := "peer " + p.addr + " fetch"
+		if hedged {
+			name = "peer " + p.addr + " hedge-fetch"
+		}
+		start := time.Now()
+		return func() {
+			d := time.Since(start)
+			p.rpc.Record(d)
+			tr.Add(name, start, d)
+		}
+	}
 	if r.cfg.HedgeAfter < 0 {
-		return r.fetchOnce(ctx, addr, epochs)
+		done := rpcSpan(false)
+		fr, err := r.fetchOnce(ctx, p.addr, epochs)
+		done()
+		return fr, err
 	}
 	type res struct {
-		fr  *fetchResult
-		err error
+		fr     *fetchResult
+		err    error
+		hedged bool
 	}
 	ch := make(chan res, 2)
-	launch := func() { fr, err := r.fetchOnce(ctx, addr, epochs); ch <- res{fr, err} }
-	go launch()
+	launch := func(hedged bool) {
+		done := rpcSpan(hedged)
+		fr, err := r.fetchOnce(ctx, p.addr, epochs)
+		done()
+		ch <- res{fr, err, hedged}
+	}
+	go launch(false)
 	hedge := time.NewTimer(r.cfg.HedgeAfter)
 	defer hedge.Stop()
 	launched := 1
@@ -470,11 +578,15 @@ func (r *Router) fetchHedged(ctx context.Context, addr, epochs string) (*fetchRe
 		case <-hedge.C:
 			if launched == 1 {
 				launched = 2
-				go launch()
+				p.hedges.Add(1)
+				go launch(true)
 			}
 		case out := <-ch:
 			got++
 			if out.err == nil {
+				if out.hedged {
+					p.hedgeWins.Add(1)
+				}
 				return out.fr, nil
 			}
 			if firstErr == nil {
@@ -489,26 +601,30 @@ func (r *Router) fetchHedged(ctx context.Context, addr, epochs string) (*fetchRe
 // per-attempt deadline, bounded retries with exponential backoff and
 // jitter, hedging within each attempt. Success and exhaustion both feed
 // the peer's health state.
-func (r *Router) fetch(ctx context.Context, p *peer, epochs string) (*fetchResult, error) {
+func (r *Router) fetch(ctx context.Context, tr *obs.Trace, p *peer, epochs string) (*fetchResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		p.attempts.Add(1)
 		if attempt > 0 {
+			p.retries.Add(1)
+			waitStart := time.Now()
 			select {
 			case <-ctx.Done():
 				lastErr = ctx.Err()
-				p.fail(r.cfg.DownAfter)
+				r.peerFail(p)
 				return nil, lastErr
 			case <-time.After(r.backoff(attempt - 1)):
 			}
+			tr.Add("peer "+p.addr+" backoff", waitStart, time.Since(waitStart))
 		}
-		fr, err := r.fetchHedged(ctx, p.addr, epochs)
+		fr, err := r.fetchHedged(ctx, tr, p, epochs)
 		if err == nil {
-			p.ok(fr.epoch)
+			r.peerOK(p, fr.epoch)
 			return fr, nil
 		}
 		lastErr = err
 	}
-	p.fail(r.cfg.DownAfter)
+	r.peerFail(p)
 	return nil, lastErr
 }
 
@@ -523,7 +639,7 @@ type peerReport struct {
 // scatter fetches from every non-down peer concurrently. It returns the
 // reached peers' results (indexed like cfg.Peers, nil where unreached) and
 // the per-peer reports.
-func (r *Router) scatter(ctx context.Context, epochs string) ([]*fetchResult, []peerReport) {
+func (r *Router) scatter(ctx context.Context, tr *obs.Trace, epochs string) ([]*fetchResult, []peerReport) {
 	results := make([]*fetchResult, len(r.peers))
 	reports := make([]peerReport, len(r.peers))
 	var wg sync.WaitGroup
@@ -537,7 +653,7 @@ func (r *Router) scatter(ctx context.Context, epochs string) ([]*fetchResult, []
 		wg.Add(1)
 		go func(i int, p *peer) {
 			defer wg.Done()
-			fr, err := r.fetch(ctx, p, epochs)
+			fr, err := r.fetch(ctx, tr, p, epochs)
 			state, _, epoch := p.status()
 			reports[i].State, reports[i].Epoch = state.String(), epoch
 			if err != nil {
@@ -583,12 +699,18 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	tr := obs.NewTrace(r.traces.NextID(), "cluster-query")
+	sp := tr.Start("parse")
 	p, err := cliquery.ParseHTTPParams(req.URL.Query(), r.cfg.Assignments)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	results, reports := r.scatter(req.Context(), p.Epochs)
+	tr.Op = "cluster-query agg=" + p.Agg + " est=" + p.Est.Name()
+	sp = tr.Start("scatter")
+	results, reports := r.scatter(req.Context(), tr, p.Epochs)
+	sp.End()
 	reached := 0
 	for _, fr := range results {
 		if fr != nil {
@@ -596,27 +718,37 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	if reached == 0 {
+		r.traces.Add(tr.Report())
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error": "no cluster peer reachable", "peers": reports,
 		})
 		return
 	}
+	sp = tr.Start("merge")
 	merged, err := r.merge(results)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
+	sp = tr.Start("summarize")
 	summary, err := core.CombineDispersed(r.cfg.Sample, merged)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "cluster: %v", err)
 		return
 	}
+	sp = tr.Start("estimate")
 	label, v, stderr, err := cliquery.AnswerVia(summary, p.Agg, p.B, p.R, p.L, p.Pred, p.Est, cliquery.Direct)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	total := len(r.peers)
+	if reached < total {
+		r.log.Warn("degraded cluster query", "agg", p.Agg, "reached", reached, "total", total)
+	}
 	resp := map[string]any{
 		"agg":       p.Agg,
 		"label":     label,
@@ -633,6 +765,11 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	}
 	if !isNaN(stderr) {
 		resp["stderr"] = stderr
+	}
+	rep := tr.Report()
+	r.traces.Add(rep)
+	if req.URL.Query().Get("trace") == "1" {
+		resp["trace"] = rep
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -676,8 +813,11 @@ func (r *Router) handleFreeze(w http.ResponseWriter, req *http.Request) {
 	}
 	published := len(failed) == 0
 	code := http.StatusOK
-	if !published {
+	if published {
+		r.log.Info("cluster freeze published", "peers", len(r.peers))
+	} else {
 		code = http.StatusBadGateway
+		r.log.Warn("cluster freeze degraded", "failed", failed)
 	}
 	writeJSON(w, code, map[string]any{
 		"published": published,
@@ -699,7 +839,7 @@ func (r *Router) freezeOne(ctx context.Context, p *peer) (out struct {
 }) {
 	if o := r.cfg.Faults.Act(FaultFreeze); o.Err != nil {
 		out.err = fmt.Errorf("cluster: freezing %s: %w", p.addr, o.Err)
-		p.fail(r.cfg.DownAfter)
+		r.peerFail(p)
 		return out
 	}
 	// Freezing (merge + fsync) legitimately outlasts a fetch deadline;
@@ -714,19 +854,19 @@ func (r *Router) freezeOne(ctx context.Context, p *peer) (out struct {
 	resp, err := r.cfg.Client.Do(req)
 	if err != nil {
 		out.err = fmt.Errorf("cluster: freezing %s: %w", p.addr, err)
-		p.fail(r.cfg.DownAfter)
+		r.peerFail(p)
 		return out
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		out.err = fmt.Errorf("cluster: freezing %s: %w", p.addr, err)
-		p.fail(r.cfg.DownAfter)
+		r.peerFail(p)
 		return out
 	}
 	if resp.StatusCode != http.StatusOK {
 		out.err = fmt.Errorf("cluster: %s freeze returned status %d: %s", p.addr, resp.StatusCode, firstLine(body))
-		p.fail(r.cfg.DownAfter)
+		r.peerFail(p)
 		return out
 	}
 	var fr struct {
@@ -734,10 +874,10 @@ func (r *Router) freezeOne(ctx context.Context, p *peer) (out struct {
 	}
 	if err := json.Unmarshal(body, &fr); err != nil {
 		out.err = fmt.Errorf("cluster: %s freeze response: %w", p.addr, err)
-		p.fail(r.cfg.DownAfter)
+		r.peerFail(p)
 		return out
 	}
-	p.ok(fr.Epoch)
+	r.peerOK(p, fr.Epoch)
 	out.epoch = fr.Epoch
 	return out
 }
@@ -779,7 +919,7 @@ func (r *Router) PeerStates() map[string]PeerState {
 func isNaN(f float64) bool { return f != f }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }

@@ -10,6 +10,7 @@ import (
 
 	"coordsample/internal/cluster"
 	"coordsample/internal/core"
+	"coordsample/internal/obs"
 	"coordsample/internal/rank"
 	"coordsample/internal/server"
 	"coordsample/internal/shard"
@@ -169,32 +170,50 @@ func runCluster(opts Options) Result {
 	t := Table{
 		Title: fmt.Sprintf("scatter-gather cluster, %d offers (%d keys × %d assignments) partitioned across %d peers, k=%d",
 			offered, ds.NumKeys(), numAsg, numPeers, k),
-		Columns: []string{"phase", "offers/s", "freeze", "reached", "coverage", "degraded", "identical"},
+		Columns: []string{"phase", "offers/s", "freeze", "q_p50", "q_p95", "q_p99", "reached", "coverage", "degraded", "identical"},
 	}
-	q := mustGetJSON(base + "/cluster/query?agg=L1")
-	t.AddRow(
+	// Each phase's scatter-gather query latency distribution, from the
+	// router's client side: repeated queries recorded into a histogram so
+	// the BENCH row carries percentiles rather than one sample.
+	const queryReps = 20
+	queryPhase := func(ref float64) (map[string]any, []string, bool) {
+		h := &obs.Histogram{}
+		var q map[string]any
+		identical := true
+		for i := 0; i < queryReps; i++ {
+			qs := time.Now()
+			q = mustGetJSON(base + "/cluster/query?agg=L1")
+			h.Record(time.Since(qs))
+			identical = identical && q["estimate"].(float64) == ref
+		}
+		return q, pctCols(h), identical
+	}
+	q, pct, identical := queryPhase(refFull)
+	row := []string{
 		"full strength",
-		fsci(float64(offered)/ingestElapsed.Seconds()),
+		fsci(float64(offered) / ingestElapsed.Seconds()),
 		freezeElapsed.String(),
+	}
+	row = append(row, pct...)
+	t.AddRow(append(row,
 		fmt.Sprintf("%.0f/%d", q["reached"].(float64), numPeers),
 		fmt.Sprintf("%.3f", q["coverage"].(float64)),
 		yesNo(q["degraded"] == true),
-		fmt.Sprintf("%v", q["estimate"].(float64) == refFull),
-	)
+		fmt.Sprintf("%v", identical),
+	)...)
 
 	// Kill the last peer and answer from the survivors: graceful
 	// degradation, with the estimate exact over the covered partitions.
 	peers[numPeers-1].kill()
-	q = mustGetJSON(base + "/cluster/query?agg=L1")
-	t.AddRow(
-		"1 peer killed",
-		"-",
-		"-",
+	q, pct, identical = queryPhase(refSurvivors)
+	row = []string{"1 peer killed", "-", "-"}
+	row = append(row, pct...)
+	t.AddRow(append(row,
 		fmt.Sprintf("%.0f/%d", q["reached"].(float64), numPeers),
 		fmt.Sprintf("%.3f", q["coverage"].(float64)),
 		yesNo(q["degraded"] == true),
-		fmt.Sprintf("%v", q["estimate"].(float64) == refSurvivors),
-	)
+		fmt.Sprintf("%v", identical),
+	)...)
 	return Result{Tables: []Table{t}}
 }
 

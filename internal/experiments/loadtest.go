@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"coordsample/internal/core"
+	"coordsample/internal/obs"
 	"coordsample/internal/rank"
 	"coordsample/internal/server"
 	"coordsample/internal/sketch"
@@ -107,7 +108,7 @@ func runLoadtest(opts Options) Result {
 	}
 	t := Table{
 		Title:   title,
-		Columns: []string{"conns", "offers/s", "MB/s", "sheds(429)", "freeze", "identical"},
+		Columns: []string{"conns", "offers/s", "MB/s", "req_p50", "req_p95", "req_p99", "sheds(429)", "freeze", "identical"},
 	}
 	for _, conns := range connsSweep {
 		t.AddRow(runLoadCell(opts, cfg, cols, offered, numAsg, conns, refL1)...)
@@ -163,6 +164,10 @@ func runLoadCell(opts Options, cfg core.Config, cols []ingestColumn, offered, nu
 	var wg sync.WaitGroup
 	errs := make([]error, conns)
 	sheds := make([]int, conns)
+	// One lock-free histogram shared by every client goroutine: the
+	// client-observed per-request ingest latency, sheds included (a shed
+	// round trip is latency the client paid).
+	reqHist := &obs.Histogram{}
 	start := time.Now()
 	for c := 0; c < conns; c++ {
 		wg.Add(1)
@@ -172,7 +177,9 @@ func runLoadCell(opts Options, cfg core.Config, cols []ingestColumn, offered, nu
 			rng := rand.New(rand.NewSource(int64(opts.Seed) + int64(c)))
 			for _, chunk := range chunks[c] {
 				for {
+					rs := time.Now()
 					resp, err := postChunk(client, base, chunk, opts.Overload)
+					reqHist.Record(time.Since(rs))
 					if err != nil {
 						errs[c] = err
 						return
@@ -234,14 +241,17 @@ func runLoadCell(opts Options, cfg core.Config, cols []ingestColumn, offered, nu
 		identical = fmt.Sprintf("%v", out.Estimate == refL1)
 	}
 
-	return []string{
+	row := []string{
 		fmt.Sprintf("%d", conns),
 		fsci(float64(offered) / elapsed.Seconds()),
 		fmt.Sprintf("%.1f", float64(totalBytes)/(1<<20)/elapsed.Seconds()),
+	}
+	row = append(row, pctCols(reqHist)...)
+	return append(row,
 		fmt.Sprintf("%d", totalSheds),
 		freeze,
 		identical,
-	}
+	)
 }
 
 // postChunk sends one pre-encoded chunk to /ingest. The normal mode posts

@@ -12,9 +12,22 @@ import (
 
 	"coordsample/internal/core"
 	"coordsample/internal/dataset"
+	"coordsample/internal/obs"
 	"coordsample/internal/rank"
 	"coordsample/internal/server"
 )
+
+// pctCols renders a latency histogram's p50/p95/p99 as table cells — the
+// percentile columns the serving-layer BENCH rows record instead of
+// mean-only timings.
+func pctCols(h *obs.Histogram) []string {
+	s := h.Snapshot()
+	return []string{
+		s.P50().Round(time.Microsecond).String(),
+		s.P95().Round(time.Microsecond).String(),
+		s.P99().Round(time.Microsecond).String(),
+	}
+}
 
 func init() {
 	register(Experiment{
@@ -129,7 +142,7 @@ func runServe(opts Options) Result {
 	t := Table{
 		Title: fmt.Sprintf("online serving, %d offers in %d-offer batches, %d keys × %d assignments, k=%d, %d workers/assignment",
 			offered, batchSize, ds.NumKeys(), ds.NumAssignments(), k, workers),
-		Columns: []string{"shards", "ingest", "offers/s", "freeze", "q_cold", "q_warm", "identical"},
+		Columns: []string{"shards", "ingest", "offers/s", "offer_p50", "offer_p99", "freeze", "q_cold", "q_p50", "q_p95", "q_p99", "identical"},
 	}
 	const warmQueries = 50
 	for _, shards := range shardSweep {
@@ -142,9 +155,12 @@ func runServe(opts Options) Result {
 			req, _ := http.NewRequest(http.MethodPost, path, bytes.NewReader(body))
 			srv.ServeHTTP(newDiscardWriter(false), req)
 		}
+		offerHist := &obs.Histogram{}
 		start := time.Now()
 		for _, body := range bodies {
+			rs := time.Now()
 			post("/offer", body)
+			offerHist.Record(time.Since(rs))
 		}
 		ingest := time.Since(start)
 		start = time.Now()
@@ -167,23 +183,25 @@ func runServe(opts Options) Result {
 		}
 		cold, est := getL1()
 		identical := est == refL1
-		var warm time.Duration
+		queryHist := &obs.Histogram{}
 		for i := 0; i < warmQueries; i++ {
 			d, e := getL1()
-			warm += d
+			queryHist.Record(d)
 			identical = identical && e == refL1
 		}
-		warm /= warmQueries
 
-		t.AddRow(
+		offerPct := pctCols(offerHist)
+		row := []string{
 			fmt.Sprintf("%d", shards),
 			ingest.Round(time.Microsecond).String(),
-			fsci(float64(offered)/ingest.Seconds()),
+			fsci(float64(offered) / ingest.Seconds()),
+			offerPct[0], offerPct[2],
 			freeze.Round(time.Microsecond).String(),
 			cold.Round(time.Microsecond).String(),
-			warm.Round(time.Microsecond).String(),
-			fmt.Sprintf("%v", identical),
-		)
+		}
+		row = append(row, pctCols(queryHist)...)
+		row = append(row, fmt.Sprintf("%v", identical))
+		t.AddRow(row...)
 	}
 	return Result{Tables: []Table{t}}
 }

@@ -80,6 +80,7 @@ type point struct {
 	from    int // fire on every hit ≥ from
 	every   int // fire on every every-th hit
 	hits    int
+	fires   int // hits on which the point actually injected
 }
 
 // scheduled reports whether hit n (1-based) is one this point fires on.
@@ -211,6 +212,9 @@ func (s *Set) Act(name string) Outcome {
 	p.hits++
 	n := p.hits
 	fire := p.scheduled(n)
+	if fire {
+		p.fires++
+	}
 	latency := p.latency
 	s.mu.Unlock()
 	if !fire {
@@ -239,6 +243,23 @@ func (s *Set) Hits(name string) int {
 	defer s.mu.Unlock()
 	if p, ok := s.points[name]; ok {
 		return p.hits
+	}
+	return 0
+}
+
+// Fires reports how many of the named point's hits were scheduled ones —
+// hits on which the point actually injected its action (0 for
+// unconfigured points and nil Sets). The observability layer exports both
+// Hits and Fires per point, so a scrape distinguishes "the site was
+// reached" from "the fault actually fired".
+func (s *Set) Fires(name string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.points[name]; ok {
+		return p.fires
 	}
 	return 0
 }

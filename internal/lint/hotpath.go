@@ -56,6 +56,7 @@ var requiredHot = map[string][]string{
 		"(*MultiLane).Offer", "(*MultiLane).OfferBatch", "(*MultiLane).OfferVector",
 	},
 	"internal/server": {"(*Server).ingestBinary", "(*ingestState).add", "(*ingestState).flush"},
+	"internal/obs":    {"(*Histogram).Record", "bucketIndex"},
 }
 
 // hotSafePkgs are packages whose calls are presumed allocation-free on the

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	sp.End()
+	tr.Add("y", time.Now(), time.Millisecond)
+	if rep := tr.Report(); rep.ID != 0 || len(rep.Spans) != 0 {
+		t.Fatalf("nil trace produced a non-zero report: %+v", rep)
+	}
+	var ring *TraceRing
+	if ring.NextID() != 0 {
+		t.Fatal("nil ring NextID should be 0")
+	}
+	ring.Add(Report{})
+	if ring.Reports() != nil {
+		t.Fatal("nil ring Reports should be nil")
+	}
+}
+
+func TestTraceSpansAndReport(t *testing.T) {
+	tr := NewTrace(7, "query agg=sum")
+	sp := tr.Start("parse")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Add("peer a:1 fetch", time.Now(), 3*time.Millisecond)
+	rep := tr.Report()
+	if rep.ID != 7 || rep.Op != "query agg=sum" {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if len(rep.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(rep.Spans))
+	}
+	if rep.Spans[0].Name != "parse" || rep.Spans[0].DurUs < 500 {
+		t.Fatalf("parse span wrong: %+v", rep.Spans[0])
+	}
+	if rep.TotalUs < rep.Spans[0].DurUs {
+		t.Fatalf("total %v < span %v", rep.TotalUs, rep.Spans[0].DurUs)
+	}
+}
+
+func TestTraceConcurrentAdd(t *testing.T) {
+	tr := NewTrace(1, "scatter")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Add("peer", time.Now(), time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Report().Spans); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+}
+
+func TestTraceRingEvictionOrder(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(Report{ID: r.NextID()})
+	}
+	reps := r.Reports()
+	if len(reps) != 3 {
+		t.Fatalf("retained %d, want 3", len(reps))
+	}
+	// Newest first: 5, 4, 3.
+	for i, want := range []uint64{5, 4, 3} {
+		if reps[i].ID != want {
+			t.Fatalf("reports[%d].ID = %d, want %d", i, reps[i].ID, want)
+		}
+	}
+	partial := NewTraceRing(8)
+	partial.Add(Report{ID: 1})
+	partial.Add(Report{ID: 2})
+	reps = partial.Reports()
+	if len(reps) != 2 || reps[0].ID != 2 || reps[1].ID != 1 {
+		t.Fatalf("partial ring wrong: %+v", reps)
+	}
+}
+
+func TestLoggerLevelsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, `"msg":"shown"`) {
+		t.Fatalf("level/format filtering wrong: %s", out)
+	}
+	if _, err := NewLogger(&buf, "nope", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if c := Component(nil, "server"); c == nil {
+		t.Fatal("Component(nil) must return a usable logger")
+	} else {
+		c.Error("discarded") // must not panic
+	}
+	var tbuf bytes.Buffer
+	tl, err := NewLogger(&tbuf, "debug", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Component(tl, "store").Debug("compacted", "epochs", 3)
+	if !strings.Contains(tbuf.String(), "component=store") {
+		t.Fatalf("component tag missing: %s", tbuf.String())
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"coordsample/internal/obs"
+)
+
+// serverMetrics is the serving layer's histogram set. The histograms are
+// created through the server's registry in initObs, so they are always
+// non-nil and the recording sites stay branch-free.
+type serverMetrics struct {
+	offer          *obs.Histogram // POST /offer request latency
+	ingestStream   *obs.Histogram // POST /ingest whole-stream latency
+	queryAW        *obs.Histogram // GET /query latency, AW estimator family
+	queryDiscarded *obs.Histogram // GET /query latency, discarded-samples family
+	freezeDetach   *obs.Histogram // freeze: epoch detach under the ingest write lock
+	freezeMerge    *obs.Histogram // freeze: terminal freeze + cumulative merge
+	freezePersist  *obs.Histogram // freeze: durable persist (the ack point)
+}
+
+// initObs wires the server's observability: the metrics registry (shared
+// with the cluster router when cws-serve runs both), the trace ring behind
+// GET /debug/traces, and the component-tagged structured logger. Nil
+// config fields get private defaults, so embedders pay nothing for the
+// layer they did not ask for.
+//
+// The registry exposes the expvar counters the server already keeps (as
+// function-backed series — no double bookkeeping), the request/freeze
+// histograms, the store's durability histograms when a store is attached,
+// and one hits/fires counter pair per configured fault point — the whole
+// shared fault Set, so injected cluster and store faults are scrapable
+// from the serving process's /metrics.
+func (s *Server) initObs(cfg Config) {
+	s.reg = cfg.Metrics
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.traces = cfg.Traces
+	if s.traces == nil {
+		s.traces = obs.NewTraceRing(64)
+	}
+	s.log = obs.Component(cfg.Log, "server")
+
+	r := s.reg
+	m := &s.om
+	m.offer = r.NewHistogram("cws_offer_latency_seconds", "POST /offer request latency.")
+	m.ingestStream = r.NewHistogram("cws_ingest_stream_seconds", "POST /ingest whole-stream latency.")
+	const queryHelp = "GET /query latency by estimator family."
+	m.queryAW = r.NewHistogramL("cws_query_latency_seconds", queryHelp, obs.Label("est", "aw"))
+	m.queryDiscarded = r.NewHistogramL("cws_query_latency_seconds", queryHelp, obs.Label("est", "discarded"))
+	const freezeHelp = "Freeze phase latency: detach (ingest write lock held), merge (terminal freeze + cumulative merge), persist (durable ack)."
+	m.freezeDetach = r.NewHistogramL("cws_freeze_phase_seconds", freezeHelp, obs.Label("phase", "detach"))
+	m.freezeMerge = r.NewHistogramL("cws_freeze_phase_seconds", freezeHelp, obs.Label("phase", "merge"))
+	m.freezePersist = r.NewHistogramL("cws_freeze_phase_seconds", freezeHelp, obs.Label("phase", "persist"))
+
+	r.Counter("cws_offers_total", "Offers accepted into the current or a frozen epoch.", s.offers.Value)
+	r.Counter("cws_offer_batches_total", "POST /offer requests accepted.", s.offerBatches.Value)
+	r.Counter("cws_ingest_streams_total", "POST /ingest streams completed.", s.ingestStreams.Value)
+	r.CounterL("cws_queries_total", "Queries answered, by estimator family.", obs.Label("est", "aw"), s.queriesAW.Value)
+	r.CounterL("cws_queries_total", "Queries answered, by estimator family.", obs.Label("est", "discarded"), s.queriesDiscarded.Value)
+	r.Counter("cws_range_queries_total", "Queries answered over a retained epoch window (?epochs=lo..hi).", s.rangeQueries.Value)
+	r.Counter("cws_freezes_total", "Successful epoch freezes.", s.freezes.Value)
+	r.Counter("cws_freeze_errors_total", "Failed freezes (contract violations and persist failures).", s.freezeErrors.Value)
+	r.Counter("cws_sketch_exports_total", "GET /sketch exports.", s.sketchExports.Value)
+	r.Counter("cws_segment_exports_total", "GET /sketches peer bulk-fetch exports.", s.segmentExports.Value)
+	r.Counter("cws_sheds_total", "Ingest requests shed with 429 under the inflight bound.", s.sheds.Value)
+	r.Counter("cws_store_persists_total", "Epochs durably persisted.", s.persists.Value)
+	r.Counter("cws_store_persist_errors_total", "Persist failures (the freeze was not acknowledged).", s.persistErrors.Value)
+	r.Counter("cws_store_compaction_errors_total", "Compaction failures after an acknowledged persist.", s.compactionErrors.Value)
+
+	r.Gauge("cws_epoch", "Epoch of the serving snapshot.", func() float64 {
+		return float64(s.snap.Load().epoch)
+	})
+	r.Gauge("cws_retained_epochs", "Individually retained epochs (the queryable time windows).", func() float64 {
+		return float64(len(s.snap.Load().retained))
+	})
+	r.Gauge("cws_serving_entries", "Sample entries across the serving snapshot's sketches.", func() float64 {
+		n := 0
+		for _, sk := range s.snap.Load().sketches {
+			n += sk.Size()
+		}
+		return float64(n)
+	})
+	r.Gauge("cws_inflight_ingest", "Ingest requests currently in flight.", func() float64 {
+		return float64(s.inflight.Load())
+	})
+	r.Gauge("cws_recovered_epochs", "Epochs recovered from the store at startup.", func() float64 {
+		return float64(s.recoveredEpochs.Value())
+	})
+	r.Gauge("cws_uptime_seconds", "Process uptime.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+
+	if s.store != nil {
+		sm := s.store.Metrics()
+		r.RegisterHistogram("cws_store_segment_write_seconds",
+			"Durable segment write latency (write, fsync, rename, dir sync).", "", sm.SegmentWrite)
+		r.RegisterHistogram("cws_store_manifest_fsync_seconds",
+			"Manifest fsync latency — the epoch acknowledgement point.", "", sm.ManifestFsync)
+		r.Gauge("cws_store_bytes", "Bytes of referenced segment files on disk.", func() float64 {
+			return float64(s.store.DiskBytes())
+		})
+	}
+
+	if cfg.Faults != nil {
+		for _, pt := range cfg.Faults.Points() {
+			pt := pt
+			r.CounterL("cws_fault_hits_total",
+				"Times an instrumented fault site was reached, per configured point.",
+				obs.Label("point", pt), func() int64 { return int64(cfg.Faults.Hits(pt)) })
+			r.CounterL("cws_fault_fires_total",
+				"Times a configured fault point actually injected its action.",
+				obs.Label("point", pt), func() int64 { return int64(cfg.Faults.Fires(pt)) })
+		}
+	}
+}
+
+// handleTraces serves the bounded ring of recent request traces, newest
+// first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.Reports()})
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"coordsample/internal/core"
+	"coordsample/internal/faults"
+	"coordsample/internal/rank"
+)
+
+// obsTestConfig is the minimal serving config the observability tests use.
+func obsTestConfig() Config {
+	return Config{
+		Sample:      core.Config{Family: rank.IPPS, Mode: rank.SharedSeed, Seed: 1, K: 8},
+		Assignments: 1,
+		Shards:      1,
+	}
+}
+
+// TestEndpointContentTypes pins every introspection endpoint's Content-Type:
+// JSON endpoints must say application/json (with charset), and /metrics
+// must carry the Prometheus text exposition version — scrapers and browsers
+// both dispatch on it.
+func TestEndpointContentTypes(t *testing.T) {
+	_, ts := newTestServer(t, obsTestConfig())
+	wants := map[string]string{
+		"/debug/vars":    "application/json; charset=utf-8",
+		"/debug/traces":  "application/json; charset=utf-8",
+		"/healthz":       "application/json; charset=utf-8",
+		"/healthz/live":  "application/json; charset=utf-8",
+		"/healthz/ready": "application/json; charset=utf-8",
+		"/metrics":       "text/plain; version=0.0.4; charset=utf-8",
+	}
+	for path, want := range wants {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != want {
+			t.Errorf("GET %s: Content-Type %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestMetricsExposition drives an offer → freeze → query cycle and asserts
+// the scrape carries the counters, histograms, and gauges of every
+// instrumented stage with the values the cycle implies.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, obsTestConfig())
+	postJSON(t, ts.URL+"/offer", map[string]any{"offers": []Offer{
+		{Assignment: 0, Key: "a", Weight: 1},
+		{Assignment: 0, Key: "b", Weight: 2},
+	}})
+	postJSON(t, ts.URL+"/freeze", nil)
+	queryHTTP(t, ts.URL, "agg=sum&b=0")
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"cws_offers_total 2",
+		"cws_offer_batches_total 1",
+		"cws_freezes_total 1",
+		`cws_queries_total{est="aw"} 1`,
+		"cws_epoch 1",
+		"# TYPE cws_offer_latency_seconds histogram",
+		"cws_offer_latency_seconds_count 1",
+		`cws_query_latency_seconds_count{est="aw"} 1`,
+		`cws_freeze_phase_seconds_count{phase="detach"} 1`,
+		`cws_freeze_phase_seconds_count{phase="merge"} 1`,
+		`le="+Inf"`,
+		"# HELP cws_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Memory-only server: no store series may appear.
+	if strings.Contains(body, "cws_store_segment_write_seconds") {
+		t.Error("/metrics exposes store histograms without a store attached")
+	}
+}
+
+// TestMetricsFaultCounters: configured fault points surface hit and fire
+// counters, distinguishing "the site was reached" from "the fault fired".
+func TestMetricsFaultCounters(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Faults = faults.MustParse("server.freeze:latency=1ms,on=2")
+	_, ts := newTestServer(t, cfg)
+	postJSON(t, ts.URL+"/offer", map[string]any{"offers": []Offer{{Assignment: 0, Key: "a", Weight: 1}}})
+	postJSON(t, ts.URL+"/freeze", nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	if !strings.Contains(body, `cws_fault_hits_total{point="server.freeze"} 1`) {
+		t.Errorf("/metrics missing the fault hit counter:\n%s", body)
+	}
+	if !strings.Contains(body, `cws_fault_fires_total{point="server.freeze"} 0`) {
+		t.Errorf("/metrics missing the fault fire counter (on=2 must not have fired on hit 1):\n%s", body)
+	}
+}
+
+// TestQueryTraceAndRing: ?trace=1 returns the per-stage breakdown inline,
+// the plain query does not, and both land in the /debug/traces ring
+// (newest first) with the expected stage spans.
+func TestQueryTraceAndRing(t *testing.T) {
+	_, ts := newTestServer(t, obsTestConfig())
+	postJSON(t, ts.URL+"/offer", map[string]any{"offers": []Offer{
+		{Assignment: 0, Key: "a", Weight: 1},
+	}})
+	postJSON(t, ts.URL+"/freeze", nil)
+
+	get := func(params string) map[string]any {
+		resp, err := http.Get(ts.URL + "/query?" + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /query?%s: status %d: %v", params, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	plain := get("agg=sum&b=0")
+	if _, ok := plain["trace"]; ok {
+		t.Error("plain query response carries a trace without ?trace=1")
+	}
+	traced := get("agg=sum&b=0&trace=1")
+	tr, ok := traced["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("?trace=1 response has no trace object: %v", traced)
+	}
+	if op := tr["op"].(string); !strings.Contains(op, "query agg=sum") {
+		t.Errorf("trace op = %q, want a query label", op)
+	}
+	spans := map[string]bool{}
+	for _, s := range tr["spans"].([]any) {
+		spans[s.(map[string]any)["name"].(string)] = true
+	}
+	// The first traced query after the plain one is warm: the summarize
+	// span only appears on cold (cache-building) queries, so require the
+	// always-present stages.
+	for _, want := range []string{"parse", "snapshot-pin", "estimate"} {
+		if !spans[want] {
+			t.Errorf("trace missing span %q (got %v)", want, spans)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ring struct {
+		Traces []struct {
+			ID      float64 `json:"id"`
+			Op      string  `json:"op"`
+			TotalUs float64 `json:"total_us"`
+		} `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ring)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ring.Traces) < 2 {
+		t.Fatalf("/debug/traces holds %d traces, want both queries", len(ring.Traces))
+	}
+	if ring.Traces[0].ID <= ring.Traces[1].ID {
+		t.Errorf("traces not newest-first: ids %v, %v", ring.Traces[0].ID, ring.Traces[1].ID)
+	}
+	for _, rt := range ring.Traces[:2] {
+		if !strings.Contains(rt.Op, "query") {
+			t.Errorf("ring trace op = %q, want a query", rt.Op)
+		}
+	}
+}
+
+// TestTwoServersShareNothing: two Servers in one process with private
+// registries must not collide (the instance-scoped-registry contract) and
+// must count independently.
+func TestTwoServersShareNothing(t *testing.T) {
+	_, ts1 := newTestServer(t, obsTestConfig())
+	_, ts2 := newTestServer(t, obsTestConfig())
+	postJSON(t, ts1.URL+"/offer", map[string]any{"offers": []Offer{{Assignment: 0, Key: "a", Weight: 1}}})
+
+	scrape := func(url string) string {
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return string(raw)
+	}
+	if !strings.Contains(scrape(ts1.URL), "cws_offers_total 1") {
+		t.Error("server 1 did not count its offer")
+	}
+	if !strings.Contains(scrape(ts2.URL), "cws_offers_total 0") {
+		t.Error("server 2 saw server 1's traffic")
+	}
+}

@@ -123,6 +123,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
@@ -135,6 +136,7 @@ import (
 	"coordsample/internal/core"
 	"coordsample/internal/estimate"
 	"coordsample/internal/faults"
+	"coordsample/internal/obs"
 	"coordsample/internal/rank"
 	"coordsample/internal/shard"
 	"coordsample/internal/sketch"
@@ -190,6 +192,20 @@ type Config struct {
 	// cannot break the disjoint-key-sets invariant the exact
 	// scatter-gather merge rests on.
 	OwnsKey func(key string) bool
+	// Metrics, when non-nil, is the registry GET /metrics scrapes. The
+	// server registers its counters, gauges, and latency histograms into
+	// it; cws-serve shares one registry between the server and the
+	// cluster router so a single scrape covers both. Nil creates a
+	// private registry (the endpoint still works). Do not share one
+	// registry between two Servers — their series names would collide.
+	Metrics *obs.Registry
+	// Traces, when non-nil, is the bounded ring of recent request traces
+	// served at GET /debug/traces (shared with the cluster router in
+	// cws-serve). Nil creates a private 64-entry ring.
+	Traces *obs.TraceRing
+	// Log, when non-nil, receives the server's structured log events,
+	// tagged component=server. Nil discards them.
+	Log *slog.Logger
 }
 
 // The serving layer's injectable fault points.
@@ -402,6 +418,14 @@ type Server struct {
 
 	store *store.Store // nil = memory-only
 
+	// Observability: the metrics registry behind GET /metrics, the trace
+	// ring behind GET /debug/traces, the component-tagged logger, and the
+	// serving-layer histograms (see initObs). All are non-nil after New.
+	reg    *obs.Registry
+	traces *obs.TraceRing
+	log    *slog.Logger
+	om     serverMetrics
+
 	snap atomic.Pointer[snapshot]
 
 	// obsBufs recycles the per-assignment Observation buffers of the
@@ -468,6 +492,11 @@ func New(cfg Config) (*Server, error) {
 		return &per
 	}
 
+	s.initObs(cfg)
+	if s.epoch > 0 {
+		s.log.Debug("recovered epochs from store", "epochs", s.epoch)
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/offer", s.handleOffer)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
@@ -485,6 +514,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz/live", s.handleLive)
 	s.mux.HandleFunc("/healthz/ready", s.handleReady)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	s.mux.Handle("/metrics", s.reg.Handler())
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	return s, nil
 }
 
@@ -673,6 +704,7 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	started := time.Now()
 	release, ok := s.admitIngest(w)
 	if !ok {
 		return
@@ -751,6 +783,7 @@ func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
 	s.ingestMu.RUnlock()
 	s.offers.Add(int64(accepted))
 	s.offerBatches.Add(1)
+	s.om.offer.Record(time.Since(started))
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "epoch": epoch})
 }
 
@@ -881,6 +914,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	started := time.Now()
 	release, ok := s.admitIngest(w)
 	if !ok {
 		return
@@ -914,6 +948,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ingestStreams.Add(1)
+	s.om.ingestStream.Record(time.Since(started))
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": st.accepted, "epoch": st.epoch})
 }
 
@@ -1048,6 +1083,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
 	var pe *persistError
 	if errors.As(err, &pe) {
 		s.freezeErrors.Add(1)
+		s.log.Warn("freeze failed: epoch not acknowledged", "err", err)
 		// The epoch could not be made durable; nothing was acknowledged and
 		// the serving snapshot is unchanged. 500: the data was fine, the
 		// disk was not.
@@ -1056,6 +1092,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.freezeErrors.Add(1)
+		s.log.Warn("freeze failed: contract violation", "err", err)
 		// The pre-aggregation contract was violated by the ingested data;
 		// 409 Conflict distinguishes it from a malformed request.
 		writeError(w, http.StatusConflict, "%v", err)
@@ -1103,11 +1140,13 @@ func (s *Server) freeze() (*snapshot, error) {
 	// so the fresh epoch starts clean either way — a failed freeze must
 	// not leave dirty set, or Shutdown would later mint (and persist) a
 	// phantom empty epoch.
+	detachStart := time.Now()
 	s.ingestMu.Lock()
 	old := s.ingest
 	s.ingest = newEpochIngest(s.cfg)
 	s.dirty.Store(false)
 	s.ingestMu.Unlock()
+	s.om.freezeDetach.Record(time.Since(detachStart))
 	if out := s.cfg.Faults.Act(FaultFreeze); out.Err != nil {
 		// An injected freeze failure behaves like a persist failure: the
 		// epoch was never acknowledged, the serving snapshot is unchanged.
@@ -1115,11 +1154,14 @@ func (s *Server) freeze() (*snapshot, error) {
 		// detached-but-unpublished window the chaos harness kills into.)
 		return nil, &persistError{err: out.Err}
 	}
+	mergeStart := time.Now()
 	epochSketches, merged, err := freezeAndMerge(old.ms, s.cum)
 	if err != nil {
 		return nil, err
 	}
+	s.om.freezeMerge.Record(time.Since(mergeStart))
 	if s.store != nil {
+		persistStart := time.Now()
 		if _, perr := s.store.AppendEpoch(epochSketches); perr != nil {
 			var ce *store.CompactionError
 			if errors.As(perr, &ce) {
@@ -1131,6 +1173,7 @@ func (s *Server) freeze() (*snapshot, error) {
 				return nil, &persistError{err: perr}
 			}
 		}
+		s.om.freezePersist.Record(time.Since(persistStart))
 		s.persists.Add(1)
 	}
 	s.epoch++
@@ -1145,6 +1188,7 @@ func (s *Server) freeze() (*snapshot, error) {
 	s.retained = retained
 	snap := s.newSnapshot(s.epoch, merged, retained)
 	s.snap.Store(snap)
+	s.log.Info("epoch frozen", "epoch", s.epoch, "retained", len(retained))
 	return snap, nil
 }
 
@@ -1203,16 +1247,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	// Every query is traced into the bounded ring behind /debug/traces;
+	// ?trace=1 additionally returns the per-stage breakdown in the
+	// response. The span set is the query pipeline: parse → snapshot pin
+	// [→ range-merge] [→ summarize, only when this query builds a cold
+	// AW-summary] → estimate.
+	started := time.Now()
+	tr := obs.NewTrace(s.traces.NextID(), "query")
 	// The parameter grammar is shared with the cluster router (the ?est=
 	// estimator family name is folded into the memo keys by
 	// cliquery.AnswerVia, so the snapshot caches never alias across
 	// estimators).
+	sp := tr.Start("parse")
 	p, err := cliquery.ParseHTTPParams(r.URL.Query(), s.cfg.Assignments)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tr.Op = "query agg=" + p.Agg + " est=" + p.Est.Name()
+	sp = tr.Start("snapshot-pin")
 	snap := s.snap.Load()
+	sp.End()
 	// Default: the cumulative snapshot (all epochs). ?epochs=lo..hi
 	// answers over exactly that retained time window instead.
 	summary, via := snap.summary, cliquery.SummaryBuilder(snap.summaryFor)
@@ -1223,7 +1279,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad epochs parameter: %v", err)
 			return
 		}
+		sp = tr.Start("range-merge")
 		rs, err := snap.rangeFor(s.cfg.Sample, lo, hi)
+		sp.End()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -1232,7 +1290,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp["epochs"] = fmt.Sprintf("%d..%d", lo, hi)
 		s.rangeQueries.Add(1)
 	}
+	// Wrap the summary builder so the expensive cold phase — building an
+	// aggregate's AW-summary — shows up as its own span. Memoized (warm)
+	// queries never run the inner build, so they show no summarize span.
+	baseVia := via
+	via = func(key string, build func() estimate.AWSummary) estimate.AWSummary {
+		return baseVia(key, func() estimate.AWSummary {
+			ssp := tr.Start("summarize")
+			defer ssp.End()
+			return build()
+		})
+	}
+	sp = tr.Start("estimate")
 	label, v, stderr, err := cliquery.AnswerVia(summary, p.Agg, p.B, p.R, p.L, p.Pred, p.Est, via)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -1240,8 +1311,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
 	if p.Est.Name() == estimate.DiscardedEstimator.Name() {
 		s.queriesDiscarded.Add(1)
+		s.om.queryDiscarded.Record(time.Since(started))
 	} else {
 		s.queriesAW.Add(1)
+		s.om.queryAW.Record(time.Since(started))
+	}
+	rep := tr.Report()
+	s.traces.Add(rep)
+	if r.URL.Query().Get("trace") == "1" {
+		resp["trace"] = rep
 	}
 	// The estimate travels as a JSON number; encoding/json emits the
 	// shortest representation that parses back to the identical float64,
@@ -1471,7 +1549,7 @@ func intParam(s string, def int) (int, error) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)

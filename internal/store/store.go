@@ -81,15 +81,18 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"coordsample/internal/core"
 	"coordsample/internal/faults"
+	"coordsample/internal/obs"
 	"coordsample/internal/sketch"
 )
 
@@ -122,6 +125,10 @@ type Config struct {
 	// fault-point names below); nil — the production state — injects
 	// nothing.
 	Faults *faults.Set
+	// Log, when non-nil, receives the store's structured log events
+	// (recovery summary, compactions) tagged component=store. Nil
+	// discards them.
+	Log *slog.Logger
 }
 
 // The store's injectable fault points. Each fires once per AppendEpoch
@@ -229,6 +236,25 @@ type Store struct {
 	broken   bool              // a manifest append failed; appends refused until reopen
 	bytes    int64             // total bytes of referenced segment files
 	faults   *faults.Set       // injectable durability faults (nil in production)
+	log      *slog.Logger      // component-tagged structured logger (never nil)
+
+	// Durability latency histograms, always allocated so the recording
+	// sites stay branch-free; a serving process registers them in its
+	// metrics registry via Metrics().
+	segWriteHist      *obs.Histogram // segment write+fsync+rename, per durable file
+	manifestFsyncHist *obs.Histogram // manifest fsync — the epoch ack point
+}
+
+// Metrics exposes the store's internal latency histograms so a serving
+// process can register them for /metrics exposition.
+type Metrics struct {
+	SegmentWrite  *obs.Histogram
+	ManifestFsync *obs.Histogram
+}
+
+// Metrics returns the store's latency histograms.
+func (s *Store) Metrics() Metrics {
+	return Metrics{SegmentWrite: s.segWriteHist, ManifestFsync: s.manifestFsyncHist}
 }
 
 // Open opens (creating, when writable and absent) the store at cfg.Dir and
@@ -236,7 +262,11 @@ type Store struct {
 // distinction and the package documentation for the recovery guarantees.
 func Open(cfg Config) (*Store, error) {
 	writable := cfg.Assignments != 0 || cfg.Sample != (core.Config{})
-	s := &Store{dir: cfg.Dir, retain: cfg.Retain, writable: writable, faults: cfg.Faults}
+	s := &Store{
+		dir: cfg.Dir, retain: cfg.Retain, writable: writable, faults: cfg.Faults,
+		log:          obs.Component(cfg.Log, "store"),
+		segWriteHist: &obs.Histogram{}, manifestFsyncHist: &obs.Histogram{},
+	}
 	if writable {
 		if err := cfg.Sample.Check(); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -514,10 +544,12 @@ func (s *Store) AppendEpoch(sketches []*sketch.BottomK) (int, error) {
 		s.broken = true
 		return 0, fmt.Errorf("store: syncing manifest: %w", out.Err)
 	}
+	syncStart := time.Now()
 	if err := s.manifest.Sync(); err != nil {
 		s.broken = true
 		return 0, fmt.Errorf("store: syncing manifest: %w", err)
 	}
+	s.manifestFsyncHist.Record(time.Since(syncStart))
 	// Acknowledged. Everything below only maintains in-memory state and
 	// bounds disk usage. The cumulative memo is invalidated, not updated:
 	// the serving layer maintains its own cumulative merge, so eagerly
@@ -607,6 +639,8 @@ func (s *Store) compact() error {
 		s.removeSegment(segmentName("cum", oldThrough))
 	}
 	s.bytes += int64(buf.Len())
+	s.log.Debug("compacted epochs into cumulative segment",
+		"through", through, "retained", len(kept), "disk_bytes", s.bytes)
 	return nil
 }
 
@@ -640,6 +674,7 @@ func (s *Store) removeSegment(name string) {
 // fsync → rename → fsync(dir): after it returns, the file is durable under
 // its final name; a crash mid-call leaves at worst a *.tmp orphan.
 func (s *Store) writeFileDurably(name string, data []byte) error {
+	start := time.Now()
 	isSegment := strings.HasSuffix(name, ".seg")
 	if isSegment {
 		out := s.faults.Act(FaultSegmentWrite)
@@ -677,7 +712,13 @@ func (s *Store) writeFileDurably(name string, data []byte) error {
 	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return s.syncDir()
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	if isSegment {
+		s.segWriteHist.Record(time.Since(start))
+	}
+	return nil
 }
 
 // syncDir fsyncs the store directory, making renames durable.

@@ -144,6 +144,33 @@ if [ -f internal/faults/faults.go ]; then
     fi
 fi
 
+# --- 4d. observability docs exist ---
+# The observability layer carries user-facing surfaces (/metrics,
+# ?trace=1, /debug/traces, -log-format, -pprof) that must not drift from
+# the docs: as long as internal/obs exists, DESIGN.md must keep the
+# Observability section (histogram design, trace span model, metric
+# naming) and README.md must keep the metrics/tracing quickstart.
+if [ -f internal/obs/histogram.go ]; then
+    if ! grep -q "## 8d. Observability" DESIGN.md; then
+        echo "DESIGN.md: missing the Observability section for internal/obs"
+        fail=1
+    fi
+    for topic in "Histogram design" "Metric naming" "Trace span model"; do
+        if ! grep -q "$topic" DESIGN.md; then
+            echo "DESIGN.md: Observability section must document '$topic'"
+            fail=1
+        fi
+    done
+    if ! grep -q "/metrics" README.md || ! grep -q "trace=1" README.md; then
+        echo "README.md: missing the /metrics + ?trace=1 observability quickstart"
+        fail=1
+    fi
+    if ! grep -q '\-pprof' README.md; then
+        echo "README.md: missing the -pprof opt-in profiling mention"
+        fail=1
+    fi
+fi
+
 # --- 5. doc examples are gofmt-clean ---
 examples=$(gofmt -l example_test.go 2>/dev/null)
 if [ -n "$examples" ]; then
